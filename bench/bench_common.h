@@ -1,0 +1,81 @@
+// Shared helpers for the per-table/per-figure bench binaries.
+//
+// Every binary regenerates one table or figure from Ch. 6 of the thesis and
+// prints it in the same rows/series layout. Absolute numbers differ from
+// the thesis (see EXPERIMENTS.md) but each bench also prints the thesis's
+// headline quantity next to ours for easy comparison.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chstone/kernels.h"
+#include "src/driver/driver.h"
+#include "src/frontend/lower.h"
+#include "src/ir/interp.h"
+#include "src/ir/verifier.h"
+
+namespace twill {
+namespace bench {
+
+/// Pre-compiled benchmark: the optimized baseline module plus the extracted
+/// Twill module, so parameter sweeps can re-simulate without re-compiling.
+struct PreparedKernel {
+  std::string name;
+  std::unique_ptr<Module> base;     // for pure SW / pure HW
+  std::unique_ptr<Module> twillMod; // extracted
+  DswpResult dswp;
+  ScheduleMap baseSchedules;
+  ScheduleMap twillSchedules;
+  uint32_t expected = 0;
+  bool ok = false;
+};
+
+inline PreparedKernel prepareKernel(const KernelInfo& k, const DswpConfig& dswpCfg = {},
+                                    unsigned inlineThreshold = 100) {
+  PreparedKernel out;
+  out.name = k.name;
+  auto compile = [&](std::unique_ptr<Module>& m) {
+    m = std::make_unique<Module>();
+    DiagEngine diag;
+    if (!compileC(k.source, *m, diag)) {
+      std::fprintf(stderr, "%s: compile failed:\n%s\n", k.name, diag.str().c_str());
+      return false;
+    }
+    runDefaultPipeline(*m, inlineThreshold);
+    return true;
+  };
+  if (!compile(out.base) || !compile(out.twillMod)) return out;
+  {
+    Interp in(*out.base);
+    out.expected = in.run("main");
+  }
+  out.dswp = runDswp(*out.twillMod, dswpCfg);
+  out.baseSchedules = scheduleModule(*out.base);
+  out.twillSchedules = scheduleModule(*out.twillMod);
+  out.ok = true;
+  return out;
+}
+
+/// Runs the Twill simulation for a prepared kernel under `cfg`, verifying
+/// the checksum. Returns 0 cycles on failure (and prints why).
+inline uint64_t runTwillCycles(PreparedKernel& pk, const SimConfig& cfg) {
+  SimOutcome o = simulateTwill(*pk.twillMod, pk.dswp, cfg, pk.twillSchedules);
+  if (!o.ok || o.result != pk.expected) {
+    std::fprintf(stderr, "%s: twill sim failed: %s\n", pk.name.c_str(), o.message.c_str());
+    return 0;
+  }
+  return o.cycles;
+}
+
+inline void header(const char* title, const char* paperNote) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Paper reference: %s\n", paperNote);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace twill

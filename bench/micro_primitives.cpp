@@ -1,0 +1,93 @@
+// Microbenchmarks of the runtime primitives (google-benchmark): queue and
+// semaphore handshakes, bus arbitration, and end-to-end compile-flow stages.
+// These verify the Ch. 4 cycle costs stay where the thesis pinned them and
+// give a wall-clock view of the compiler itself.
+#include <benchmark/benchmark.h>
+
+#include "src/chstone/kernels.h"
+#include "src/dswp/extract.h"
+#include "src/frontend/lower.h"
+#include "src/rt/fabric.h"
+#include "src/transforms/passes.h"
+
+namespace twill {
+namespace {
+
+void BM_QueueHandshake(benchmark::State& state) {
+  FabricConfig fc;
+  fc.queueCapacity = 8;
+  Fabric fabric(fc);
+  fabric.addQueue(0, 32);
+  ThreadPort producer(fabric, /*isHW=*/true);
+  ThreadPort consumer(fabric, /*isHW=*/true);
+  uint64_t now = 0;
+  for (auto _ : state) {
+    producer.now = now;
+    consumer.now = now;
+    benchmark::DoNotOptimize(producer.tryProduce(0, 42));
+    uint32_t v;
+    benchmark::DoNotOptimize(consumer.tryConsume(0, v));
+    now += 4;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_QueueHandshake);
+
+void BM_SemaphoreRaiseLower(benchmark::State& state) {
+  FabricConfig fc;
+  Fabric fabric(fc);
+  fabric.addSemaphore(0, 0);
+  ThreadPort port(fabric, /*isHW=*/true);
+  uint64_t now = 0;
+  for (auto _ : state) {
+    port.now = now;
+    benchmark::DoNotOptimize(port.trySemRaise(0, 1));
+    benchmark::DoNotOptimize(port.trySemLower(0, 1));
+    now += 3;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_SemaphoreRaiseLower);
+
+void BM_BusArbitration(benchmark::State& state) {
+  BusModel bus;
+  uint64_t now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus.acquire(now));
+    ++now;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BusArbitration);
+
+void BM_CompileKernel(benchmark::State& state) {
+  const KernelInfo& k = chstoneKernels()[static_cast<size_t>(state.range(0))];
+  state.SetLabel(k.name);
+  for (auto _ : state) {
+    Module m;
+    DiagEngine diag;
+    bool ok = compileC(k.source, m, diag);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_CompileKernel)->DenseRange(0, 7);
+
+void BM_OptimizeAndExtract(benchmark::State& state) {
+  const KernelInfo& k = chstoneKernels()[static_cast<size_t>(state.range(0))];
+  state.SetLabel(k.name);
+  for (auto _ : state) {
+    Module m;
+    DiagEngine diag;
+    compileC(k.source, m, diag);
+    runDefaultPipeline(m);
+    DswpConfig cfg;
+    DswpResult r = runDswp(m, cfg);
+    benchmark::DoNotOptimize(r.totalQueues());
+  }
+}
+BENCHMARK(BM_OptimizeAndExtract)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace twill
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Table 6.2 — FPGA LUTs: pure-LegUp translation vs Twill's HW threads vs the
+// full Twill runtime vs Twill + Microblaze.
+#include "bench/bench_common.h"
+
+using namespace twill;
+using namespace twill::bench;
+
+int main() {
+  header("Table 6.2: LUTs (LegUp | Twill HWThreads | Twill | Twill+Microblaze)",
+         "e.g. MIPS 2101|1830|2318|3752 ... JPEG 31084|18443|56101|57535; "
+         "HW-thread area ~1.73x smaller than LegUp, total ~1.35x larger");
+
+  std::printf("%-10s %10s %16s %10s %18s\n", "Benchmark", "LegUp", "Twill HWThreads", "Twill",
+              "Twill+Microblaze");
+  double ratioHwSum = 0, ratioTotalSum = 0;
+  int count = 0;
+  for (const auto& k : chstoneKernels()) {
+    DriverOptions opts;
+    opts.runPureSW = false;  // areas need only the HLS results
+    opts.runPureHW = true;
+    opts.runTwill = true;
+    BenchmarkReport r = runBenchmark(k.name, k.source, opts);
+    if (!r.ok) {
+      std::printf("%-10s  FAILED: %s\n", k.name, r.error.c_str());
+      continue;
+    }
+    std::printf("%-10s %10u %16u %10u %18u\n", k.name, r.areas.legup.luts,
+                r.areas.twillHwThreads.luts, r.areas.twillTotal.luts,
+                r.areas.twillPlusMicroblaze.luts);
+    if (r.areas.twillHwThreads.luts)
+      ratioHwSum += static_cast<double>(r.areas.legup.luts) / r.areas.twillHwThreads.luts;
+    if (r.areas.legup.luts)
+      ratioTotalSum += static_cast<double>(r.areas.twillTotal.luts) / r.areas.legup.luts;
+    ++count;
+  }
+  if (count) {
+    std::printf("\nHW-thread area reduction vs LegUp:  %.2fx (thesis: 1.73x)\n",
+                ratioHwSum / count);
+    std::printf("Twill total area vs LegUp:          %.2fx (thesis: 1.35x)\n",
+                ratioTotalSum / count);
+  }
+  std::printf("\nBRAM blocks: Microblaze uses %u; LegUp instantiates per-array memories;\n"
+              "Twill keeps HW-thread data in processor memory (see EXPERIMENTS.md).\n",
+              PrimitiveAreas::kMicroblazeBrams);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Pipeline inspector: a compiler-developer's view of what DSWP does to a
+// program — the PDG SCCs, the partition assignment, the generated thread
+// functions and every queue the extractor allocated.
+//
+//   $ ./examples/pipeline_inspector
+#include <cstdio>
+
+#include "src/analysis/pdg.h"
+#include "src/dswp/extract.h"
+#include "src/frontend/lower.h"
+#include "src/ir/printer.h"
+#include "src/transforms/passes.h"
+
+using namespace twill;
+
+int main() {
+  const char* program = R"C(
+    int samples[64];
+    int filtered[64];
+
+    int main(void) {
+      /* stage 1: synthesize input */
+      unsigned x = 7u;
+      for (int i = 0; i < 64; i++) {
+        x = x * 75u + 74u;
+        samples[i] = (int)(x & 1023u) - 512;
+      }
+      /* stage 2: 3-tap smoothing */
+      for (int i = 2; i < 64; i++)
+        filtered[i] = (samples[i] + 2 * samples[i - 1] + samples[i - 2]) / 4;
+      /* stage 3: energy */
+      int energy = 0;
+      for (int i = 0; i < 64; i++) energy += (filtered[i] * filtered[i]) >> 6;
+      return energy;
+    }
+  )C";
+
+  Module m;
+  DiagEngine diag;
+  if (!compileC(program, m, diag)) {
+    std::fprintf(stderr, "compile failed:\n%s", diag.str().c_str());
+    return 1;
+  }
+  runDefaultPipeline(m);
+
+  // --- PDG statistics -------------------------------------------------------
+  Function* main = m.findFunction("main");
+  PDG pdg;
+  pdg.build(*main);
+  auto sccs = computeSCCs(pdg);
+  size_t dataE = 0, memE = 0, ctrlE = 0;
+  for (const auto& e : pdg.edges()) {
+    if (e.kind == DepKind::Data) ++dataE;
+    else if (e.kind == DepKind::Memory) ++memE;
+    else ++ctrlE;
+  }
+  std::printf("Program dependence graph of main():\n");
+  std::printf("  %zu instructions, %zu SCCs\n", main->instructionCount(), sccs.size());
+  std::printf("  edges: %zu data, %zu memory, %zu control\n", dataE, memE, ctrlE);
+  size_t biggest = 0;
+  for (const auto& s : sccs) biggest = std::max(biggest, s.size());
+  std::printf("  largest SCC: %zu instructions (loop-carried recurrences fuse here)\n\n",
+              biggest);
+
+  // --- Extraction -----------------------------------------------------------
+  DswpConfig cfg;
+  cfg.numPartitions = 3;  // one thread per pipeline stage
+  DswpResult r = runDswp(m, cfg);
+
+  std::printf("Extracted threads:\n");
+  for (const auto& t : r.threads) {
+    std::printf("  %-12s %-4s %-6s %3zu instructions\n", t.origin.c_str(),
+                t.isHW ? "HW" : "SW", t.isSlave ? "slave" : "master",
+                t.fn->instructionCount());
+  }
+
+  std::printf("\nQueues (%u total):\n", r.totalQueues());
+  unsigned shown = 0;
+  for (const auto& ch : r.channels) {
+    const char* kind = "";
+    switch (ch.purpose) {
+      case ChannelInfo::Purpose::Data: kind = "data"; break;
+      case ChannelInfo::Purpose::MemToken: kind = "mem-token"; break;
+      case ChannelInfo::Purpose::Arg: kind = "argument"; break;
+      case ChannelInfo::Purpose::Start: kind = "start"; break;
+      case ChannelInfo::Purpose::Done: kind = "done"; break;
+    }
+    std::printf("  ch%-3d %2u-bit %-9s %s\n", ch.id, ch.bits, kind, ch.note.c_str());
+    if (++shown >= 12 && r.totalQueues() > 14) {
+      std::printf("  ... %u more\n", r.totalQueues() - shown);
+      break;
+    }
+  }
+
+  std::printf("\nGenerated IR of the smallest thread:\n");
+  const DswpThread* smallest = &r.threads[0];
+  for (const auto& t : r.threads)
+    if (t.fn->instructionCount() < smallest->fn->instructionCount()) smallest = &t;
+  std::printf("%s\n", printFunction(smallest->fn).c_str());
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "src/analysis/alias.h"
+
+namespace twill {
+
+void AliasAnalysis::computeEscapes() {
+  for (auto& bb : fn_.blocks()) {
+    for (auto& inst : *bb) {
+      for (unsigned i = 0; i < inst->numOperands(); ++i) {
+        auto* op = dyn_cast<Instruction>(inst->operand(i));
+        if (!op || op->op() != Opcode::Alloca) continue;
+        // Escape points: call arguments and stores of the address itself.
+        if (inst->op() == Opcode::Call) escaped_.insert(op);
+        if (inst->op() == Opcode::Store && i == 0) escaped_.insert(op);
+        // Conservatively: a ptrtoint whose result is stored or passed also
+        // escapes; handled transitively since the base set of such chains
+        // still reaches the alloca only through this analysis, not the IR.
+        if (inst->op() == Opcode::PtrToInt) {
+          for (Instruction* user : inst->users()) {
+            if (user->op() == Opcode::Store || user->op() == Opcode::Call) {
+              escaped_.insert(op);
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void AliasAnalysis::collect(Value* p, BaseSet& out, std::unordered_set<const Value*>& visiting) {
+  if (!visiting.insert(p).second) return;  // phi cycle
+  if (isa<GlobalVar>(p)) {
+    out.concrete.insert(p);
+    return;
+  }
+  if (isa<Argument>(p)) {
+    out.hasArg = true;
+    return;
+  }
+  auto* inst = dyn_cast<Instruction>(p);
+  if (!inst) {
+    out.hasUnknown = true;  // constants used as pointers, etc.
+    return;
+  }
+  switch (inst->op()) {
+    case Opcode::Alloca:
+      out.concrete.insert(inst);
+      return;
+    case Opcode::Gep:
+      collect(inst->operand(0), out, visiting);
+      return;
+    case Opcode::IntToPtr: {
+      // Trace through the int domain when the source is a direct ptrtoint
+      // (the pointer-in-memory round trip is load(i32) -> inttoptr and is
+      // Unknown; mem2reg usually removes it first).
+      auto* src = dyn_cast<Instruction>(inst->operand(0));
+      if (src && src->op() == Opcode::PtrToInt) {
+        collect(src->operand(0), out, visiting);
+        return;
+      }
+      out.hasUnknown = true;
+      return;
+    }
+    case Opcode::Phi:
+    case Opcode::Select: {
+      unsigned first = inst->op() == Opcode::Select ? 1u : 0u;
+      for (unsigned i = first; i < inst->numOperands(); ++i)
+        if (inst->operand(i)->type()->isPtr()) collect(inst->operand(i), out, visiting);
+      return;
+    }
+    case Opcode::Consume:
+    case Opcode::Load:
+    case Opcode::Call:
+      out.hasUnknown = true;
+      return;
+    default:
+      out.hasUnknown = true;
+      return;
+  }
+}
+
+const AliasAnalysis::BaseSet& AliasAnalysis::basesOf(Value* p) {
+  auto it = cache_.find(p);
+  if (it != cache_.end()) return it->second;
+  BaseSet bs;
+  std::unordered_set<const Value*> visiting;
+  collect(p, bs, visiting);
+  return cache_.emplace(p, std::move(bs)).first->second;
+}
+
+bool AliasAnalysis::mayAlias(Value* p1, Value* p2) {
+  const BaseSet& a = basesOf(p1);
+  const BaseSet& b = basesOf(p2);
+
+  auto overlapsEscapable = [&](const BaseSet& s) {
+    // Arguments/Unknown can point at globals, at other arguments, and at
+    // escaped allocas — but never at non-escaped allocas.
+    if (s.hasArg || s.hasUnknown) return true;
+    return false;
+  };
+  auto anyEscapable = [&](const BaseSet& s) {
+    if (s.hasArg || s.hasUnknown) return true;
+    for (const Value* v : s.concrete) {
+      if (isa<GlobalVar>(v)) return true;
+      if (auto* ai = dyn_cast<Instruction>(v); ai && escaped_.count(ai)) return true;
+    }
+    return false;
+  };
+
+  if (overlapsEscapable(a) && anyEscapable(b)) return true;
+  if (overlapsEscapable(b) && anyEscapable(a)) return true;
+  for (const Value* v : a.concrete)
+    if (b.concrete.count(v)) return true;
+  return false;
+}
+
+}  // namespace twill

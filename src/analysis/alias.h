@@ -1,0 +1,47 @@
+// Base-object alias analysis (a small "basicaa", which the thesis lists as a
+// required input of its PDG pass in §5.2).
+//
+// Every pointer value is traced through gep/phi/select/int-round-trip chains
+// to a set of base objects: a specific GlobalVar, a specific Alloca, a
+// pointer Argument, or Unknown. Two accesses may alias iff their base sets
+// intersect, where Argument and Unknown conservatively overlap with
+// everything that can escape (arguments, globals, escaped allocas).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/ir/function.h"
+
+namespace twill {
+
+class AliasAnalysis {
+public:
+  explicit AliasAnalysis(Function& f) : fn_(f) { computeEscapes(); }
+
+  /// May the memory accessed through `p1` overlap the memory accessed
+  /// through `p2`? (Both are pointer-typed values.)
+  bool mayAlias(Value* p1, Value* p2);
+
+  /// True if this alloca's address escapes the function (passed to a call or
+  /// stored into memory) — escaped allocas may alias argument pointers.
+  bool escapes(const Instruction* alloca) const { return escaped_.count(alloca) != 0; }
+
+private:
+  struct BaseSet {
+    std::unordered_set<const Value*> concrete;  // GlobalVars and Allocas
+    bool hasArg = false;     // some pointer argument
+    bool hasUnknown = false; // inttoptr of arbitrary data, etc.
+  };
+
+  const BaseSet& basesOf(Value* p);
+  void collect(Value* p, BaseSet& out, std::unordered_set<const Value*>& visiting);
+  void computeEscapes();
+
+  Function& fn_;
+  std::unordered_map<const Value*, BaseSet> cache_;
+  std::unordered_set<const Instruction*> escaped_;
+};
+
+}  // namespace twill

@@ -1,0 +1,61 @@
+#include "src/analysis/cfg.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/ir/builder.h"
+
+namespace twill {
+
+std::vector<BasicBlock*> postOrder(Function& f) {
+  std::vector<BasicBlock*> post;
+  if (!f.entry()) return post;
+  std::unordered_set<BasicBlock*> seen;
+  std::vector<std::pair<BasicBlock*, size_t>> stack{{f.entry(), 0}};
+  seen.insert(f.entry());
+  while (!stack.empty()) {
+    auto& [bb, i] = stack.back();
+    auto succs = bb->successors();
+    if (i < succs.size()) {
+      BasicBlock* s = succs[i++];
+      if (seen.insert(s).second) stack.push_back({s, 0});
+    } else {
+      post.push_back(bb);
+      stack.pop_back();
+    }
+  }
+  return post;
+}
+
+std::vector<BasicBlock*> reversePostOrder(Function& f) {
+  std::vector<BasicBlock*> rpo = postOrder(f);
+  std::reverse(rpo.begin(), rpo.end());
+  return rpo;
+}
+
+std::vector<BasicBlock*> exitBlocks(Function& f) {
+  std::vector<BasicBlock*> exits;
+  for (auto& bb : f.blocks())
+    if (bb->terminator() && bb->terminator()->op() == Opcode::Ret) exits.push_back(bb.get());
+  return exits;
+}
+
+BasicBlock* splitEdge(Function& f, BasicBlock* pred, BasicBlock* succ, const std::string& name) {
+  BasicBlock* mid = f.createBlockAfter(pred, name);
+  IRBuilder b(*f.parent());
+  b.setInsertPoint(mid);
+  b.br(succ);
+  // Retarget every successor slot of pred's terminator that points at succ.
+  Instruction* term = pred->terminator();
+  for (unsigned i = 0, e = term->numSuccessors(); i != e; ++i)
+    if (term->successor(i) == succ) term->setSuccessor(i, mid);
+  // PHIs in succ now flow through mid.
+  for (auto& inst : *succ) {
+    if (!inst->isPhi()) break;
+    for (unsigned i = 0; i < inst->numIncoming(); ++i)
+      if (inst->incomingBlock(i) == pred) inst->setIncomingBlock(i, mid);
+  }
+  return mid;
+}
+
+}  // namespace twill

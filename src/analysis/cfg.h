@@ -1,0 +1,25 @@
+// CFG traversal utilities shared by the analyses.
+#pragma once
+
+#include <vector>
+
+#include "src/ir/function.h"
+
+namespace twill {
+
+/// Reverse postorder over the forward CFG from the entry block. Unreachable
+/// blocks are omitted.
+std::vector<BasicBlock*> reversePostOrder(Function& f);
+
+/// Postorder over the forward CFG from the entry block.
+std::vector<BasicBlock*> postOrder(Function& f);
+
+/// Blocks whose terminator is a `ret`.
+std::vector<BasicBlock*> exitBlocks(Function& f);
+
+/// Splits the edge pred -> succ by inserting a fresh block containing only a
+/// branch to `succ`, rewiring pred's terminator and succ's PHIs. Returns the
+/// new block. Used by loop-simplify and the DSWP consume placement.
+BasicBlock* splitEdge(Function& f, BasicBlock* pred, BasicBlock* succ, const std::string& name);
+
+}  // namespace twill

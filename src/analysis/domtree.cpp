@@ -1,0 +1,166 @@
+#include "src/analysis/domtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "src/analysis/cfg.h"
+
+namespace twill {
+
+std::vector<BasicBlock*> DomTree::preds(BasicBlock* bb) const {
+  return post_ ? bb->successors() : bb->predecessors();
+}
+
+std::vector<BasicBlock*> DomTree::succs(BasicBlock* bb) const {
+  return post_ ? bb->predecessors() : bb->successors();
+}
+
+void DomTree::build(Function& f, bool postDom) {
+  post_ = postDom;
+  fn_ = &f;
+  order_.clear();
+  number_.clear();
+  idom_.clear();
+  frontiers_.clear();
+  frontiersBuilt_ = false;
+
+  // Direction-RPO: for the forward tree this is plain RPO from entry; for
+  // the postdom tree it is RPO of the reverse CFG from the exit blocks.
+  if (!post_) {
+    order_ = reversePostOrder(f);
+  } else {
+    std::vector<BasicBlock*> postOrderRev;
+    std::unordered_set<BasicBlock*> seen;
+    std::vector<std::pair<BasicBlock*, size_t>> stack;
+    for (BasicBlock* e : exitBlocks(f)) {
+      if (!seen.insert(e).second) continue;
+      stack.push_back({e, 0});
+      while (!stack.empty()) {
+        auto& [bb, i] = stack.back();
+        auto ss = bb->predecessors();
+        if (i < ss.size()) {
+          BasicBlock* s = ss[i++];
+          if (seen.insert(s).second) stack.push_back({s, 0});
+        } else {
+          postOrderRev.push_back(bb);
+          stack.pop_back();
+        }
+      }
+    }
+    order_.assign(postOrderRev.rbegin(), postOrderRev.rend());
+  }
+  for (size_t i = 0; i < order_.size(); ++i) number_[order_[i]] = static_cast<int>(i);
+
+  if (order_.empty()) return;
+
+  // Roots: entry (forward) / every exit block (postdom; idom = virtual root).
+  std::unordered_set<BasicBlock*> roots;
+  if (!post_) {
+    roots.insert(f.entry());
+    idom_[f.entry()] = nullptr;
+  } else {
+    for (BasicBlock* e : exitBlocks(f)) {
+      roots.insert(e);
+      idom_[e] = nullptr;
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BasicBlock* bb : order_) {
+      if (roots.count(bb)) continue;
+      BasicBlock* newIdom = nullptr;
+      bool found = false;  // at least one processed predecessor contributed
+      for (BasicBlock* p : preds(bb)) {
+        if (!number_.count(p)) continue;   // unreachable in this direction
+        if (idom_.count(p) == 0) continue;  // not processed yet
+        if (!found) {
+          newIdom = p;
+          found = true;
+        } else if (newIdom) {
+          // In the postdominator direction two ancestors can meet only at
+          // the virtual root; `intersect` then yields nullptr, which is a
+          // valid idom (the virtual root).
+          newIdom = intersect(p, newIdom);
+        }
+      }
+      if (!found) continue;
+      auto it = idom_.find(bb);
+      if (it == idom_.end() || it->second != newIdom) {
+        idom_[bb] = newIdom;
+        changed = true;
+      }
+    }
+  }
+}
+
+BasicBlock* DomTree::intersect(BasicBlock* a, BasicBlock* b) const {
+  // Walk up the tree by order number until the fingers meet; nullptr is the
+  // virtual root (postdom) or entry's idom (forward) and acts as bottom.
+  while (a != b) {
+    if (!a || !b) return nullptr;
+    int na = number_.at(a);
+    int nb = number_.at(b);
+    if (na > nb) {
+      auto it = idom_.find(a);
+      a = it == idom_.end() ? nullptr : it->second;
+    } else {
+      auto it = idom_.find(b);
+      b = it == idom_.end() ? nullptr : it->second;
+    }
+  }
+  return a;
+}
+
+BasicBlock* DomTree::idom(BasicBlock* bb) const {
+  auto it = idom_.find(bb);
+  return it == idom_.end() ? nullptr : it->second;
+}
+
+bool DomTree::dominates(BasicBlock* a, BasicBlock* b) const {
+  if (!isReachable(a) || !isReachable(b)) return false;
+  BasicBlock* x = b;
+  while (x) {
+    if (x == a) return true;
+    auto it = idom_.find(x);
+    if (it == idom_.end()) return false;
+    x = it->second;
+  }
+  return false;
+}
+
+BasicBlock* DomTree::nearestCommonDominator(BasicBlock* a, BasicBlock* b) const {
+  if (!isReachable(a) || !isReachable(b)) return nullptr;
+  return intersect(const_cast<BasicBlock*>(a), const_cast<BasicBlock*>(b));
+}
+
+void DomTree::buildFrontiers() {
+  frontiersBuilt_ = true;
+  for (BasicBlock* bb : order_) frontiers_[bb];  // materialize empty sets
+  for (BasicBlock* bb : order_) {
+    auto ps = preds(bb);
+    if (ps.size() < 2) continue;
+    for (BasicBlock* p : ps) {
+      if (!number_.count(p)) continue;
+      BasicBlock* runner = p;
+      BasicBlock* stop = idom(bb);
+      while (runner && runner != stop) {
+        auto& fr = frontiers_[runner];
+        if (std::find(fr.begin(), fr.end(), bb) == fr.end()) fr.push_back(bb);
+        auto it = idom_.find(runner);
+        runner = it == idom_.end() ? nullptr : it->second;
+      }
+    }
+  }
+}
+
+const std::vector<BasicBlock*>& DomTree::frontier(BasicBlock* bb) {
+  if (!frontiersBuilt_) buildFrontiers();
+  static const std::vector<BasicBlock*> kEmpty;
+  auto it = frontiers_.find(bb);
+  return it == frontiers_.end() ? kEmpty : it->second;
+}
+
+}  // namespace twill

@@ -1,0 +1,60 @@
+// Dominator and postdominator trees (Cooper–Harvey–Kennedy iterative
+// algorithm), plus dominance frontiers. The postdominator tree uses a virtual
+// root above all exit blocks, represented by nullptr.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/function.h"
+
+namespace twill {
+
+class DomTree {
+public:
+  /// Builds the (post)dominator tree. For `postDom`, edges are reversed and
+  /// all `ret` blocks become children of a virtual root (nullptr).
+  void build(Function& f, bool postDom);
+
+  bool isPostDom() const { return post_; }
+
+  /// Immediate dominator; nullptr for the root (entry block, or the virtual
+  /// postdom root) and for blocks unreachable in the traversal direction.
+  BasicBlock* idom(BasicBlock* bb) const;
+
+  /// True if `a` dominates `b` (reflexive). Unreachable blocks dominate
+  /// nothing and are dominated by nothing.
+  bool dominates(BasicBlock* a, BasicBlock* b) const;
+  /// Strict dominance.
+  bool properlyDominates(BasicBlock* a, BasicBlock* b) const {
+    return a != b && dominates(a, b);
+  }
+
+  bool isReachable(BasicBlock* bb) const { return number_.count(bb) != 0; }
+
+  /// Nearest common (post)dominator; nullptr = virtual root (postdom only).
+  BasicBlock* nearestCommonDominator(BasicBlock* a, BasicBlock* b) const;
+
+  /// Blocks in the traversal order used to build the tree (RPO of the
+  /// direction), handy for iteration.
+  const std::vector<BasicBlock*>& order() const { return order_; }
+
+  /// Dominance frontier of `bb` (computed lazily on first request).
+  const std::vector<BasicBlock*>& frontier(BasicBlock* bb);
+
+private:
+  std::vector<BasicBlock*> preds(BasicBlock* bb) const;
+  std::vector<BasicBlock*> succs(BasicBlock* bb) const;
+  BasicBlock* intersect(BasicBlock* a, BasicBlock* b) const;
+
+  bool post_ = false;
+  Function* fn_ = nullptr;
+  std::vector<BasicBlock*> order_;                       // RPO in direction
+  std::unordered_map<BasicBlock*, int> number_;          // order index
+  std::unordered_map<BasicBlock*, BasicBlock*> idom_;    // block -> idom
+  std::unordered_map<BasicBlock*, std::vector<BasicBlock*>> frontiers_;
+  bool frontiersBuilt_ = false;
+  void buildFrontiers();
+};
+
+}  // namespace twill

@@ -1,0 +1,104 @@
+#include "src/analysis/loopinfo.h"
+
+#include <algorithm>
+
+#include "src/analysis/cfg.h"
+
+namespace twill {
+
+bool Loop::contains(const Loop* other) const {
+  for (const Loop* l = other; l; l = l->parent)
+    if (l == this) return true;
+  return false;
+}
+
+std::vector<BasicBlock*> Loop::exitBlocks() const {
+  std::vector<BasicBlock*> out;
+  for (BasicBlock* bb : blocks)
+    for (BasicBlock* s : bb->successors())
+      if (!contains(s) && std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  return out;
+}
+
+std::vector<BasicBlock*> Loop::latches() const {
+  std::vector<BasicBlock*> out;
+  for (BasicBlock* p : header->predecessors())
+    if (contains(p)) out.push_back(p);
+  return out;
+}
+
+std::vector<BasicBlock*> Loop::entryPreds() const {
+  std::vector<BasicBlock*> out;
+  for (BasicBlock* p : header->predecessors())
+    if (!contains(p)) out.push_back(p);
+  return out;
+}
+
+void LoopInfo::build(Function& f, const DomTree& dom) {
+  loops_.clear();
+  innermost_.clear();
+
+  // Find back edges (tail -> header where header dominates tail), grouping
+  // multiple back edges to the same header into one loop.
+  std::unordered_map<BasicBlock*, Loop*> headerLoop;
+  std::vector<BasicBlock*> rpo = reversePostOrder(f);
+  for (BasicBlock* bb : rpo) {
+    for (BasicBlock* s : bb->successors()) {
+      if (!dom.dominates(s, bb)) continue;
+      Loop*& loop = headerLoop[s];
+      if (!loop) {
+        loops_.emplace_back(new Loop);
+        loop = loops_.back().get();
+        loop->header = s;
+        loop->blocks.insert(s);
+      }
+      // Walk predecessors backward from the latch to collect the body.
+      std::vector<BasicBlock*> work{bb};
+      while (!work.empty()) {
+        BasicBlock* w = work.back();
+        work.pop_back();
+        if (!loop->blocks.insert(w).second) continue;
+        for (BasicBlock* p : w->predecessors())
+          if (dom.isReachable(p)) work.push_back(p);
+      }
+    }
+  }
+
+  // Nest loops: parent = smallest strictly-containing loop.
+  std::vector<Loop*> all;
+  for (auto& l : loops_) all.push_back(l.get());
+  std::sort(all.begin(), all.end(),
+            [](Loop* a, Loop* b) { return a->blocks.size() < b->blocks.size(); });
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      if (all[j]->blocks.count(all[i]->header) && all[j] != all[i]) {
+        all[i]->parent = all[j];
+        all[j]->subloops.push_back(all[i]);
+        break;
+      }
+    }
+  }
+  for (Loop* l : all) {
+    unsigned d = 1;
+    for (Loop* p = l->parent; p; p = p->parent) ++d;
+    l->depth = d;
+  }
+  // Innermost map: iterate small-to-large so the first writer wins.
+  for (Loop* l : all)
+    for (BasicBlock* bb : l->blocks)
+      innermost_.emplace(bb, l);
+}
+
+Loop* LoopInfo::loopFor(BasicBlock* bb) const {
+  auto it = innermost_.find(bb);
+  return it == innermost_.end() ? nullptr : it->second;
+}
+
+std::vector<Loop*> LoopInfo::topLevelLoops() const {
+  std::vector<Loop*> out;
+  for (auto& l : loops_)
+    if (!l->parent) out.push_back(l.get());
+  return out;
+}
+
+}  // namespace twill

@@ -1,0 +1,51 @@
+// Natural-loop detection via dominator-tree back edges, with loop nesting.
+// Used by the PDG weighting (trip-count scaling) and the DSWP loop-matching
+// logic (§5.2.1, Fig. 5.3 of the thesis).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/analysis/domtree.h"
+
+namespace twill {
+
+struct Loop {
+  BasicBlock* header = nullptr;
+  Loop* parent = nullptr;
+  std::vector<Loop*> subloops;
+  std::unordered_set<BasicBlock*> blocks;
+  unsigned depth = 1;  // outermost loop has depth 1
+
+  bool contains(BasicBlock* bb) const { return blocks.count(bb) != 0; }
+  bool contains(const Loop* other) const;
+
+  /// Blocks outside the loop that some in-loop block branches to.
+  std::vector<BasicBlock*> exitBlocks() const;
+  /// In-loop predecessors of the header (latches).
+  std::vector<BasicBlock*> latches() const;
+  /// Out-of-loop predecessors of the header (preheader candidates).
+  std::vector<BasicBlock*> entryPreds() const;
+};
+
+class LoopInfo {
+public:
+  void build(Function& f, const DomTree& dom);
+
+  /// Innermost loop containing `bb`, or nullptr.
+  Loop* loopFor(BasicBlock* bb) const;
+  unsigned depth(BasicBlock* bb) const {
+    Loop* l = loopFor(bb);
+    return l ? l->depth : 0;
+  }
+  const std::vector<std::unique_ptr<Loop>>& loops() const { return loops_; }
+  std::vector<Loop*> topLevelLoops() const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::unordered_map<BasicBlock*, Loop*> innermost_;
+};
+
+}  // namespace twill

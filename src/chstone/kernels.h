@@ -1,0 +1,31 @@
+// CHStone-like benchmark kernels (§6 of the thesis).
+//
+// The thesis evaluates on 8 of the 12 CHStone benchmarks (DFAdd/DFDiv/
+// DFMul/DFSine are excluded because Twill does not support 64-bit values —
+// the same restriction applies here). The original CHStone sources are not
+// redistributable inside this repo, so each kernel is a functionally
+// equivalent re-implementation in the supported C subset that preserves the
+// original's computational skeleton: the same algorithm, the same
+// table-driven inner loops, comparable dependence structure. Deviations are
+// noted per kernel (e.g. Blowfish's pi-digit boxes are seeded from an LCG).
+// Every kernel is self-checking: main() returns a checksum.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace twill {
+
+struct KernelInfo {
+  const char* name;
+  const char* description;
+  const char* source;
+};
+
+/// The 8 evaluation kernels, in the thesis's table order.
+const std::vector<KernelInfo>& chstoneKernels();
+
+/// Lookup by name (nullptr if unknown).
+const KernelInfo* findKernel(const std::string& name);
+
+}  // namespace twill

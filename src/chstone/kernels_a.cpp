@@ -1,0 +1,401 @@
+// Kernels part 1: MIPS, ADPCM, AES, Blowfish.
+#include "src/chstone/kernels.h"
+
+namespace twill {
+
+// ---------------------------------------------------------------------------
+// MIPS: a small RISC interpreter executing a hand-assembled bubble sort,
+// mirroring CHStone's mips (an ISA simulator running a sort program).
+// Encoding: op*0x1000000 + a*0x10000 + b*0x100 + c.
+// ---------------------------------------------------------------------------
+const char* kMipsSource = R"CC(
+#define OP_HALT 0
+#define OP_ADD  1
+#define OP_ADDI 2
+#define OP_SUB  3
+#define OP_SLT  4
+#define OP_LW   5
+#define OP_SW   6
+#define OP_BEQ  7
+#define OP_BNE  8
+#define OP_J    9
+
+/* Bubble sort of mem[0..7]; see encoding note above. */
+const unsigned imem[18] = {
+  0x02010000, /*  0: addi r1,r0,0   ; i = 0        */
+  0x02020000, /*  1: addi r2,r0,0   ; j = 0 (outer) */
+  0x02030007, /*  2: addi r3,r0,7                  */
+  0x03030301, /*  3: sub  r3,r3,r1  ; r3 = 7-i     */
+  0x04040203, /*  4: slt  r4,r2,r3  ; j < 7-i ?    */
+  0x07040008, /*  5: beq  r4,r0,+8  ; -> 14        */
+  0x05050200, /*  6: lw   r5,0(r2)                 */
+  0x05060201, /*  7: lw   r6,1(r2)                 */
+  0x04070605, /*  8: slt  r7,r6,r5                 */
+  0x07070002, /*  9: beq  r7,r0,+2  ; -> 12        */
+  0x06060200, /* 10: sw   r6,0(r2)                 */
+  0x06050201, /* 11: sw   r5,1(r2)                 */
+  0x02020201, /* 12: addi r2,r2,1   ; j++          */
+  0x09000002, /* 13: j    2                        */
+  0x02010101, /* 14: addi r1,r1,1   ; i++          */
+  0x02080007, /* 15: addi r8,r0,7                  */
+  0x080108F0, /* 16: bne  r1,r8,-16 ; -> 1         */
+  0x00000000  /* 17: halt                          */
+};
+
+int reg[16];
+int mem[8];
+
+int run_program() {
+  int pc = 0;
+  int running = 1;
+  int steps = 0;
+  while (running && steps < 4000) {
+    unsigned inst = imem[pc];
+    unsigned op = inst >> 24;
+    unsigned a = (inst >> 16) & 0xFF;
+    unsigned b = (inst >> 8) & 0xFF;
+    unsigned c = inst & 0xFF;
+    int simm = (int)(char)c;
+    pc = pc + 1;
+    switch (op) {
+      case OP_HALT: running = 0; break;
+      case OP_ADD:  reg[a] = reg[b] + reg[c]; break;
+      case OP_ADDI: reg[a] = reg[b] + simm; break;
+      case OP_SUB:  reg[a] = reg[b] - reg[c]; break;
+      case OP_SLT:  reg[a] = reg[b] < reg[c] ? 1 : 0; break;
+      case OP_LW:   reg[a] = mem[reg[b] + simm]; break;
+      case OP_SW:   mem[reg[b] + simm] = reg[a]; break;
+      case OP_BEQ:  if (reg[a] == reg[b]) pc = pc + simm; break;
+      case OP_BNE:  if (reg[a] != reg[b]) pc = pc + simm; break;
+      case OP_J:    pc = (int)c; break;
+    }
+    reg[0] = 0;
+    steps++;
+  }
+  return steps;
+}
+
+int main(void) {
+  unsigned check = 0;
+  int round;
+  for (round = 0; round < 4; round++) {
+    int k;
+    for (k = 0; k < 8; k++) mem[k] = ((k * 7 + round * 3 + 5) % 19) - 4;
+    for (k = 0; k < 16; k++) reg[k] = 0;
+    int steps = run_program();
+    for (k = 0; k < 8; k++) check = check * 31 + (unsigned)(mem[k] + 16);
+    /* sorted ascending: verify order robustly */
+    for (k = 0; k < 7; k++)
+      if (mem[k] > mem[k + 1]) check = check ^ 0xDEAD0000;
+    check += (unsigned)steps;
+  }
+  return (int)(check & 0x7FFFFFFF);
+}
+)CC";
+
+// ---------------------------------------------------------------------------
+// ADPCM: IMA ADPCM encode + decode over a synthetic PCM buffer, with the
+// standard 89-entry step-size table and index table (as in CHStone's adpcm).
+// ---------------------------------------------------------------------------
+const char* kAdpcmSource = R"CC(
+const int stepTable[89] = {
+  7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41,
+  45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190,
+  209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724,
+  796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+  2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132,
+  7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500,
+  20350, 22385, 24623, 27086, 29794, 32767
+};
+const int indexTable[16] = { -1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8 };
+
+#define N 160
+
+int pcm[N];
+unsigned char code[N];
+int rebuilt[N];
+
+int enc_valprev; int enc_index;
+int dec_valprev; int dec_index;
+
+unsigned char adpcm_encode_sample(int sample) {
+  int step = stepTable[enc_index];
+  int diff = sample - enc_valprev;
+  unsigned delta = 0;
+  if (diff < 0) { delta = 8; diff = -diff; }
+  if (diff >= step) { delta |= 4; diff -= step; }
+  step >>= 1;
+  if (diff >= step) { delta |= 2; diff -= step; }
+  step >>= 1;
+  if (diff >= step) { delta |= 1; }
+  /* reconstruct like the decoder to stay in sync */
+  int vpdiff = stepTable[enc_index] >> 3;
+  if (delta & 4) vpdiff += stepTable[enc_index];
+  if (delta & 2) vpdiff += stepTable[enc_index] >> 1;
+  if (delta & 1) vpdiff += stepTable[enc_index] >> 2;
+  if (delta & 8) enc_valprev -= vpdiff; else enc_valprev += vpdiff;
+  if (enc_valprev > 32767) enc_valprev = 32767;
+  if (enc_valprev < -32768) enc_valprev = -32768;
+  enc_index += indexTable[delta];
+  if (enc_index < 0) enc_index = 0;
+  if (enc_index > 88) enc_index = 88;
+  return (unsigned char)delta;
+}
+
+int adpcm_decode_sample(unsigned delta) {
+  int step = stepTable[dec_index];
+  int vpdiff = step >> 3;
+  if (delta & 4) vpdiff += step;
+  if (delta & 2) vpdiff += step >> 1;
+  if (delta & 1) vpdiff += step >> 2;
+  if (delta & 8) dec_valprev -= vpdiff; else dec_valprev += vpdiff;
+  if (dec_valprev > 32767) dec_valprev = 32767;
+  if (dec_valprev < -32768) dec_valprev = -32768;
+  dec_index += indexTable[delta & 15];
+  if (dec_index < 0) dec_index = 0;
+  if (dec_index > 88) dec_index = 88;
+  return dec_valprev;
+}
+
+int main(void) {
+  int i;
+  /* synthetic speech-like waveform */
+  int x = 12345;
+  for (i = 0; i < N; i++) {
+    x = x * 1103515245 + 12345;
+    int tri = (i % 40) < 20 ? (i % 40) * 800 : (40 - i % 40) * 800;
+    pcm[i] = tri - 8000 + ((x >> 20) % 513);
+  }
+  enc_valprev = 0; enc_index = 0;
+  for (i = 0; i < N; i++) code[i] = adpcm_encode_sample(pcm[i]);
+  dec_valprev = 0; dec_index = 0;
+  for (i = 0; i < N; i++) rebuilt[i] = adpcm_decode_sample(code[i]);
+  /* checksum codes + reconstruction error energy */
+  unsigned check = 0;
+  int err = 0;
+  for (i = 0; i < N; i++) {
+    check = check * 17 + code[i];
+    int d = pcm[i] - rebuilt[i];
+    if (d < 0) d = -d;
+    err += d >> 4;
+  }
+  return (int)((check ^ (unsigned)err) & 0x7FFFFFFF);
+}
+)CC";
+
+// ---------------------------------------------------------------------------
+// AES: AES-128 ECB over two blocks. The S-box is derived at startup from
+// GF(256) log/antilog tables (generator 3) + the affine transform, instead
+// of a 256-literal table — identical values, and the table-driven round
+// structure (SubBytes/ShiftRows/MixColumns/AddRoundKey) matches CHStone aes.
+// ---------------------------------------------------------------------------
+const char* kAesSource = R"CC(
+unsigned char sbox[256];
+unsigned char alog[256];
+unsigned char logt[256];
+
+unsigned char key[16];
+unsigned char roundKeys[176];
+unsigned char state[16];
+
+unsigned char xtime(unsigned a) {
+  unsigned r = a << 1;
+  if (a & 0x80) r ^= 0x1B;
+  return (unsigned char)(r & 0xFF);
+}
+
+void build_sbox(void) {
+  int i;
+  unsigned p = 1;
+  for (i = 0; i < 255; i++) {
+    alog[i] = (unsigned char)p;
+    logt[p] = (unsigned char)i;
+    /* multiply p by generator 3 = p ^ xtime(p) */
+    p = p ^ xtime(p);
+    p &= 0xFF;
+  }
+  alog[255] = alog[0];
+  sbox[0] = 0x63;
+  for (i = 1; i < 256; i++) {
+    unsigned inv = alog[255 - logt[i]];
+    unsigned s = inv;
+    s ^= (inv << 1) | (inv >> 7);
+    s ^= (inv << 2) | (inv >> 6);
+    s ^= (inv << 3) | (inv >> 5);
+    s ^= (inv << 4) | (inv >> 4);
+    s = (s & 0xFF) ^ 0x63;
+    sbox[i] = (unsigned char)s;
+  }
+}
+
+void expand_key(void) {
+  int i;
+  unsigned rcon = 1;
+  for (i = 0; i < 16; i++) roundKeys[i] = key[i];
+  for (i = 16; i < 176; i += 4) {
+    unsigned char t0 = roundKeys[i - 4];
+    unsigned char t1 = roundKeys[i - 3];
+    unsigned char t2 = roundKeys[i - 2];
+    unsigned char t3 = roundKeys[i - 1];
+    if (i % 16 == 0) {
+      unsigned char tmp = t0;
+      t0 = sbox[t1] ^ (unsigned char)rcon;
+      t1 = sbox[t2];
+      t2 = sbox[t3];
+      t3 = sbox[tmp];
+      rcon = xtime(rcon);
+    }
+    roundKeys[i] = roundKeys[i - 16] ^ t0;
+    roundKeys[i + 1] = roundKeys[i - 15] ^ t1;
+    roundKeys[i + 2] = roundKeys[i - 14] ^ t2;
+    roundKeys[i + 3] = roundKeys[i - 13] ^ t3;
+  }
+}
+
+void add_round_key(int round) {
+  int i;
+  for (i = 0; i < 16; i++) state[i] ^= roundKeys[round * 16 + i];
+}
+
+void sub_bytes(void) {
+  int i;
+  for (i = 0; i < 16; i++) state[i] = sbox[state[i]];
+}
+
+void shift_rows(void) {
+  unsigned char t;
+  /* row 1: rotate left by 1 (state is column-major: row r, col c at c*4+r) */
+  t = state[1]; state[1] = state[5]; state[5] = state[9]; state[9] = state[13]; state[13] = t;
+  /* row 2: rotate by 2 */
+  t = state[2]; state[2] = state[10]; state[10] = t;
+  t = state[6]; state[6] = state[14]; state[14] = t;
+  /* row 3: rotate left by 3 (= right by 1) */
+  t = state[15]; state[15] = state[11]; state[11] = state[7]; state[7] = state[3]; state[3] = t;
+}
+
+void mix_columns(void) {
+  int c;
+  for (c = 0; c < 4; c++) {
+    unsigned char a0 = state[c * 4];
+    unsigned char a1 = state[c * 4 + 1];
+    unsigned char a2 = state[c * 4 + 2];
+    unsigned char a3 = state[c * 4 + 3];
+    unsigned char all = a0 ^ a1 ^ a2 ^ a3;
+    state[c * 4] = state[c * 4] ^ all ^ xtime(a0 ^ a1);
+    state[c * 4 + 1] = state[c * 4 + 1] ^ all ^ xtime(a1 ^ a2);
+    state[c * 4 + 2] = state[c * 4 + 2] ^ all ^ xtime(a2 ^ a3);
+    state[c * 4 + 3] = state[c * 4 + 3] ^ all ^ xtime(a3 ^ a0);
+  }
+}
+
+void encrypt_block(void) {
+  int round;
+  add_round_key(0);
+  for (round = 1; round < 10; round++) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+}
+
+int main(void) {
+  int b, i;
+  unsigned check = 0;
+  build_sbox();
+  for (i = 0; i < 16; i++) key[i] = (unsigned char)(i * 17 + 3);
+  expand_key();
+  for (b = 0; b < 3; b++) {
+    for (i = 0; i < 16; i++) state[i] = (unsigned char)(b * 31 + i * 7 + 1);
+    encrypt_block();
+    for (i = 0; i < 16; i++) check = check * 257 + state[i];
+  }
+  return (int)(check & 0x7FFFFFFF);
+}
+)CC";
+
+// ---------------------------------------------------------------------------
+// Blowfish: 16-round Feistel cipher with the real Blowfish structure
+// (P-array keying, four S-boxes, F function). Deviation from CHStone: the
+// hex digits of pi that seed P and S are generated by a fixed LCG instead of
+// shipping 1042 literal constants — the dataflow (table lookups + xor/add
+// Feistel rounds) is identical.
+// ---------------------------------------------------------------------------
+const char* kBlowfishSource = R"CC(
+unsigned P[18];
+unsigned S[1024];  /* four 256-entry boxes, flattened */
+unsigned char keybytes[8];
+
+unsigned bf_f(unsigned x) {
+  unsigned a = (x >> 24) & 0xFF;
+  unsigned b = (x >> 16) & 0xFF;
+  unsigned c = (x >> 8) & 0xFF;
+  unsigned d = x & 0xFF;
+  return ((S[a] + S[256 + b]) ^ S[512 + c]) + S[768 + d];
+}
+
+unsigned encL; unsigned encR;
+
+void bf_encrypt(unsigned xl, unsigned xr) {
+  int i;
+  for (i = 0; i < 16; i++) {
+    xl ^= P[i];
+    xr ^= bf_f(xl);
+    unsigned t = xl; xl = xr; xr = t;
+  }
+  unsigned t2 = xl; xl = xr; xr = t2;
+  xr ^= P[16];
+  xl ^= P[17];
+  encL = xl; encR = xr;
+}
+
+void bf_init(void) {
+  /* seed boxes from an LCG (stand-in for pi's hex digits) */
+  unsigned x = 0x243F6A88u;  /* first pi word, as a nod to the original */
+  int i;
+  for (i = 0; i < 18; i++) { x = x * 1664525u + 1013904223u; P[i] = x; }
+  for (i = 0; i < 1024; i++) { x = x * 1664525u + 1013904223u; S[i] = x; }
+  /* key the P-array */
+  for (i = 0; i < 18; i++) {
+    unsigned k = 0;
+    int j;
+    for (j = 0; j < 4; j++) k = (k << 8) | keybytes[(i * 4 + j) % 8];
+    P[i] ^= k;
+  }
+  /* run the keystream through P and S like real Blowfish */
+  unsigned l = 0; unsigned r = 0;
+  for (i = 0; i < 18; i += 2) {
+    bf_encrypt(l, r);
+    l = encL; r = encR;
+    P[i] = l; P[i + 1] = r;
+  }
+  for (i = 0; i < 1024; i += 2) {
+    bf_encrypt(l, r);
+    l = encL; r = encR;
+    S[i] = l; S[i + 1] = r;
+  }
+}
+
+int main(void) {
+  int i;
+  for (i = 0; i < 8; i++) keybytes[i] = (unsigned char)(0x11 * (i + 1));
+  bf_init();
+  /* CBC-style chain over 24 blocks of synthetic plaintext */
+  unsigned check = 0;
+  unsigned cl = 0x01234567u;
+  unsigned cr = 0x89ABCDEFu;
+  for (i = 0; i < 24; i++) {
+    unsigned pl = (unsigned)(i * 0x9E3779B9u);
+    unsigned pr = (unsigned)(i * 0x7F4A7C15u + 0x1234u);
+    bf_encrypt(pl ^ cl, pr ^ cr);
+    cl = encL; cr = encR;
+    check = (check * 33) ^ cl ^ (cr >> 7);
+  }
+  return (int)(check & 0x7FFFFFFF);
+}
+)CC";
+
+}  // namespace twill

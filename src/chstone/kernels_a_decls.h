@@ -1,0 +1,10 @@
+// Kernel sources defined in kernels_a.cpp, consumed by the registry in
+// kernels_b.cpp.
+#pragma once
+
+namespace twill {
+extern const char* kMipsSource;
+extern const char* kAdpcmSource;
+extern const char* kAesSource;
+extern const char* kBlowfishSource;
+}  // namespace twill

@@ -1,0 +1,413 @@
+// Kernels part 2: GSM, JPEG, MPEG-2, SHA, plus the registry.
+#include "src/chstone/kernels_a_decls.h"
+#include "src/chstone/kernels.h"
+
+namespace twill {
+
+// ---------------------------------------------------------------------------
+// GSM: LPC analysis stage of GSM 06.10 full-rate coding — autocorrelation
+// over a 160-sample frame followed by the Schur recursion to 8 reflection
+// coefficients with fixed-point normalization, as in CHStone's gsm.
+// ---------------------------------------------------------------------------
+static const char* kGsmSourceReal = R"CC(
+#define FRAME 160
+
+int sample[FRAME];
+int L_ACF[9];
+int refl[8];
+int Pbuf[9];
+int Kbuf[9];
+
+int gsm_norm(int a) {
+  /* number of left shifts until bit 30 is set (a > 0) */
+  int n = 0;
+  if (a == 0) return 0;
+  while (a < 0x40000000) { a <<= 1; n++; }
+  return n;
+}
+
+void autocorrelation(void) {
+  int k, i;
+  /* scale down to keep the accumulation in 32 bits */
+  int smax = 0;
+  for (i = 0; i < FRAME; i++) {
+    int v = sample[i] < 0 ? -sample[i] : sample[i];
+    if (v > smax) smax = v;
+  }
+  int scale = 0;
+  while (smax > 4095) { smax >>= 1; scale++; }
+  for (k = 0; k <= 8; k++) {
+    int sum = 0;
+    for (i = k; i < FRAME; i++)
+      sum += (sample[i] >> scale) * (sample[i - k] >> scale);
+    L_ACF[k] = sum;
+  }
+}
+
+void schur_recursion(void) {
+  int i, m, n;
+  if (L_ACF[0] == 0) {
+    for (i = 0; i < 8; i++) refl[i] = 0;
+    return;
+  }
+  int norm = gsm_norm(L_ACF[0]);
+  for (i = 0; i <= 8; i++) {
+    int v = L_ACF[i] << norm >> 16;
+    Kbuf[i] = v;
+    Pbuf[i] = v;
+  }
+  for (n = 0; n < 8; n++) {
+    if (Pbuf[0] == 0) { refl[n] = 0; continue; }
+    int num = Kbuf[1];
+    int den = Pbuf[0];
+    int neg = 0;
+    if (num < 0) { num = -num; neg = 1; }
+    if (num >= den) { refl[n] = neg ? -32767 : 32767; }
+    else { refl[n] = (num << 15) / den; if (neg) refl[n] = -refl[n]; }
+    /* Schur update */
+    int r = refl[n];
+    for (m = 1; m <= 8 - n; m++) {
+      int pm = Pbuf[m] + ((Kbuf[m] * r) >> 15);
+      int km = Kbuf[m] + ((Pbuf[m] * r) >> 15);
+      Pbuf[m - 1] = pm;
+      Kbuf[m] = km;
+    }
+    /* shift K for next order */
+    for (m = 8 - n; m >= 1; m--) Kbuf[m] = Kbuf[m - 1];
+  }
+}
+
+int main(void) {
+  int i, frame;
+  unsigned check = 0;
+  for (frame = 0; frame < 3; frame++) {
+    int x = 777 + frame * 131;
+    for (i = 0; i < FRAME; i++) {
+      x = x * 1103515245 + 12345;
+      int tone = ((i * (5 + frame)) % 32) * 256 - 4096;
+      sample[i] = tone + ((x >> 18) % 300);
+    }
+    autocorrelation();
+    schur_recursion();
+    for (i = 0; i < 8; i++) check = check * 31 + (unsigned)(refl[i] + 65536);
+    check ^= (unsigned)L_ACF[0];
+  }
+  return (int)(check & 0x7FFFFFFF);
+}
+)CC";
+
+// ---------------------------------------------------------------------------
+// JPEG: the decoder back-end of CHStone's jpeg — run/level coefficient
+// decode into zigzag order, dequantization with the standard luminance
+// table, the jpeg_idct_islow integer 2D IDCT (the classic 13-bit fixed-point
+// butterflies), and pixel clamping.
+// ---------------------------------------------------------------------------
+const char* kJpegSource = R"CC(
+#define FIX_0_298631336 2446
+#define FIX_0_390180644 3196
+#define FIX_0_541196100 4433
+#define FIX_0_765366865 6270
+#define FIX_0_899976223 7373
+#define FIX_1_175875602 9633
+#define FIX_1_501321110 12299
+#define FIX_1_847759065 15137
+#define FIX_1_961570560 16069
+#define FIX_2_053119869 16819
+#define FIX_2_562915447 20995
+#define FIX_3_072711026 25172
+
+const int quant[64] = {
+  16, 11, 10, 16, 24, 40, 51, 61,
+  12, 12, 14, 19, 26, 58, 60, 55,
+  14, 13, 16, 24, 40, 57, 69, 56,
+  14, 17, 22, 29, 51, 87, 80, 62,
+  18, 22, 37, 56, 68, 109, 103, 77,
+  24, 35, 55, 64, 81, 104, 113, 92,
+  49, 64, 78, 87, 103, 121, 120, 101,
+  72, 92, 95, 98, 112, 100, 103, 99
+};
+const int zigzag[64] = {
+  0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+  12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+  35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+  58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63
+};
+
+int coef[64];
+int ws[64];
+unsigned char pixels[64];
+
+void idct_rows(void) {
+  int row;
+  for (row = 0; row < 8; row++) {
+    int p = row * 8;
+    int in0 = coef[p]; int in1 = coef[p + 1]; int in2 = coef[p + 2]; int in3 = coef[p + 3];
+    int in4 = coef[p + 4]; int in5 = coef[p + 5]; int in6 = coef[p + 6]; int in7 = coef[p + 7];
+    int z1 = (in2 + in6) * FIX_0_541196100;
+    int tmp2 = z1 - in6 * FIX_1_847759065;
+    int tmp3 = z1 + in2 * FIX_0_765366865;
+    int tmp0 = (in0 + in4) << 13;
+    int tmp1 = (in0 - in4) << 13;
+    int t10 = tmp0 + tmp3; int t13 = tmp0 - tmp3;
+    int t11 = tmp1 + tmp2; int t12 = tmp1 - tmp2;
+    int o0 = in7; int o1 = in5; int o2 = in3; int o3 = in1;
+    int za = o0 + o3; int zb = o1 + o2; int zc = o0 + o2; int zd = o1 + o3;
+    int ze = (zc + zd) * FIX_1_175875602;
+    o0 = o0 * FIX_0_298631336;
+    o1 = o1 * FIX_2_053119869;
+    o2 = o2 * FIX_3_072711026;
+    o3 = o3 * FIX_1_501321110;
+    za = -(za * FIX_0_899976223);
+    zb = -(zb * FIX_2_562915447);
+    zc = ze - zc * FIX_1_961570560;
+    zd = ze - zd * FIX_0_390180644;
+    o0 += za + zc; o1 += zb + zd; o2 += zb + zc; o3 += za + zd;
+    ws[p] = (t10 + o3) >> 11;
+    ws[p + 7] = (t10 - o3) >> 11;
+    ws[p + 1] = (t11 + o2) >> 11;
+    ws[p + 6] = (t11 - o2) >> 11;
+    ws[p + 2] = (t12 + o1) >> 11;
+    ws[p + 5] = (t12 - o1) >> 11;
+    ws[p + 3] = (t13 + o0) >> 11;
+    ws[p + 4] = (t13 - o0) >> 11;
+  }
+}
+
+void idct_cols(void) {
+  int col;
+  for (col = 0; col < 8; col++) {
+    int in0 = ws[col]; int in1 = ws[col + 8]; int in2 = ws[col + 16]; int in3 = ws[col + 24];
+    int in4 = ws[col + 32]; int in5 = ws[col + 40]; int in6 = ws[col + 48]; int in7 = ws[col + 56];
+    int z1 = (in2 + in6) * FIX_0_541196100;
+    int tmp2 = z1 - in6 * FIX_1_847759065;
+    int tmp3 = z1 + in2 * FIX_0_765366865;
+    int tmp0 = (in0 + in4) << 13;
+    int tmp1 = (in0 - in4) << 13;
+    int t10 = tmp0 + tmp3; int t13 = tmp0 - tmp3;
+    int t11 = tmp1 + tmp2; int t12 = tmp1 - tmp2;
+    int o0 = in7; int o1 = in5; int o2 = in3; int o3 = in1;
+    int za = o0 + o3; int zb = o1 + o2; int zc = o0 + o2; int zd = o1 + o3;
+    int ze = (zc + zd) * FIX_1_175875602;
+    o0 = o0 * FIX_0_298631336;
+    o1 = o1 * FIX_2_053119869;
+    o2 = o2 * FIX_3_072711026;
+    o3 = o3 * FIX_1_501321110;
+    za = -(za * FIX_0_899976223);
+    zb = -(zb * FIX_2_562915447);
+    zc = ze - zc * FIX_1_961570560;
+    zd = ze - zd * FIX_0_390180644;
+    o0 += za + zc; o1 += zb + zd; o2 += zb + zc; o3 += za + zd;
+    int r0 = (t10 + o3) >> 18;
+    int r7 = (t10 - o3) >> 18;
+    int r1 = (t11 + o2) >> 18;
+    int r6 = (t11 - o2) >> 18;
+    int r2 = (t12 + o1) >> 18;
+    int r5 = (t12 - o1) >> 18;
+    int r3 = (t13 + o0) >> 18;
+    int r4 = (t13 - o0) >> 18;
+    int k;
+    int vals[8];
+    vals[0] = r0; vals[1] = r1; vals[2] = r2; vals[3] = r3;
+    vals[4] = r4; vals[5] = r5; vals[6] = r6; vals[7] = r7;
+    for (k = 0; k < 8; k++) {
+      int v = vals[k] + 128;
+      if (v < 0) v = 0;
+      if (v > 255) v = 255;
+      pixels[k * 8 + col] = (unsigned char)v;
+    }
+  }
+}
+
+int main(void) {
+  int blk, i;
+  unsigned check = 0;
+  for (blk = 0; blk < 4; blk++) {
+    /* run/level decode of synthetic entropy data into zigzag order */
+    for (i = 0; i < 64; i++) coef[i] = 0;
+    int pos = 0;
+    int x = 0x1234 + blk * 977;
+    coef[0] = ((x >> 3) % 60 - 30) * quant[0];  /* DC */
+    while (pos < 40) {
+      x = x * 1103515245 + 12345;
+      int run = (x >> 16) & 7;
+      int level = ((x >> 20) % 17) - 8;
+      pos += run + 1;
+      if (pos >= 64) break;
+      coef[zigzag[pos]] = level * quant[zigzag[pos]];
+    }
+    idct_rows();
+    idct_cols();
+    for (i = 0; i < 64; i++) check = check * 31 + pixels[i];
+  }
+  return (int)(check & 0x7FFFFFFF);
+}
+)CC";
+
+// ---------------------------------------------------------------------------
+// MPEG-2: the motion-vector decoding kernel (CHStone's "motion"): a bit
+// buffer, variable-length decode of motion codes, residual decode, and the
+// MPEG-2 prediction/wraparound arithmetic of decode_motion_vector().
+// ---------------------------------------------------------------------------
+const char* kMpeg2Source = R"CC(
+#define NBITS 2048
+
+unsigned char stream[256];
+int bitpos;
+
+unsigned getbits(int n) {
+  unsigned v = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    unsigned byte = stream[(bitpos >> 3) & 255];
+    unsigned bit = (byte >> (7 - (bitpos & 7))) & 1;
+    v = (v << 1) | bit;
+    bitpos++;
+  }
+  return v;
+}
+
+/* motion_code VLC: simplified MPEG-2 table B-10 shape: count leading zeros */
+int get_motion_code(void) {
+  if (getbits(1)) return 0;
+  int zeros = 1;
+  while (zeros < 10 && getbits(1) == 0) zeros++;
+  int mag = zeros + (int)getbits(1);
+  int sign = (int)getbits(1);
+  return sign ? -mag : mag;
+}
+
+int pred0; int pred1;
+
+int decode_mv(int rsize, int pred) {
+  int f = 1 << rsize;
+  int high = (16 * f) - 1;
+  int low = -16 * f;
+  int range = 32 * f;
+  int code = get_motion_code();
+  int residual = rsize ? (int)getbits(rsize) : 0;
+  int delta;
+  if (code > 0) delta = ((code - 1) * f) + residual + 1;
+  else if (code < 0) delta = -(((-code - 1) * f) + residual + 1);
+  else delta = 0;
+  int v = pred + delta;
+  if (v > high) v -= range;
+  if (v < low) v += range;
+  return v;
+}
+
+int main(void) {
+  int i;
+  unsigned x = 0xACE1u;
+  for (i = 0; i < 256; i++) {
+    x = x * 69069u + 1u;
+    stream[i] = (unsigned char)(x >> 24);
+  }
+  bitpos = 0;
+  pred0 = 0; pred1 = 0;
+  unsigned check = 0;
+  int mb;
+  for (mb = 0; mb < 120; mb++) {
+    int rsize = mb % 3;
+    pred0 = decode_mv(rsize, pred0);
+    pred1 = decode_mv(rsize, pred1);
+    check = check * 131 + (unsigned)(pred0 + 2048);
+    check = check * 131 + (unsigned)(pred1 + 2048);
+    if (bitpos > NBITS - 64) bitpos = 0;
+  }
+  return (int)(check & 0x7FFFFFFF);
+}
+)CC";
+
+// ---------------------------------------------------------------------------
+// SHA: SHA-1 over a 384-byte synthetic message with real padding and the
+// 80-round compression function, matching CHStone's sha structure.
+// ---------------------------------------------------------------------------
+const char* kShaSource = R"CC(
+#define MSGLEN 384
+
+unsigned char msg[MSGLEN];
+unsigned W[80];
+unsigned H0; unsigned H1; unsigned H2; unsigned H3; unsigned H4;
+unsigned char block[64];
+
+unsigned rol(unsigned x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+void sha_transform(void) {
+  int t;
+  for (t = 0; t < 16; t++) {
+    W[t] = ((unsigned)block[t * 4] << 24) | ((unsigned)block[t * 4 + 1] << 16) |
+           ((unsigned)block[t * 4 + 2] << 8) | (unsigned)block[t * 4 + 3];
+  }
+  for (t = 16; t < 80; t++)
+    W[t] = rol(W[t - 3] ^ W[t - 8] ^ W[t - 14] ^ W[t - 16], 1);
+  unsigned a = H0; unsigned b = H1; unsigned c = H2; unsigned d = H3; unsigned e = H4;
+  for (t = 0; t < 80; t++) {
+    unsigned f; unsigned k;
+    if (t < 20) { f = (b & c) | ((~b) & d); k = 0x5A827999u; }
+    else if (t < 40) { f = b ^ c ^ d; k = 0x6ED9EBA1u; }
+    else if (t < 60) { f = (b & c) | (b & d) | (c & d); k = 0x8F1BBCDCu; }
+    else { f = b ^ c ^ d; k = 0xCA62C1D6u; }
+    unsigned tmp = rol(a, 5) + f + e + k + W[t];
+    e = d; d = c; c = rol(b, 30); b = a; a = tmp;
+  }
+  H0 += a; H1 += b; H2 += c; H3 += d; H4 += e;
+}
+
+int main(void) {
+  int i;
+  unsigned x = 0xBEEF1234u;
+  for (i = 0; i < MSGLEN; i++) {
+    x = x * 1664525u + 1013904223u;
+    msg[i] = (unsigned char)(x >> 21);
+  }
+  H0 = 0x67452301u; H1 = 0xEFCDAB89u; H2 = 0x98BADCFEu;
+  H3 = 0x10325476u; H4 = 0xC3D2E1F0u;
+  /* full 64-byte blocks */
+  int off = 0;
+  while (off + 64 <= MSGLEN) {
+    for (i = 0; i < 64; i++) block[i] = msg[off + i];
+    sha_transform();
+    off += 64;
+  }
+  /* padding: MSGLEN is a multiple of 64, so one extra block */
+  for (i = 0; i < 64; i++) block[i] = 0;
+  block[0] = 0x80;
+  unsigned bits = MSGLEN * 8;
+  block[60] = (unsigned char)(bits >> 24);
+  block[61] = (unsigned char)(bits >> 16);
+  block[62] = (unsigned char)(bits >> 8);
+  block[63] = (unsigned char)bits;
+  sha_transform();
+  unsigned digest = H0 ^ H1 ^ H2 ^ H3 ^ H4;
+  return (int)(digest & 0x7FFFFFFF);
+}
+)CC";
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+const std::vector<KernelInfo>& chstoneKernels() {
+  static const std::vector<KernelInfo> kernels = {
+      {"mips", "RISC interpreter running a bubble-sort program", kMipsSource},
+      {"adpcm", "IMA ADPCM encode/decode with the 89-entry step table", kAdpcmSource},
+      {"aes", "AES-128 ECB: generated S-box, key expansion, 10-round encrypt", kAesSource},
+      {"blowfish", "16-round Blowfish Feistel cipher, CBC chained", kBlowfishSource},
+      {"gsm", "GSM 06.10 LPC: autocorrelation + Schur reflection coefficients",
+       kGsmSourceReal},
+      {"jpeg", "JPEG back-end: run/level decode, dequant, islow 2D IDCT", kJpegSource},
+      {"mpeg2", "MPEG-2 motion-vector VLC decoding with prediction wraparound",
+       kMpeg2Source},
+      {"sha", "SHA-1 with real padding over a 384-byte message", kShaSource},
+  };
+  return kernels;
+}
+
+const KernelInfo* findKernel(const std::string& name) {
+  for (const auto& k : chstoneKernels())
+    if (name == k.name) return &k;
+  return nullptr;
+}
+
+}  // namespace twill

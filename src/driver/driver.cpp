@@ -1,0 +1,179 @@
+#include "src/driver/driver.h"
+
+#include <functional>
+#include <unordered_set>
+
+#include "src/frontend/lower.h"
+#include "src/ir/interp.h"
+#include "src/ir/verifier.h"
+
+namespace twill {
+namespace {
+
+std::unique_ptr<Module> compileAndOptimize(const std::string& source, unsigned inlineThreshold,
+                                           std::string& error) {
+  auto m = std::make_unique<Module>();
+  DiagEngine diag;
+  if (!compileC(source, *m, diag)) {
+    error = "compile failed:\n" + diag.str();
+    return nullptr;
+  }
+  runDefaultPipeline(*m, inlineThreshold);
+  DiagEngine vd;
+  if (!verifyModule(*m, vd)) {
+    error = "verification failed after optimization:\n" + vd.str();
+    return nullptr;
+  }
+  return m;
+}
+
+/// Functions that execute in the hardware domain: HW thread roots plus
+/// everything they can call (callee masters run inside the calling thread).
+std::unordered_set<const Function*> hwFunctions(const DswpResult& dswp) {
+  std::unordered_set<const Function*> hw;
+  std::function<void(Function*)> mark = [&](Function* f) {
+    if (!hw.insert(f).second) return;
+    for (auto& bb : f->blocks())
+      for (auto& inst : *bb)
+        if (inst->op() == Opcode::Call) mark(inst->callee());
+  };
+  for (const auto& t : dswp.threads)
+    if (t.isHW) mark(t.fn);
+  return hw;
+}
+
+AreaEstimate runtimeArea(const DswpResult& dswp, unsigned hwThreadCount) {
+  AreaEstimate a;
+  a.luts += static_cast<unsigned>(dswp.channels.size()) * PrimitiveAreas::kQueueLuts;
+  a.dsps += static_cast<unsigned>(dswp.channels.size()) * PrimitiveAreas::kQueueDsps;
+  a.luts += static_cast<unsigned>(dswp.semaphores.size()) * PrimitiveAreas::kSemaphoreLuts;
+  a.luts += hwThreadCount * PrimitiveAreas::kHwInterfaceLuts;
+  a.luts += PrimitiveAreas::kProcessorIfaceLuts;
+  a.luts += PrimitiveAreas::kSchedulerLuts;
+  a.dsps += PrimitiveAreas::kSchedulerDsps;
+  a.luts += 2 * PrimitiveAreas::kBusArbiterLuts;
+  return a;
+}
+
+}  // namespace
+
+BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
+                             const DriverOptions& opts) {
+  BenchmarkReport rep;
+  rep.name = name;
+
+  // --- Baseline module (pure SW, pure HW, golden reference) -----------------
+  std::unique_ptr<Module> base = compileAndOptimize(source, opts.inlineThreshold, rep.error);
+  if (!base) return rep;
+  {
+    Interp in(*base);
+    rep.expected = in.run("main");
+  }
+  if (opts.runPureSW) {
+    rep.sw = simulatePureSW(*base, opts.sim);
+    if (!rep.sw.ok) {
+      rep.error = "pure-SW simulation failed: " + rep.sw.message;
+      return rep;
+    }
+    if (rep.sw.result != rep.expected) {
+      rep.error = "pure-SW result mismatch";
+      return rep;
+    }
+  }
+  ScheduleMap baseSchedules = scheduleModule(*base, opts.hls);
+  if (opts.runPureHW) {
+    rep.hw = simulatePureHW(*base, baseSchedules, opts.sim);
+    if (!rep.hw.ok) {
+      rep.error = "pure-HW simulation failed: " + rep.hw.message;
+      return rep;
+    }
+    if (rep.hw.result != rep.expected) {
+      rep.error = "pure-HW result mismatch";
+      return rep;
+    }
+    for (auto& [fn, sched] : baseSchedules) rep.areas.legup += sched.area;
+    rep.areas.legup.brams += bramBlocksForGlobals(*base);
+  }
+
+  if (!opts.runTwill) return rep;
+
+  // --- Twill flow -------------------------------------------------------------
+  std::unique_ptr<Module> tm = compileAndOptimize(source, opts.inlineThreshold, rep.error);
+  if (!tm) return rep;
+  DswpResult dswp = runDswp(*tm, opts.dswp);
+  {
+    DiagEngine vd;
+    if (!verifyModule(*tm, vd)) {
+      rep.error = "verification failed after DSWP:\n" + vd.str();
+      return rep;
+    }
+  }
+  rep.queues = dswp.totalQueues();
+  rep.semaphores = dswp.totalSemaphores();
+  rep.hwThreads = dswp.hwThreadCount();
+  for (const auto& t : dswp.threads)
+    if (!t.isHW) ++rep.swThreads;
+
+  ScheduleMap twillSchedules = scheduleModule(*tm, opts.hls);
+  rep.twill = simulateTwill(*tm, dswp, opts.sim, twillSchedules);
+  if (!rep.twill.ok) {
+    rep.error = "twill simulation failed: " + rep.twill.message;
+    return rep;
+  }
+  if (rep.twill.result != rep.expected) {
+    rep.error = "twill result mismatch";
+    return rep;
+  }
+
+  // Areas (Table 6.2 columns).
+  auto hwFns = hwFunctions(dswp);
+  for (const Function* f : hwFns) {
+    auto it = twillSchedules.find(f);
+    if (it != twillSchedules.end()) rep.areas.twillHwThreads += it->second.area;
+  }
+  rep.areas.twillTotal = rep.areas.twillHwThreads;
+  rep.areas.twillTotal += runtimeArea(dswp, rep.hwThreads);
+  rep.areas.twillPlusMicroblaze = rep.areas.twillTotal;
+  rep.areas.twillPlusMicroblaze.luts += PrimitiveAreas::kMicroblazeLuts;
+  rep.areas.twillPlusMicroblaze.brams += PrimitiveAreas::kMicroblazeBrams;
+
+  // Power (Fig. 6.1): normalized to pure SW.
+  if (opts.runPureSW && opts.runPureHW) {
+    PowerInputs swIn;
+    swIn.luts = PrimitiveAreas::kMicroblazeLuts;
+    swIn.brams = PrimitiveAreas::kMicroblazeBrams;
+    swIn.hasMicroblaze = true;
+    swIn.totalCycles = rep.sw.cycles;
+    swIn.cpuBusyCycles = rep.sw.cpuBusy;
+    double pSW = estimatePower(swIn);
+
+    PowerInputs hwIn;
+    hwIn.luts = rep.areas.legup.luts;
+    hwIn.dsps = rep.areas.legup.dsps;
+    hwIn.brams = rep.areas.legup.brams;
+    hwIn.totalCycles = rep.hw.cycles;
+    hwIn.hwBusyCycles = rep.hw.hwBusy;
+    double pHW = estimatePower(hwIn);
+
+    PowerInputs twIn;
+    twIn.luts = rep.areas.twillPlusMicroblaze.luts;
+    twIn.dsps = rep.areas.twillPlusMicroblaze.dsps;
+    twIn.brams = rep.areas.twillPlusMicroblaze.brams;
+    twIn.hasMicroblaze = true;
+    twIn.totalCycles = rep.twill.cycles;
+    twIn.cpuBusyCycles = rep.twill.cpuBusy;
+    twIn.hwBusyCycles = rep.twill.hwBusy;
+    twIn.hwThreads = rep.hwThreads ? rep.hwThreads : 1;
+    twIn.busMessages = rep.twill.busMessages + rep.twill.memBusMessages;
+    double pTwill = estimatePower(twIn);
+
+    rep.powerSW = 1.0;
+    rep.powerHW = pSW > 0 ? pHW / pSW : 0;
+    rep.powerTwill = pSW > 0 ? pTwill / pSW : 0;
+  }
+
+  rep.ok = true;
+  return rep;
+}
+
+}  // namespace twill

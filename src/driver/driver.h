@@ -1,0 +1,84 @@
+// End-to-end driver: the three flows the thesis evaluates, from one C
+// source string.
+//
+//  * Pure SW   — compile, optimize, run on the Microblaze model.
+//  * Pure HW   — compile, optimize, LegUp-style HLS of the whole program,
+//                run as a single hardware FSM with its own block memories.
+//  * Twill     — compile, optimize, DSWP-extract, HW/SW split, HLS the
+//                hardware threads, co-simulate on the runtime fabric.
+//
+// Produces the measurements every table/figure in Ch. 6 needs: cycles,
+// LUT/DSP/BRAM areas (LegUp vs Twill HW threads vs Twill total vs Twill +
+// Microblaze, as in Table 6.2), queue/semaphore/HW-thread counts (Table
+// 6.1) and normalized power (Fig. 6.1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/dswp/extract.h"
+#include "src/model/power.h"
+#include "src/sim/system.h"
+#include "src/support/diag.h"
+#include "src/transforms/passes.h"
+
+namespace twill {
+
+struct DriverOptions {
+  unsigned inlineThreshold = 100;
+  DswpConfig dswp;
+  SimConfig sim;
+  HlsConstraints hls;
+  bool runPureSW = true;
+  bool runPureHW = true;
+  bool runTwill = true;
+};
+
+struct FlowAreas {
+  AreaEstimate legup;            // pure-HW translation of the whole program
+  AreaEstimate twillHwThreads;   // LUTs of the LegUp-translated HW threads only
+  AreaEstimate twillTotal;       // + runtime (queues/semaphores/buses/ifaces)
+  AreaEstimate twillPlusMicroblaze;
+};
+
+struct BenchmarkReport {
+  std::string name;
+  bool ok = false;
+  std::string error;
+
+  uint32_t expected = 0;  // golden interpreter result
+  SimOutcome sw;
+  SimOutcome hw;
+  SimOutcome twill;
+
+  // Table 6.1 quantities.
+  unsigned queues = 0;
+  unsigned semaphores = 0;
+  unsigned hwThreads = 0;
+  unsigned swThreads = 0;
+
+  FlowAreas areas;
+
+  // Fig. 6.1 quantities (normalized to pure SW).
+  double powerSW = 1.0;
+  double powerHW = 0.0;
+  double powerTwill = 0.0;
+
+  // Convenience speedups (Fig. 6.2).
+  double speedupHWvsSW() const {
+    return hw.cycles ? static_cast<double>(sw.cycles) / static_cast<double>(hw.cycles) : 0;
+  }
+  double speedupTwillvsSW() const {
+    return twill.cycles ? static_cast<double>(sw.cycles) / static_cast<double>(twill.cycles) : 0;
+  }
+  double speedupTwillvsHW() const {
+    return twill.cycles ? static_cast<double>(hw.cycles) / static_cast<double>(twill.cycles) : 0;
+  }
+};
+
+/// Runs the requested flows over one benchmark source. Any compile or
+/// simulation failure is reported in `error` with ok=false.
+BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
+                             const DriverOptions& opts = {});
+
+}  // namespace twill

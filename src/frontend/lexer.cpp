@@ -1,0 +1,303 @@
+#include "src/frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace twill {
+namespace {
+
+const std::unordered_map<std::string, Tok>& keywords() {
+  static const std::unordered_map<std::string, Tok> kw = {
+      {"void", Tok::KwVoid},       {"char", Tok::KwChar},     {"short", Tok::KwShort},
+      {"int", Tok::KwInt},         {"long", Tok::KwLong},     {"signed", Tok::KwSigned},
+      {"unsigned", Tok::KwUnsigned}, {"const", Tok::KwConst}, {"if", Tok::KwIf},
+      {"else", Tok::KwElse},       {"while", Tok::KwWhile},   {"do", Tok::KwDo},
+      {"for", Tok::KwFor},         {"return", Tok::KwReturn}, {"break", Tok::KwBreak},
+      {"continue", Tok::KwContinue}, {"switch", Tok::KwSwitch}, {"case", Tok::KwCase},
+      {"default", Tok::KwDefault}, {"static", Tok::KwStatic},
+  };
+  return kw;
+}
+
+}  // namespace
+
+const char* tokName(Tok t) {
+  switch (t) {
+    case Tok::End: return "end of input";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Semi: return "';'";
+    case Tok::Comma: return "','";
+    case Tok::Colon: return "':'";
+    case Tok::Question: return "'?'";
+    case Tok::Assign: return "'='";
+    default: return "token";
+  }
+}
+
+Lexer::Lexer(std::string source, DiagEngine& diag) : src_(std::move(source)), diag_(diag) {}
+
+char Lexer::peek(int off) const {
+  size_t p = pos_ + static_cast<size_t>(off);
+  return p < src_.size() ? src_[p] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    lineStart_ = pos_;
+  }
+  return c;
+}
+
+bool Lexer::match(char c) {
+  if (peek() == c) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (peek() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (peek() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (peek()) {
+        advance();
+        advance();
+      } else {
+        diag_.error(here(), "unterminated block comment");
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+void Lexer::handleDirective() {
+  // Only "#define NAME token-list" (to end of line) is supported; the
+  // benchmark kernels need nothing else.
+  advance();  // '#'
+  std::string word;
+  while (std::isalpha(static_cast<unsigned char>(peek()))) word.push_back(advance());
+  if (word != "define") {
+    diag_.error(here(), "unsupported preprocessor directive '#" + word + "'");
+    while (peek() && peek() != '\n') advance();
+    return;
+  }
+  while (peek() == ' ' || peek() == '\t') advance();
+  std::string name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    name.push_back(advance());
+  if (name.empty()) {
+    diag_.error(here(), "#define without a name");
+    return;
+  }
+  if (peek() == '(') {
+    diag_.error(here(), "function-like macros are not supported");
+    while (peek() && peek() != '\n') advance();
+    return;
+  }
+  // Lex the replacement tokens up to end of line.
+  std::vector<Token> body;
+  for (;;) {
+    while (peek() == ' ' || peek() == '\t') advance();
+    if (!peek() || peek() == '\n') break;
+    if (peek() == '/' && (peek(1) == '/' || peek(1) == '*')) {
+      skipWhitespaceAndComments();
+      // skipWhitespaceAndComments may cross the newline for block comments;
+      // treat that as end of directive for simplicity.
+      break;
+    }
+    Token t = next();
+    if (t.kind == Tok::End) break;
+    body.push_back(t);
+  }
+  defines_[name] = std::move(body);
+}
+
+Token Lexer::next() {
+  Token t;
+  t.loc = here();
+  char c = advance();
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string word(1, c);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      word.push_back(advance());
+    auto kw = keywords().find(word);
+    if (kw != keywords().end()) {
+      t.kind = kw->second;
+      t.text = word;
+      return t;
+    }
+    t.kind = Tok::Ident;
+    t.text = std::move(word);
+    return t;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    t.kind = Tok::IntLit;
+    uint64_t v = 0;
+    if (c == '0' && (peek() == 'x' || peek() == 'X')) {
+      advance();
+      while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+        char d = advance();
+        v = v * 16 + static_cast<uint64_t>(std::isdigit(static_cast<unsigned char>(d))
+                                               ? d - '0'
+                                               : std::tolower(d) - 'a' + 10);
+      }
+      if (v > 0x7FFFFFFFull) t.isUnsignedLit = true;
+    } else {
+      v = static_cast<uint64_t>(c - '0');
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        v = v * 10 + static_cast<uint64_t>(advance() - '0');
+    }
+    // Integer suffixes: u/U marks unsigned; l/L is accepted and ignored
+    // (long is 32 bits on the target).
+    for (;;) {
+      if (peek() == 'u' || peek() == 'U') {
+        advance();
+        t.isUnsignedLit = true;
+      } else if (peek() == 'l' || peek() == 'L') {
+        advance();
+      } else {
+        break;
+      }
+    }
+    if (v > 0xFFFFFFFFull) diag_.error(t.loc, "integer literal exceeds 32 bits");
+    t.intValue = v & 0xFFFFFFFFull;
+    return t;
+  }
+
+  if (c == '\'') {
+    // Character literal.
+    t.kind = Tok::IntLit;
+    char v = advance();
+    if (v == '\\') {
+      char e = advance();
+      switch (e) {
+        case 'n': v = '\n'; break;
+        case 't': v = '\t'; break;
+        case 'r': v = '\r'; break;
+        case '0': v = '\0'; break;
+        case '\\': v = '\\'; break;
+        case '\'': v = '\''; break;
+        default:
+          diag_.error(t.loc, "unsupported escape sequence");
+          v = e;
+      }
+    }
+    if (!match('\'')) diag_.error(here(), "unterminated character literal");
+    t.intValue = static_cast<uint64_t>(static_cast<uint8_t>(v));
+    return t;
+  }
+
+  switch (c) {
+    case '(': t.kind = Tok::LParen; return t;
+    case ')': t.kind = Tok::RParen; return t;
+    case '{': t.kind = Tok::LBrace; return t;
+    case '}': t.kind = Tok::RBrace; return t;
+    case '[': t.kind = Tok::LBracket; return t;
+    case ']': t.kind = Tok::RBracket; return t;
+    case ';': t.kind = Tok::Semi; return t;
+    case ',': t.kind = Tok::Comma; return t;
+    case ':': t.kind = Tok::Colon; return t;
+    case '?': t.kind = Tok::Question; return t;
+    case '~': t.kind = Tok::Tilde; return t;
+    case '+':
+      if (match('+')) t.kind = Tok::PlusPlus;
+      else if (match('=')) t.kind = Tok::PlusAssign;
+      else t.kind = Tok::Plus;
+      return t;
+    case '-':
+      if (match('-')) t.kind = Tok::MinusMinus;
+      else if (match('=')) t.kind = Tok::MinusAssign;
+      else t.kind = Tok::Minus;
+      return t;
+    case '*': t.kind = match('=') ? Tok::StarAssign : Tok::Star; return t;
+    case '/': t.kind = match('=') ? Tok::SlashAssign : Tok::Slash; return t;
+    case '%': t.kind = match('=') ? Tok::PercentAssign : Tok::Percent; return t;
+    case '^': t.kind = match('=') ? Tok::CaretAssign : Tok::Caret; return t;
+    case '!': t.kind = match('=') ? Tok::NotEq : Tok::Bang; return t;
+    case '=': t.kind = match('=') ? Tok::EqEq : Tok::Assign; return t;
+    case '&':
+      if (match('&')) t.kind = Tok::AmpAmp;
+      else if (match('=')) t.kind = Tok::AmpAssign;
+      else t.kind = Tok::Amp;
+      return t;
+    case '|':
+      if (match('|')) t.kind = Tok::PipePipe;
+      else if (match('=')) t.kind = Tok::PipeAssign;
+      else t.kind = Tok::Pipe;
+      return t;
+    case '<':
+      if (match('<')) t.kind = match('=') ? Tok::ShlAssign : Tok::Shl;
+      else t.kind = match('=') ? Tok::Le : Tok::Lt;
+      return t;
+    case '>':
+      if (match('>')) t.kind = match('=') ? Tok::ShrAssign : Tok::Shr;
+      else t.kind = match('=') ? Tok::Ge : Tok::Gt;
+      return t;
+    default:
+      diag_.error(t.loc, std::string("unexpected character '") + c + "'");
+      t.kind = Tok::End;
+      return t;
+  }
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    skipWhitespaceAndComments();
+    if (pos_ >= src_.size()) break;
+    if (peek() == '#') {
+      handleDirective();
+      continue;
+    }
+    Token t = next();
+    if (t.kind == Tok::End) continue;  // error already reported
+    if (t.kind == Tok::Ident) {
+      auto def = defines_.find(t.text);
+      if (def != defines_.end()) {
+        // Object-like macro: splice the replacement tokens (no recursion —
+        // nested macros in replacement lists were already expanded when the
+        // define itself was lexed... they were not, so expand one level
+        // deep here, which covers chains like #define A B / #define B 4).
+        for (Token rt : def->second) {
+          if (rt.kind == Tok::Ident) {
+            auto inner = defines_.find(rt.text);
+            if (inner != defines_.end()) {
+              for (const Token& it : inner->second) out.push_back(it);
+              continue;
+            }
+          }
+          out.push_back(rt);
+        }
+        continue;
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = Tok::End;
+  end.loc = here();
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace twill

@@ -1,0 +1,38 @@
+// Lexer for the C subset, with support for comments and simple object-like
+// #define macros (token-list substitution), which is all the CHStone-style
+// kernels need.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/frontend/token.h"
+
+namespace twill {
+
+class Lexer {
+public:
+  Lexer(std::string source, DiagEngine& diag);
+
+  /// Tokenizes the whole buffer, applying #define substitutions.
+  /// The returned stream always ends with a Tok::End token.
+  std::vector<Token> tokenize();
+
+private:
+  Token next();
+  void skipWhitespaceAndComments();
+  void handleDirective();
+  char peek(int off = 0) const;
+  char advance();
+  bool match(char c);
+  SourceLoc here() const { return {line_, static_cast<uint32_t>(pos_ - lineStart_ + 1)}; }
+
+  std::string src_;
+  size_t pos_ = 0;
+  size_t lineStart_ = 0;
+  uint32_t line_ = 1;
+  DiagEngine& diag_;
+  std::unordered_map<std::string, std::vector<Token>> defines_;
+};
+
+}  // namespace twill

@@ -1,0 +1,113 @@
+// AST -> IR lowering with integrated semantic checking.
+//
+// Locals are lowered to entry-block allocas (mem2reg promotes them later,
+// mirroring the thesis's Clang -O2 + "mem2reg" pass pipeline in §5.1).
+// Signedness lives only in the frontend: it selects signed/unsigned opcodes
+// during lowering, after which the IR is signedness-agnostic like LLVM's.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/frontend/ast.h"
+#include "src/ir/builder.h"
+
+namespace twill {
+
+class Lowerer {
+public:
+  Lowerer(Module& m, DiagEngine& diag) : m_(m), b_(m), diag_(diag) {}
+
+  /// Lowers the whole translation unit into the module. Returns false if any
+  /// semantic error was reported.
+  bool run(const TranslationUnit& tu);
+
+private:
+  struct RV {  // rvalue: IR value whose type matches `t`
+    Value* v = nullptr;
+    CType t;
+  };
+  struct LV {  // lvalue: address of a scalar slot; `t` is the slot's C type
+    Value* addr = nullptr;  // IR pointer
+    CType t;
+  };
+  struct LocalVar {
+    Value* addr = nullptr;  // entry alloca (or global) holding the variable
+    CType type;
+  };
+
+  // Declaration handling.
+  void declareGlobal(const GlobalDecl& g);
+  void declareFunction(const FunctionDecl& fd);
+  void lowerFunctionBody(const FunctionDecl& fd);
+
+  // Statements.
+  void lowerStmt(const Stmt& s);
+  void lowerCompound(const Stmt& s);
+  void lowerDecl(const Stmt& s);
+  void lowerIf(const Stmt& s);
+  void lowerWhile(const Stmt& s);
+  void lowerDoWhile(const Stmt& s);
+  void lowerFor(const Stmt& s);
+  void lowerSwitch(const Stmt& s);
+  void lowerReturn(const Stmt& s);
+
+  // Expressions.
+  RV lowerExpr(const Expr& e);
+  LV lowerLValue(const Expr& e);
+  /// Lowers `e` as a branch condition, yielding an i1.
+  Value* lowerCond(const Expr& e);
+  RV lowerBinary(const Expr& e);
+  RV lowerAssign(const Expr& e);
+  RV lowerCall(const Expr& e);
+  RV lowerCondExpr(const Expr& e);
+  RV lowerShortCircuit(const Expr& e);
+
+  // Conversions.
+  /// Integer promotion: widens sub-32-bit ints to i32 (signed, per C).
+  RV promote(RV v);
+  /// Converts `v` to C type `to` (truncate/extend/reinterpret).
+  RV convert(RV v, const CType& to, SourceLoc loc);
+  /// Loads an lvalue into an rvalue.
+  RV loadLV(const LV& lv);
+  /// Stores `v` (already converted) into `lv`.
+  void storeLV(const LV& lv, RV v, SourceLoc loc);
+  Type* irType(const CType& t);
+  Value* toI1(RV v);
+
+  // Environment.
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() { scopes_.pop_back(); }
+  LocalVar* findLocal(const std::string& name);
+  /// Creates an entry-block alloca for a new local.
+  Value* entryAlloca(unsigned elemBits, uint32_t count, const std::string& name);
+
+  // Control-flow helpers.
+  BasicBlock* newBlock(const std::string& hint);
+  void ensureTerminated(BasicBlock* bb);
+  bool terminated() const { return b_.block()->terminator() != nullptr; }
+
+  void error(SourceLoc loc, const std::string& msg) { diag_.error(loc, msg); }
+
+  Module& m_;
+  IRBuilder b_;
+  DiagEngine& diag_;
+
+  // Per-module state.
+  std::unordered_map<std::string, std::pair<GlobalVar*, CType>> globals_;
+  std::unordered_map<std::string, const FunctionDecl*> funcDecls_;
+
+  // Per-function state.
+  Function* curFn_ = nullptr;
+  const FunctionDecl* curDecl_ = nullptr;
+  std::vector<std::unordered_map<std::string, LocalVar>> scopes_;
+  std::vector<BasicBlock*> breakTargets_;
+  std::vector<BasicBlock*> continueTargets_;
+  BasicBlock* entryBlock_ = nullptr;
+  int blockCounter_ = 0;
+};
+
+/// Convenience front door: source text -> populated module.
+bool compileC(const std::string& source, Module& m, DiagEngine& diag);
+
+}  // namespace twill

@@ -1,0 +1,64 @@
+// Recursive-descent parser for the C subset.
+#pragma once
+
+#include <memory>
+
+#include "src/frontend/ast.h"
+
+namespace twill {
+
+class Parser {
+public:
+  Parser(std::vector<Token> tokens, DiagEngine& diag)
+      : toks_(std::move(tokens)), diag_(diag) {}
+
+  /// Parses a whole translation unit. On errors, returns what was parsed;
+  /// callers must check diag.hasErrors().
+  TranslationUnit parse();
+
+private:
+  // Token stream helpers.
+  const Token& peek(int off = 0) const;
+  const Token& cur() const { return peek(0); }
+  Token advance();
+  bool check(Tok k) const { return cur().kind == k; }
+  bool accept(Tok k);
+  Token expect(Tok k, const char* what);
+  void error(const std::string& msg);
+  void synchronizeToSemi();
+
+  // Types.
+  bool startsType() const;
+  /// Parses a declaration-specifier + optional '*'. `isConst` out-param.
+  CType parseTypeSpec(bool* isConst = nullptr);
+
+  // Top level.
+  void parseTopLevel(TranslationUnit& tu);
+  void parseGlobal(TranslationUnit& tu, CType base, bool isConst, std::string name, SourceLoc loc);
+  std::unique_ptr<FunctionDecl> parseFunction(CType retType, std::string name, SourceLoc loc);
+
+  // Statements.
+  StmtPtr parseStmt();
+  StmtPtr parseCompound();
+  StmtPtr parseDeclStmt();
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();            // includes comma operator
+  ExprPtr parseAssign();
+  ExprPtr parseCond();
+  ExprPtr parseBinary(int minPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  /// Evaluates a constant expression (literals, unary/binary arithmetic);
+  /// reports an error and returns 0 if not constant.
+  uint32_t evalConstExpr(const Expr& e);
+  ExprPtr parseConstExprNode() { return parseCond(); }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  DiagEngine& diag_;
+};
+
+}  // namespace twill

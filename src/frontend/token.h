@@ -1,0 +1,44 @@
+// Token definitions for the C-subset frontend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/diag.h"
+
+namespace twill {
+
+enum class Tok : uint8_t {
+  End,
+  Ident,
+  IntLit,
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Colon, Question,
+  // Operators.
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Shl, Shr,
+  Lt, Gt, Le, Ge, EqEq, NotEq,
+  AmpAmp, PipePipe,
+  Assign,
+  PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+  PlusPlus, MinusMinus,
+  // Keywords.
+  KwVoid, KwChar, KwShort, KwInt, KwLong, KwSigned, KwUnsigned, KwConst,
+  KwIf, KwElse, KwWhile, KwDo, KwFor, KwReturn, KwBreak, KwContinue,
+  KwSwitch, KwCase, KwDefault, KwStatic,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  SourceLoc loc;
+  std::string text;     // identifier spelling
+  uint64_t intValue = 0;
+  bool isUnsignedLit = false;  // literal had a 'u' suffix or exceeds INT32_MAX in hex
+};
+
+const char* tokName(Tok t);
+
+}  // namespace twill

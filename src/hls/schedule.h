@@ -1,0 +1,82 @@
+// LegUp-style high-level synthesis model: dependence- and
+// resource-constrained list scheduling of each basic block into FSM states,
+// functional-unit binding, and an area estimate.
+//
+// The thesis uses LegUp (§5.4) to translate hardware partitions to Verilog;
+// what its evaluation needs from LegUp is (a) how many cycles a block takes
+// (the FSM state count, which captures the ILP LegUp extracts by chaining
+// combinational ops and overlapping independent ones) and (b) how many
+// LUTs/DSPs/BRAMs the circuit needs. This module computes both. The
+// cycle-level executor charges the static state count per block and models
+// memory/queue operations dynamically (they depend on bus contention).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/function.h"
+#include "src/model/optables.h"
+
+namespace twill {
+
+struct HlsConstraints {
+  unsigned maxChainDepth = 4;   // combinational ops chained per state
+  unsigned memPortsPerState = 1;
+  unsigned queuePortsPerState = 1;  // §4.4: one runtime call initiated/cycle
+  unsigned multipliersPerState = 2;
+  unsigned dividersPerState = 1;
+};
+
+struct BlockSchedule {
+  /// Static FSM cycles for this block: one per state, plus fixed multi-cycle
+  /// arithmetic latencies. Excludes the dynamic part of memory/queue
+  /// operations (bus handshakes), which the executor charges at run time.
+  unsigned staticCycles = 1;
+  unsigned numStates = 1;
+  /// Initiation interval under iterative modulo scheduling (LegUp pipelines
+  /// across loop iterations, §3.1.2): the resource-constrained minimum
+  /// cycles between consecutive executions of this block in steady state.
+  /// The executor charges `pipelinedII` instead of `staticCycles` when the
+  /// block re-executes back-to-back (loop steady state).
+  unsigned pipelinedII = 1;
+  /// Instruction -> state index (diagnostics / tests).
+  std::unordered_map<const Instruction*, unsigned> stateOf;
+};
+
+struct AreaEstimate {
+  unsigned luts = 0;
+  unsigned dsps = 0;
+  unsigned brams = 0;
+  AreaEstimate& operator+=(const AreaEstimate& o) {
+    luts += o.luts;
+    dsps += o.dsps;
+    brams += o.brams;
+    return *this;
+  }
+};
+
+struct FunctionSchedule {
+  Function* fn = nullptr;
+  std::unordered_map<const BasicBlock*, BlockSchedule> blocks;
+  unsigned totalStates = 0;
+  AreaEstimate area;
+
+  unsigned staticCyclesFor(const BasicBlock* bb) const {
+    auto it = blocks.find(bb);
+    return it == blocks.end() ? 1u : it->second.staticCycles;
+  }
+  unsigned pipelinedIIFor(const BasicBlock* bb) const {
+    auto it = blocks.find(bb);
+    return it == blocks.end() ? 1u : it->second.pipelinedII;
+  }
+};
+
+/// Schedules one function. Pure analysis: the IR is not modified.
+FunctionSchedule scheduleFunction(Function& f, const HlsConstraints& c = {});
+
+/// Area of the memory blocks a pure-hardware (LegUp) translation would
+/// instantiate for the module's globals (Twill instead keeps data in the
+/// processor's memory, §6.2).
+unsigned bramBlocksForGlobals(const Module& m);
+
+}  // namespace twill

@@ -1,0 +1,73 @@
+// Basic blocks: doubly-linked lists of instructions ending in a terminator.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/instruction.h"
+
+namespace twill {
+
+class Function;
+
+class BasicBlock : public Value {
+public:
+  using InstList = std::list<std::unique_ptr<Instruction>>;
+  using iterator = InstList::iterator;
+  using const_iterator = InstList::const_iterator;
+
+  explicit BasicBlock(std::string name) : Value(Kind::BasicBlock, nullptr) {
+    setName(std::move(name));
+  }
+
+  Function* parent() const { return parent_; }
+  void setParent(Function* f) { parent_ = f; }
+
+  iterator begin() { return insts_.begin(); }
+  iterator end() { return insts_.end(); }
+  const_iterator begin() const { return insts_.begin(); }
+  const_iterator end() const { return insts_.end(); }
+  bool empty() const { return insts_.empty(); }
+  size_t size() const { return insts_.size(); }
+
+  Instruction* front() const { return insts_.front().get(); }
+  Instruction* back() const { return insts_.back().get(); }
+
+  /// The terminator, or nullptr if the block is still being built.
+  Instruction* terminator() const {
+    return (!insts_.empty() && insts_.back()->isTerminator()) ? insts_.back().get() : nullptr;
+  }
+
+  /// Appends and takes ownership.
+  Instruction* append(std::unique_ptr<Instruction> inst);
+  /// Inserts before `pos` and takes ownership.
+  Instruction* insert(iterator pos, std::unique_ptr<Instruction> inst);
+  /// Removes and destroys `inst` (which must have no uses).
+  void erase(Instruction* inst);
+  /// Removes `inst` from this block without destroying it.
+  std::unique_ptr<Instruction> detach(Instruction* inst);
+
+  iterator iteratorTo(Instruction* inst);
+  /// First non-PHI instruction position.
+  iterator firstNonPhi();
+
+  std::vector<BasicBlock*> successors() const;
+  /// Predecessors, computed by scanning this block's use list (terminators
+  /// reference their successor blocks as operands).
+  std::vector<BasicBlock*> predecessors() const;
+
+  /// Dense per-function index assigned by Function::renumber().
+  unsigned id() const { return id_; }
+  void setId(unsigned id) { id_ = id; }
+
+  static bool classof(const Value* v) { return v->kind() == Kind::BasicBlock; }
+
+private:
+  Function* parent_ = nullptr;
+  InstList insts_;
+  unsigned id_ = ~0u;
+};
+
+}  // namespace twill

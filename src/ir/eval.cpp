@@ -1,0 +1,83 @@
+#include "src/ir/eval.h"
+
+#include <cassert>
+
+namespace twill {
+
+uint32_t evalBinary(Opcode op, uint32_t a, uint32_t b, unsigned bits) {
+  a = maskToBits(a, bits);
+  b = maskToBits(b, bits);
+  const int32_t sa = signExtend(a, bits);
+  const int32_t sb = signExtend(b, bits);
+  uint64_t r = 0;
+  switch (op) {
+    case Opcode::Add: r = static_cast<uint64_t>(a) + b; break;
+    case Opcode::Sub: r = static_cast<uint64_t>(a) - b; break;
+    case Opcode::Mul: r = static_cast<uint64_t>(a) * b; break;
+    case Opcode::UDiv: r = b == 0 ? 0 : a / b; break;
+    case Opcode::URem: r = b == 0 ? 0 : a % b; break;
+    case Opcode::SDiv:
+      // INT_MIN / -1 overflows in C++; the 32-bit two's-complement result
+      // wraps back to INT_MIN, which is what the hardware divider produces.
+      if (sb == 0) r = 0;
+      else if (sa == INT32_MIN && sb == -1) r = static_cast<uint32_t>(INT32_MIN);
+      else r = static_cast<uint32_t>(sa / sb);
+      break;
+    case Opcode::SRem:
+      if (sb == 0) r = 0;
+      else if (sa == INT32_MIN && sb == -1) r = 0;
+      else r = static_cast<uint32_t>(sa % sb);
+      break;
+    case Opcode::And: r = a & b; break;
+    case Opcode::Or: r = a | b; break;
+    case Opcode::Xor: r = a ^ b; break;
+    case Opcode::Shl: r = (b & 31u) >= bits ? 0 : static_cast<uint64_t>(a) << (b & 31u); break;
+    case Opcode::LShr: r = (b & 31u) >= bits ? 0 : a >> (b & 31u); break;
+    case Opcode::AShr: {
+      unsigned sh = b & 31u;
+      if (sh >= bits) sh = bits - 1;
+      r = static_cast<uint32_t>(signExtend(a, bits) >> sh);
+      break;
+    }
+    default:
+      assert(false && "not a binary op");
+  }
+  return maskToBits(r, bits);
+}
+
+uint32_t evalCompare(Opcode op, uint32_t a, uint32_t b, unsigned bits) {
+  a = maskToBits(a, bits);
+  b = maskToBits(b, bits);
+  const int32_t sa = signExtend(a, bits);
+  const int32_t sb = signExtend(b, bits);
+  switch (op) {
+    case Opcode::CmpEQ: return a == b;
+    case Opcode::CmpNE: return a != b;
+    case Opcode::CmpULT: return a < b;
+    case Opcode::CmpULE: return a <= b;
+    case Opcode::CmpUGT: return a > b;
+    case Opcode::CmpUGE: return a >= b;
+    case Opcode::CmpSLT: return sa < sb;
+    case Opcode::CmpSLE: return sa <= sb;
+    case Opcode::CmpSGT: return sa > sb;
+    case Opcode::CmpSGE: return sa >= sb;
+    default:
+      assert(false && "not a compare op");
+      return 0;
+  }
+}
+
+uint32_t evalCast(Opcode op, uint32_t v, unsigned fromBits, unsigned toBits) {
+  switch (op) {
+    case Opcode::ZExt: return maskToBits(maskToBits(v, fromBits), toBits);
+    case Opcode::SExt:
+      return maskToBits(static_cast<uint32_t>(signExtend(maskToBits(v, fromBits), fromBits)),
+                        toBits);
+    case Opcode::Trunc: return maskToBits(v, toBits);
+    default:
+      assert(false && "not a cast op");
+      return 0;
+  }
+}
+
+}  // namespace twill

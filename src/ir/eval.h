@@ -1,0 +1,46 @@
+// Shared functional semantics for IR operations.
+//
+// All four execution engines (golden interpreter, Microblaze-like CPU model,
+// HLS FSM executor, pure-hardware executor) evaluate operations through these
+// helpers, so any semantic bug shows up identically everywhere and
+// cross-engine checksum tests stay meaningful.
+#pragma once
+
+#include <cstdint>
+
+#include "src/ir/instruction.h"
+
+namespace twill {
+
+/// Masks `v` to `bits` (bits in {1,8,16,32}; pointers evaluate at 32).
+inline uint32_t maskToBits(uint64_t v, unsigned bits) {
+  return bits >= 32 ? static_cast<uint32_t>(v)
+                    : static_cast<uint32_t>(v & ((1ull << bits) - 1));
+}
+
+/// Sign-extends the low `bits` of `v` to a signed 32-bit value.
+inline int32_t signExtend(uint32_t v, unsigned bits) {
+  if (bits >= 32) return static_cast<int32_t>(v);
+  uint32_t m = 1u << (bits - 1);
+  return static_cast<int32_t>(((v & ((1u << bits) - 1)) ^ m) - m);
+}
+
+/// Evaluates a binary arithmetic/bitwise operation at the given width.
+/// Division/remainder by zero returns 0 (the simulated hardware divider's
+/// behaviour; real CHStone inputs never divide by zero).
+uint32_t evalBinary(Opcode op, uint32_t a, uint32_t b, unsigned bits);
+
+/// Evaluates a comparison; returns 0 or 1.
+uint32_t evalCompare(Opcode op, uint32_t a, uint32_t b, unsigned bits);
+
+/// Evaluates zext/sext/trunc from `fromBits` to `toBits`.
+uint32_t evalCast(Opcode op, uint32_t v, unsigned fromBits, unsigned toBits);
+
+/// Bit width at which an instruction's operands are evaluated (the operand
+/// type's width; pointers count as 32).
+inline unsigned operandBits(const Value* v) {
+  Type* t = v->type();
+  return t->isPtr() ? 32u : t->bits();
+}
+
+}  // namespace twill

@@ -1,0 +1,105 @@
+// Functions and the Module that owns them.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/basicblock.h"
+
+namespace twill {
+
+class Module;
+
+class Function : public Value {
+public:
+  using BlockList = std::list<std::unique_ptr<BasicBlock>>;
+
+  Function(std::string name, Type* retType, Module* parent)
+      : Value(Kind::Function, nullptr), retType_(retType), parent_(parent) {
+    setName(std::move(name));
+  }
+  // Instructions reference values across blocks (and module-level constants),
+  // so all operand links must be severed before any member is destroyed.
+  ~Function() override { dropAllReferences(); }
+  void dropAllReferences();
+
+  Module* parent() const { return parent_; }
+  Type* retType() const { return retType_; }
+
+  Argument* addArg(Type* type, std::string name);
+  unsigned numArgs() const { return static_cast<unsigned>(args_.size()); }
+  Argument* arg(unsigned i) const { return args_[i].get(); }
+
+  BasicBlock* entry() const { return blocks_.empty() ? nullptr : blocks_.front().get(); }
+  BasicBlock* createBlock(std::string name);
+  /// Creates a block placed immediately after `after` in the block order.
+  BasicBlock* createBlockAfter(BasicBlock* after, std::string name);
+  void eraseBlock(BasicBlock* bb);
+
+  BlockList& blocks() { return blocks_; }
+  const BlockList& blocks() const { return blocks_; }
+  size_t numBlocks() const { return blocks_.size(); }
+
+  /// Assigns dense ids: arguments get value slots [0, numArgs), then every
+  /// instruction in block order; blocks get [0, numBlocks). Returns the
+  /// total number of value slots.
+  unsigned renumber();
+  unsigned numValueSlots() const { return numSlots_; }
+
+  /// Value slot for an Argument or Instruction of this function, or -1.
+  static int valueSlot(const Value* v);
+
+  size_t instructionCount() const;
+
+  static bool classof(const Value* v) { return v->kind() == Kind::Function; }
+
+private:
+  Type* retType_;
+  Module* parent_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  BlockList blocks_;
+  unsigned numSlots_ = 0;
+};
+
+class Module {
+public:
+  Module() = default;
+  // Sever all instruction->constant/global links before members destruct
+  // (members are destroyed in reverse declaration order, constants first).
+  ~Module() {
+    for (auto& f : functions_) f->dropAllReferences();
+  }
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  TypeContext& types() { return types_; }
+
+  Function* createFunction(std::string name, Type* retType);
+  Function* findFunction(const std::string& name) const;
+  void eraseFunction(Function* f);
+
+  GlobalVar* createGlobal(std::string name, unsigned elemBits, uint32_t count, bool isConst);
+  GlobalVar* findGlobal(const std::string& name) const;
+
+  std::list<std::unique_ptr<Function>>& functions() { return functions_; }
+  const std::list<std::unique_ptr<Function>>& functions() const { return functions_; }
+  std::vector<std::unique_ptr<GlobalVar>>& globals() { return globals_; }
+  const std::vector<std::unique_ptr<GlobalVar>>& globals() const { return globals_; }
+
+  /// Interned integer constant.
+  Constant* constant(Type* type, uint64_t value);
+  Constant* i32Const(uint32_t v) { return constant(types_.i32(), v); }
+  Constant* i1Const(bool v) { return constant(types_.i1(), v ? 1 : 0); }
+
+  size_t instructionCount() const;
+
+private:
+  TypeContext types_;
+  std::list<std::unique_ptr<Function>> functions_;
+  std::vector<std::unique_ptr<GlobalVar>> globals_;
+  std::vector<std::unique_ptr<Constant>> constants_;
+};
+
+}  // namespace twill

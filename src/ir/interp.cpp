@@ -1,0 +1,350 @@
+#include "src/ir/interp.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/ir/eval.h"
+#include "src/ir/printer.h"
+
+namespace twill {
+
+// ---------------------------------------------------------------------------
+// Layout
+// ---------------------------------------------------------------------------
+
+void Layout::build(Module& m, Memory& mem) {
+  uint32_t addr = dataBase;
+  auto align4 = [](uint32_t a) { return (a + 3u) & ~3u; };
+  for (auto& g : m.globals()) {
+    addr = align4(addr);
+    globalAddr[g.get()] = addr;
+    unsigned esz = g->elemByteSize();
+    const auto& init = g->init();
+    for (uint32_t i = 0; i < g->count(); ++i) {
+      uint32_t v = i < init.size() ? init[i] : 0;
+      mem.store(addr + i * esz, esz, v);
+    }
+    addr += g->byteSize();
+  }
+  stackBase = align4(addr);
+  addr = stackBase;
+  for (auto& f : m.functions()) {
+    for (auto& bb : f->blocks()) {
+      for (auto& inst : *bb) {
+        if (inst->op() != Opcode::Alloca) continue;
+        addr = align4(addr);
+        allocaAddr[inst.get()] = addr;
+        unsigned esz = inst->allocaElemBits() == 1 ? 1 : inst->allocaElemBits() / 8;
+        addr += esz * inst->allocaCount();
+      }
+    }
+  }
+  top = align4(addr);
+}
+
+// ---------------------------------------------------------------------------
+// ExecState
+// ---------------------------------------------------------------------------
+
+ExecState::ExecState(Module& m, const Layout& layout, Memory& mem, ChannelIO& chans, Function* f,
+                     std::vector<uint32_t> args)
+    : module_(m), layout_(layout), mem_(mem), chans_(chans), name_(f->name()) {
+  f->renumber();
+  Frame fr;
+  fr.fn = f;
+  fr.block = f->entry();
+  fr.ip = f->entry()->begin();
+  fr.slots.assign(f->numValueSlots(), 0);
+  for (unsigned i = 0; i < args.size() && i < f->numArgs(); ++i) fr.slots[i] = args[i];
+  frames_.push_back(std::move(fr));
+}
+
+uint32_t ExecState::valueOf(const Value* v, const Frame& fr) const {
+  if (const auto* c = dyn_cast<Constant>(v)) return static_cast<uint32_t>(c->zext());
+  if (const auto* g = dyn_cast<GlobalVar>(v)) return layout_.addrOf(g);
+  int slot = Function::valueSlot(v);
+  assert(slot >= 0 && static_cast<size_t>(slot) < fr.slots.size());
+  return fr.slots[static_cast<size_t>(slot)];
+}
+
+void ExecState::enterBlock(Frame& fr, BasicBlock* from, BasicBlock* to) {
+  // Evaluate all PHIs of `to` atomically with values from before the edge.
+  std::vector<std::pair<Instruction*, uint32_t>> values;
+  for (auto& instPtr : *to) {
+    Instruction* phi = instPtr.get();
+    if (!phi->isPhi()) break;
+    int idx = phi->incomingIndexFor(from);
+    if (idx < 0) {
+      trap("phi in %" + to->name() + " has no entry for predecessor %" + from->name());
+      return;
+    }
+    values.push_back({phi, valueOf(phi->incomingValue(static_cast<unsigned>(idx)), fr)});
+  }
+  for (auto& [phi, v] : values) fr.slots[phi->id()] = v;
+  fr.block = to;
+  fr.ip = to->firstNonPhi();
+}
+
+std::string ExecState::describeLocation() const {
+  if (frames_.empty()) return name_ + ": finished";
+  const Frame& fr = frames_.back();
+  std::string s = fr.fn->name() + "/" + fr.block->name();
+  if (fr.ip != fr.block->end()) s += ": " + printInstruction(fr.ip->get());
+  return s;
+}
+
+StepResult ExecState::trap(std::string msg) {
+  trapped_ = true;
+  trapMessage_ = std::move(msg);
+  frames_.clear();
+  return {StepStatus::Trapped, Opcode::Add, nullptr};
+}
+
+StepResult ExecState::step() {
+  if (trapped_) return {StepStatus::Trapped, Opcode::Add, nullptr};
+  if (frames_.empty()) return {StepStatus::Finished, Opcode::Add, nullptr};
+
+  Frame& fr = frames_.back();
+  assert(fr.ip != fr.block->end() && "fell off the end of a block without terminator");
+  Instruction* inst = fr.ip->get();
+  const Opcode op = inst->op();
+
+  auto ranOk = [&]() -> StepResult {
+    ++retired_;
+    return {StepStatus::Ran, op, inst};
+  };
+
+  // --- Blocking Twill operations (may leave state unchanged) ---------------
+  switch (op) {
+    case Opcode::Produce: {
+      if (!chans_.tryProduce(inst->channel(), valueOf(inst->operand(0), fr)))
+        return {StepStatus::Blocked, op, inst};
+      ++fr.ip;
+      return ranOk();
+    }
+    case Opcode::Consume: {
+      uint32_t v;
+      if (!chans_.tryConsume(inst->channel(), v)) return {StepStatus::Blocked, op, inst};
+      fr.slots[inst->id()] = maskToBits(v, operandBits(inst));
+      ++fr.ip;
+      return ranOk();
+    }
+    case Opcode::SemRaise: {
+      if (!chans_.trySemRaise(inst->channel(), valueOf(inst->operand(0), fr)))
+        return {StepStatus::Blocked, op, inst};
+      ++fr.ip;
+      return ranOk();
+    }
+    case Opcode::SemLower: {
+      if (!chans_.trySemLower(inst->channel(), valueOf(inst->operand(0), fr)))
+        return {StepStatus::Blocked, op, inst};
+      ++fr.ip;
+      return ranOk();
+    }
+    default:
+      break;
+  }
+
+  // --- Control flow ----------------------------------------------------------
+  switch (op) {
+    case Opcode::Br: {
+      enterBlock(fr, fr.block, inst->successor(0));
+      return trapped_ ? StepResult{StepStatus::Trapped, op, inst} : ranOk();
+    }
+    case Opcode::CondBr: {
+      uint32_t c = valueOf(inst->operand(0), fr) & 1u;
+      enterBlock(fr, fr.block, inst->successor(c ? 0 : 1));
+      return trapped_ ? StepResult{StepStatus::Trapped, op, inst} : ranOk();
+    }
+    case Opcode::Switch: {
+      uint32_t v = maskToBits(valueOf(inst->operand(0), fr), operandBits(inst->operand(0)));
+      BasicBlock* dest = inst->successor(0);  // default
+      for (unsigned i = 2; i + 1 < inst->numOperands(); i += 2) {
+        uint32_t cv = static_cast<uint32_t>(cast<Constant>(inst->operand(i))->zext());
+        if (cv == v) {
+          dest = static_cast<BasicBlock*>(inst->operand(i + 1));
+          break;
+        }
+      }
+      enterBlock(fr, fr.block, dest);
+      return trapped_ ? StepResult{StepStatus::Trapped, op, inst} : ranOk();
+    }
+    case Opcode::Ret: {
+      uint32_t rv = inst->numOperands() ? valueOf(inst->operand(0), fr) : 0;
+      Instruction* callSite = fr.callSite;
+      frames_.pop_back();
+      if (frames_.empty()) {
+        result_ = rv;
+        ++retired_;
+        return {StepStatus::Finished, op, inst};
+      }
+      Frame& caller = frames_.back();
+      if (callSite && !callSite->type()->isVoid())
+        caller.slots[callSite->id()] = maskToBits(rv, operandBits(callSite));
+      ++caller.ip;
+      return ranOk();
+    }
+    case Opcode::Call: {
+      Function* callee = inst->callee();
+      if (frames_.size() > 512) return trap("call depth exceeded (recursion is unsupported)");
+      callee->renumber();
+      Frame nf;
+      nf.fn = callee;
+      nf.block = callee->entry();
+      nf.ip = callee->entry()->begin();
+      nf.slots.assign(callee->numValueSlots(), 0);
+      for (unsigned i = 0; i < inst->numOperands(); ++i)
+        nf.slots[i] = valueOf(inst->operand(i), fr);
+      nf.callSite = inst;
+      frames_.push_back(std::move(nf));
+      ++retired_;
+      return {StepStatus::Ran, op, inst};
+    }
+    default:
+      break;
+  }
+
+  // --- Straight-line operations ----------------------------------------------
+  uint32_t result = 0;
+  if (isBinaryOp(op)) {
+    result = evalBinary(op, valueOf(inst->operand(0), fr), valueOf(inst->operand(1), fr),
+                        operandBits(inst->operand(0)));
+  } else if (isCompareOp(op)) {
+    result = evalCompare(op, valueOf(inst->operand(0), fr), valueOf(inst->operand(1), fr),
+                         operandBits(inst->operand(0)));
+  } else if (isCastOp(op)) {
+    result = evalCast(op, valueOf(inst->operand(0), fr), operandBits(inst->operand(0)),
+                      inst->type()->bits());
+  } else {
+    switch (op) {
+      case Opcode::Select:
+        result = (valueOf(inst->operand(0), fr) & 1u) ? valueOf(inst->operand(1), fr)
+                                                      : valueOf(inst->operand(2), fr);
+        break;
+      case Opcode::PtrToInt:
+      case Opcode::IntToPtr:
+        result = valueOf(inst->operand(0), fr);
+        break;
+      case Opcode::Alloca:
+        result = layout_.addrOf(inst);
+        break;
+      case Opcode::Load: {
+        uint32_t addr = valueOf(inst->operand(0), fr);
+        result = mem_.load(addr, inst->type()->byteSize());
+        break;
+      }
+      case Opcode::Store: {
+        uint32_t addr = valueOf(inst->operand(1), fr);
+        mem_.store(addr, inst->operand(0)->type()->byteSize(), valueOf(inst->operand(0), fr));
+        break;
+      }
+      case Opcode::Gep: {
+        uint32_t base = valueOf(inst->operand(0), fr);
+        uint32_t idx = valueOf(inst->operand(1), fr);
+        unsigned pb = inst->type()->pointeeBits();
+        unsigned scale = pb == 1 ? 1 : pb / 8;
+        int32_t sidx = signExtend(idx, operandBits(inst->operand(1)));
+        result = base + static_cast<uint32_t>(sidx) * scale;
+        break;
+      }
+      case Opcode::Phi:
+        return trap("phi executed directly (block entry should have handled it)");
+      default:
+        return trap(std::string("unhandled opcode ") + opcodeName(op));
+    }
+  }
+  if (!inst->type()->isVoid()) fr.slots[inst->id()] = maskToBits(result, operandBits(inst));
+  ++fr.ip;
+  return ranOk();
+}
+
+// ---------------------------------------------------------------------------
+// Interp
+// ---------------------------------------------------------------------------
+
+uint32_t Interp::run(Function* f, std::vector<uint32_t> args, uint64_t maxSteps) {
+  FunctionalChannels chans;
+  ExecState st(module_, layout_, memory(), chans, f, std::move(args));
+  for (uint64_t i = 0; i < maxSteps; ++i) {
+    StepResult r = st.step();
+    if (r.status == StepStatus::Finished) {
+      retired_ += st.retired();
+      return st.result();
+    }
+    if (r.status == StepStatus::Trapped) {
+      std::fprintf(stderr, "twill interp trap in @%s: %s\n", f->name().c_str(),
+                   st.trapMessage().c_str());
+      std::abort();
+    }
+    if (r.status == StepStatus::Blocked) {
+      std::fprintf(stderr, "twill interp: single-threaded run blocked on %s ch%d\n",
+                   opcodeName(r.op), r.inst->channel());
+      std::abort();
+    }
+  }
+  std::fprintf(stderr, "twill interp: step limit exceeded in @%s\n", f->name().c_str());
+  std::abort();
+}
+
+uint32_t Interp::run(const std::string& fname, std::vector<uint32_t> args) {
+  Function* f = module_.findFunction(fname);
+  assert(f && "function not found");
+  return run(f, std::move(args));
+}
+
+// ---------------------------------------------------------------------------
+// PipelineInterp
+// ---------------------------------------------------------------------------
+
+size_t PipelineInterp::addThread(Function* f, std::vector<uint32_t> args) {
+  threads_.emplace_back(new ExecState(module_, layout_, mem_, chans_, f, std::move(args)));
+  return threads_.size() - 1;
+}
+
+PipelineInterp::RunOutcome PipelineInterp::run(uint64_t maxSteps) {
+  RunOutcome out;
+  if (threads_.empty()) return out;
+  uint64_t steps = 0;
+  // Round-robin with a large per-thread burst: decoupled pipelines make most
+  // progress when each stage runs until it blocks.
+  while (steps < maxSteps) {
+    bool progress = false;
+    for (auto& t : threads_) {
+      if (t->finished() || t->trapped()) continue;
+      for (int burst = 0; burst < 4096; ++burst) {
+        StepResult r = t->step();
+        ++steps;
+        if (r.status == StepStatus::Ran) {
+          progress = true;
+          continue;
+        }
+        if (r.status == StepStatus::Finished) {
+          progress = true;
+          break;
+        }
+        if (r.status == StepStatus::Trapped) {
+          out.trapped = true;
+          out.message = t->name() + ": " + t->trapMessage();
+          return out;
+        }
+        break;  // Blocked
+      }
+      if (threads_[0]->finished()) {
+        out.ok = true;
+        out.result = threads_[0]->result();
+        for (auto& th : threads_) out.totalRetired += th->retired();
+        return out;
+      }
+    }
+    if (!progress) {
+      out.deadlocked = true;
+      out.message = "pipeline deadlock: no thread can make progress";
+      return out;
+    }
+  }
+  out.message = "step limit exceeded";
+  return out;
+}
+
+}  // namespace twill

@@ -1,0 +1,219 @@
+// Functional IR execution.
+//
+// Three pieces:
+//  * Layout — assigns simulated-memory addresses to globals and (static)
+//    alloca slots and writes global initializers. The thesis's input subset
+//    forbids recursion, so every alloca can live at a fixed address; this is
+//    also what makes DSWP's cross-thread memory sharing simple (§4.5).
+//  * ExecState — a single thread of IR execution with an explicit call
+//    stack, advanced one instruction at a time. Blocking Twill operations
+//    (consume on an empty queue, …) leave the state unchanged so the caller
+//    can retry; this is exactly the interface the cycle-level CPU model and
+//    the multi-threaded pipeline interpreter need.
+//  * Interp — convenience single-threaded runner (the golden reference), and
+//    PipelineInterp — round-robin multi-thread runner with unbounded
+//    functional queues, used to test DSWP-extracted pipelines independently
+//    of the cycle-level runtime.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/function.h"
+#include "src/support/memory.h"
+
+namespace twill {
+
+/// Address assignment for a module in simulated memory.
+struct Layout {
+  std::unordered_map<const GlobalVar*, uint32_t> globalAddr;
+  std::unordered_map<const Instruction*, uint32_t> allocaAddr;
+  uint32_t dataBase = 0x1000;   // globals start here
+  uint32_t stackBase = 0;       // allocas start here (after globals)
+  uint32_t top = 0;             // first free address
+
+  /// Assigns addresses and writes global initializers into `mem`.
+  void build(Module& m, Memory& mem);
+  uint32_t addrOf(const GlobalVar* g) const { return globalAddr.at(g); }
+  uint32_t addrOf(const Instruction* alloca) const { return allocaAddr.at(alloca); }
+};
+
+/// Queue/semaphore endpoints used by ExecState. The functional
+/// implementation (FunctionalChannels) is unbounded; the cycle-level runtime
+/// provides a bounded, latency-accurate implementation.
+class ChannelIO {
+public:
+  virtual ~ChannelIO() = default;
+  /// Returns false if the operation must block (state unchanged).
+  virtual bool tryProduce(int channel, uint32_t value) = 0;
+  virtual bool tryConsume(int channel, uint32_t& value) = 0;
+  virtual bool trySemRaise(int sem, uint32_t count) = 0;
+  virtual bool trySemLower(int sem, uint32_t count) = 0;
+};
+
+/// Unbounded queues + counting semaphores; never blocks a produce.
+class FunctionalChannels : public ChannelIO {
+public:
+  bool tryProduce(int channel, uint32_t value) override {
+    queues_[channel].push_back(value);
+    return true;
+  }
+  bool tryConsume(int channel, uint32_t& value) override {
+    auto& q = queues_[channel];
+    if (q.empty()) return false;
+    value = q.front();
+    q.pop_front();
+    return true;
+  }
+  bool trySemRaise(int sem, uint32_t count) override {
+    sems_[sem] += count;
+    return true;
+  }
+  bool trySemLower(int sem, uint32_t count) override {
+    auto& s = sems_[sem];
+    if (s < count) return false;
+    s -= count;
+    return true;
+  }
+  const std::deque<uint32_t>& queue(int ch) { return queues_[ch]; }
+  size_t totalQueued() const {
+    size_t n = 0;
+    for (auto& [ch, q] : queues_) n += q.size();
+    return n;
+  }
+
+private:
+  std::unordered_map<int, std::deque<uint32_t>> queues_;
+  std::unordered_map<int, uint64_t> sems_;
+};
+
+/// Result of executing (or attempting) one instruction.
+enum class StepStatus : uint8_t {
+  Ran,       // instruction completed
+  Blocked,   // a queue/semaphore op could not proceed; retry later
+  Finished,  // outermost function returned
+  Trapped,   // runtime error (diagnostic in ExecState::trapMessage())
+};
+
+struct StepResult {
+  StepStatus status = StepStatus::Ran;
+  /// Opcode that ran (valid for Ran/Blocked) — cost models key off this.
+  Opcode op = Opcode::Add;
+  /// The instruction, for detailed cost models (access widths etc.).
+  const Instruction* inst = nullptr;
+};
+
+class ExecState {
+public:
+  ExecState(Module& m, const Layout& layout, Memory& mem, ChannelIO& chans, Function* f,
+            std::vector<uint32_t> args = {});
+
+  /// Executes one instruction (or blocks). Cheap to call repeatedly.
+  StepResult step();
+
+  bool finished() const { return frames_.empty(); }
+  uint32_t result() const { return result_; }
+  bool trapped() const { return trapped_; }
+  const std::string& trapMessage() const { return trapMessage_; }
+
+  /// Total instructions retired (for reporting / cost sanity checks).
+  uint64_t retired() const { return retired_; }
+
+  /// Name of the root function (thread identity in reports).
+  const std::string& name() const { return name_; }
+
+  /// Human-readable current location ("fn/block: inst"), for deadlock
+  /// diagnostics.
+  std::string describeLocation() const;
+
+private:
+  struct Frame {
+    Function* fn = nullptr;
+    BasicBlock* block = nullptr;
+    BasicBlock::iterator ip;
+    std::vector<uint32_t> slots;  // argument + instruction value slots
+    Instruction* callSite = nullptr;  // instruction in caller awaiting result
+  };
+
+  uint32_t valueOf(const Value* v, const Frame& fr) const;
+  void enterBlock(Frame& fr, BasicBlock* from, BasicBlock* to);
+  StepResult trap(std::string msg);
+
+  Module& module_;
+  const Layout& layout_;
+  Memory& mem_;
+  ChannelIO& chans_;
+  std::vector<Frame> frames_;
+  uint32_t result_ = 0;
+  bool trapped_ = false;
+  std::string trapMessage_;
+  uint64_t retired_ = 0;
+  std::string name_;
+};
+
+/// Single-threaded golden-reference execution of `main` (or any function).
+class Interp {
+public:
+  explicit Interp(Module& m) : module_(m), mem_(Memory::kDefaultSize) { layout_.build(m, mem_); }
+  Interp(Module& m, Memory& mem) : module_(m), mem_(0), extMem_(&mem) { layout_.build(m, mem); }
+
+  /// Runs to completion; traps abort with a message. `maxSteps` guards
+  /// against accidental infinite loops in tests.
+  uint32_t run(Function* f, std::vector<uint32_t> args = {}, uint64_t maxSteps = 1ull << 32);
+  uint32_t run(const std::string& fname, std::vector<uint32_t> args = {});
+
+  const Layout& layout() const { return layout_; }
+  Memory& memory() { return extMem_ ? *extMem_ : mem_; }
+  uint64_t retired() const { return retired_; }
+
+private:
+  Module& module_;
+  Memory mem_;
+  Memory* extMem_ = nullptr;
+  Layout layout_;
+  uint64_t retired_ = 0;
+};
+
+/// Round-robin functional execution of a set of threads communicating
+/// through unbounded queues. Detects deadlock (no thread can make progress).
+class PipelineInterp {
+public:
+  explicit PipelineInterp(Module& m) : module_(m), mem_(Memory::kDefaultSize) {
+    layout_.build(m, mem_);
+  }
+
+  /// Adds a thread rooted at `f`. The first added thread's return value is
+  /// the pipeline result. Returns the thread index.
+  size_t addThread(Function* f, std::vector<uint32_t> args = {});
+
+  struct RunOutcome {
+    bool ok = false;
+    bool deadlocked = false;
+    bool trapped = false;
+    std::string message;
+    uint32_t result = 0;
+    uint64_t totalRetired = 0;
+  };
+
+  /// Runs until the main thread (index 0) finishes. Slave threads may still
+  /// be blocked in their dispatch loops when this returns — that is the
+  /// expected steady state of the Twill runtime.
+  RunOutcome run(uint64_t maxSteps = 1ull << 32);
+
+  FunctionalChannels& channels() { return chans_; }
+  Memory& memory() { return mem_; }
+  const Layout& layout() const { return layout_; }
+
+private:
+  Module& module_;
+  Memory mem_;
+  Layout layout_;
+  FunctionalChannels chans_;
+  std::vector<std::unique_ptr<ExecState>> threads_;
+};
+
+}  // namespace twill

@@ -1,0 +1,403 @@
+// Implementation of the core IR data structures.
+#include <algorithm>
+#include <cassert>
+
+#include "src/ir/function.h"
+
+namespace twill {
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+std::string Type::str() const {
+  switch (kind_) {
+    case Kind::Void: return "void";
+    case Kind::Int: return "i" + std::to_string(bits_);
+    case Kind::Ptr: return "i" + std::to_string(bits_) + "*";
+  }
+  return "?";
+}
+
+TypeContext::TypeContext() : void_(new Type(Type::Kind::Void, 0)) {}
+
+Type* TypeContext::intTy(unsigned bits) {
+  assert((bits == 1 || bits == 8 || bits == 16 || bits == 32) && "unsupported integer width");
+  for (auto& t : ints_)
+    if (t->bits() == bits) return t.get();
+  ints_.emplace_back(new Type(Type::Kind::Int, bits));
+  return ints_.back().get();
+}
+
+Type* TypeContext::ptrTy(unsigned pointeeBits) {
+  assert((pointeeBits == 1 || pointeeBits == 8 || pointeeBits == 16 || pointeeBits == 32));
+  for (auto& t : ptrs_)
+    if (t->pointeeBits() == pointeeBits) return t.get();
+  ptrs_.emplace_back(new Type(Type::Kind::Ptr, pointeeBits));
+  return ptrs_.back().get();
+}
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+void Value::removeUser(Instruction* i) {
+  auto it = std::find(users_.begin(), users_.end(), i);
+  assert(it != users_.end() && "removing a non-user");
+  users_.erase(it);
+}
+
+void Value::replaceAllUsesWith(Value* v) {
+  assert(v != this && "RAUW with self");
+  // setOperand mutates users_, so iterate over a snapshot.
+  std::vector<Instruction*> snapshot = users_;
+  for (Instruction* user : snapshot) {
+    for (unsigned i = 0, e = user->numOperands(); i != e; ++i)
+      if (user->operand(i) == this) user->setOperand(i, v);
+  }
+}
+
+int64_t Constant::sext() const {
+  unsigned bits = type_->isPtr() ? 32 : type_->bits();
+  if (bits >= 64) return static_cast<int64_t>(value_);
+  uint64_t m = 1ull << (bits - 1);
+  return static_cast<int64_t>((value_ ^ m) - m);
+}
+
+// ---------------------------------------------------------------------------
+// Instructions
+// ---------------------------------------------------------------------------
+
+const char* opcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::SDiv: return "sdiv";
+    case Opcode::UDiv: return "udiv";
+    case Opcode::SRem: return "srem";
+    case Opcode::URem: return "urem";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::LShr: return "lshr";
+    case Opcode::AShr: return "ashr";
+    case Opcode::CmpEQ: return "cmp.eq";
+    case Opcode::CmpNE: return "cmp.ne";
+    case Opcode::CmpSLT: return "cmp.slt";
+    case Opcode::CmpSLE: return "cmp.sle";
+    case Opcode::CmpSGT: return "cmp.sgt";
+    case Opcode::CmpSGE: return "cmp.sge";
+    case Opcode::CmpULT: return "cmp.ult";
+    case Opcode::CmpULE: return "cmp.ule";
+    case Opcode::CmpUGT: return "cmp.ugt";
+    case Opcode::CmpUGE: return "cmp.uge";
+    case Opcode::ZExt: return "zext";
+    case Opcode::SExt: return "sext";
+    case Opcode::Trunc: return "trunc";
+    case Opcode::Select: return "select";
+    case Opcode::PtrToInt: return "ptrtoint";
+    case Opcode::IntToPtr: return "inttoptr";
+    case Opcode::Alloca: return "alloca";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::Gep: return "gep";
+    case Opcode::Phi: return "phi";
+    case Opcode::Br: return "br";
+    case Opcode::CondBr: return "condbr";
+    case Opcode::Switch: return "switch";
+    case Opcode::Ret: return "ret";
+    case Opcode::Call: return "call";
+    case Opcode::Produce: return "produce";
+    case Opcode::Consume: return "consume";
+    case Opcode::SemRaise: return "sem.raise";
+    case Opcode::SemLower: return "sem.lower";
+  }
+  return "?";
+}
+
+bool isBinaryOp(Opcode op) { return op >= Opcode::Add && op <= Opcode::AShr; }
+bool isCompareOp(Opcode op) { return op >= Opcode::CmpEQ && op <= Opcode::CmpUGE; }
+bool isCastOp(Opcode op) { return op == Opcode::ZExt || op == Opcode::SExt || op == Opcode::Trunc; }
+bool isTerminatorOp(Opcode op) {
+  return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Switch || op == Opcode::Ret;
+}
+
+bool Instruction::hasSideEffects() const {
+  switch (op_) {
+    case Opcode::Store:
+    case Opcode::Call:
+    case Opcode::Produce:
+    case Opcode::Consume:  // removes a queue element — never dead
+    case Opcode::SemRaise:
+    case Opcode::SemLower:
+      return true;
+    default:
+      return isTerminator();
+  }
+}
+
+void Instruction::addOperand(Value* v) {
+  operands_.push_back(v);
+  if (v) v->addUser(this);
+}
+
+void Instruction::setOperand(unsigned i, Value* v) {
+  assert(i < operands_.size());
+  if (operands_[i]) operands_[i]->removeUser(this);
+  operands_[i] = v;
+  if (v) v->addUser(this);
+}
+
+void Instruction::removeOperand(unsigned i) {
+  assert(i < operands_.size());
+  if (operands_[i]) operands_[i]->removeUser(this);
+  operands_.erase(operands_.begin() + i);
+}
+
+void Instruction::dropOperands() {
+  for (Value* v : operands_)
+    if (v) v->removeUser(this);
+  operands_.clear();
+  incoming_.clear();
+}
+
+int Instruction::incomingIndexFor(const BasicBlock* bb) const {
+  for (unsigned i = 0; i < incoming_.size(); ++i)
+    if (incoming_[i] == bb) return static_cast<int>(i);
+  return -1;
+}
+
+unsigned Instruction::numSuccessors() const {
+  switch (op_) {
+    case Opcode::Br: return 1;
+    case Opcode::CondBr: return 2;
+    case Opcode::Switch: return (numOperands() - 1) / 2 + 1;
+    default: return 0;
+  }
+}
+
+BasicBlock* Instruction::successor(unsigned i) const {
+  switch (op_) {
+    case Opcode::Br:
+      assert(i == 0);
+      return static_cast<BasicBlock*>(operand(0));
+    case Opcode::CondBr:
+      assert(i < 2);
+      return static_cast<BasicBlock*>(operand(1 + i));
+    case Opcode::Switch:
+      // operands: (value, default, caseval0, dest0, caseval1, dest1, ...)
+      if (i == 0) return static_cast<BasicBlock*>(operand(1));
+      return static_cast<BasicBlock*>(operand(1 + 2 * i));
+    default:
+      assert(false && "not a branch");
+      return nullptr;
+  }
+}
+
+void Instruction::setSuccessor(unsigned i, BasicBlock* bb) {
+  switch (op_) {
+    case Opcode::Br:
+      setOperand(0, bb);
+      return;
+    case Opcode::CondBr:
+      setOperand(1 + i, bb);
+      return;
+    case Opcode::Switch:
+      setOperand(i == 0 ? 1 : 1 + 2 * i, bb);
+      return;
+    default:
+      assert(false && "not a branch");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BasicBlock
+// ---------------------------------------------------------------------------
+
+Instruction* BasicBlock::append(std::unique_ptr<Instruction> inst) {
+  inst->setParent(this);
+  insts_.push_back(std::move(inst));
+  return insts_.back().get();
+}
+
+Instruction* BasicBlock::insert(iterator pos, std::unique_ptr<Instruction> inst) {
+  inst->setParent(this);
+  return insts_.insert(pos, std::move(inst))->get();
+}
+
+BasicBlock::iterator BasicBlock::iteratorTo(Instruction* inst) {
+  for (auto it = insts_.begin(); it != insts_.end(); ++it)
+    if (it->get() == inst) return it;
+  assert(false && "instruction not in block");
+  return insts_.end();
+}
+
+BasicBlock::iterator BasicBlock::firstNonPhi() {
+  auto it = insts_.begin();
+  while (it != insts_.end() && (*it)->isPhi()) ++it;
+  return it;
+}
+
+void BasicBlock::erase(Instruction* inst) {
+  assert(!inst->hasUses() && "erasing an instruction that still has uses");
+  auto it = iteratorTo(inst);
+  insts_.erase(it);
+}
+
+std::unique_ptr<Instruction> BasicBlock::detach(Instruction* inst) {
+  auto it = iteratorTo(inst);
+  std::unique_ptr<Instruction> owned = std::move(*it);
+  insts_.erase(it);
+  owned->setParent(nullptr);
+  return owned;
+}
+
+std::vector<BasicBlock*> BasicBlock::successors() const {
+  std::vector<BasicBlock*> out;
+  if (Instruction* t = terminator()) {
+    out.reserve(t->numSuccessors());
+    for (unsigned i = 0, e = t->numSuccessors(); i != e; ++i) {
+      BasicBlock* s = t->successor(i);
+      if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<BasicBlock*> BasicBlock::predecessors() const {
+  std::vector<BasicBlock*> out;
+  for (Instruction* user : users_) {
+    if (!user->isTerminator()) continue;
+    BasicBlock* pred = user->parent();
+    if (pred && std::find(out.begin(), out.end(), pred) == out.end()) out.push_back(pred);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Function / Module
+// ---------------------------------------------------------------------------
+
+void Function::dropAllReferences() {
+  for (auto& bb : blocks_)
+    for (auto& inst : *bb) inst->dropOperands();
+}
+
+Argument* Function::addArg(Type* type, std::string name) {
+  args_.emplace_back(new Argument(type, numArgs(), this));
+  args_.back()->setName(std::move(name));
+  return args_.back().get();
+}
+
+BasicBlock* Function::createBlock(std::string name) {
+  blocks_.emplace_back(new BasicBlock(std::move(name)));
+  blocks_.back()->setParent(this);
+  return blocks_.back().get();
+}
+
+BasicBlock* Function::createBlockAfter(BasicBlock* after, std::string name) {
+  auto pos = blocks_.end();
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->get() == after) {
+      pos = std::next(it);
+      break;
+    }
+  }
+  auto it = blocks_.insert(pos, std::make_unique<BasicBlock>(std::move(name)));
+  (*it)->setParent(this);
+  return it->get();
+}
+
+void Function::eraseBlock(BasicBlock* bb) {
+  // Drop all instructions first so cross-references inside the block go away.
+  std::vector<Instruction*> insts;
+  for (auto& i : *bb) insts.push_back(i.get());
+  for (auto it = insts.rbegin(); it != insts.rend(); ++it) (*it)->dropOperands();
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->get() == bb) {
+      blocks_.erase(it);
+      return;
+    }
+  }
+  assert(false && "block not in function");
+}
+
+unsigned Function::renumber() {
+  unsigned slot = 0;
+  for (auto& a : args_) a->setName(a->name());  // keep names; args use fixed slots
+  slot = numArgs();
+  unsigned bbId = 0;
+  for (auto& bb : blocks_) {
+    bb->setId(bbId++);
+    for (auto& inst : *bb) inst->setId(slot++);
+  }
+  numSlots_ = slot;
+  return slot;
+}
+
+int Function::valueSlot(const Value* v) {
+  if (const auto* a = dyn_cast<Argument>(v)) return static_cast<int>(a->index());
+  if (const auto* i = dyn_cast<Instruction>(v))
+    return i->id() == ~0u ? -1 : static_cast<int>(i->id());
+  return -1;
+}
+
+size_t Function::instructionCount() const {
+  size_t n = 0;
+  for (const auto& bb : blocks_) n += bb->size();
+  return n;
+}
+
+Function* Module::createFunction(std::string name, Type* retType) {
+  functions_.emplace_back(new Function(std::move(name), retType, this));
+  return functions_.back().get();
+}
+
+Function* Module::findFunction(const std::string& name) const {
+  for (const auto& f : functions_)
+    if (f->name() == name) return f.get();
+  return nullptr;
+}
+
+void Module::eraseFunction(Function* f) {
+  for (auto it = functions_.begin(); it != functions_.end(); ++it) {
+    if (it->get() == f) {
+      // ~Function severs all operand links before destroying blocks, which
+      // keeps cross-block references safe during teardown.
+      functions_.erase(it);
+      return;
+    }
+  }
+  assert(false && "function not in module");
+}
+
+GlobalVar* Module::createGlobal(std::string name, unsigned elemBits, uint32_t count, bool isConst) {
+  globals_.emplace_back(
+      new GlobalVar(types_.ptrTy(elemBits), std::move(name), elemBits, count, isConst));
+  return globals_.back().get();
+}
+
+GlobalVar* Module::findGlobal(const std::string& name) const {
+  for (const auto& g : globals_)
+    if (g->name() == name) return g.get();
+  return nullptr;
+}
+
+Constant* Module::constant(Type* type, uint64_t value) {
+  // Mask to the type's width so interned constants are canonical.
+  if (type->isInt() && type->bits() < 64) value &= (1ull << type->bits()) - 1;
+  for (auto& c : constants_)
+    if (c->type() == type && c->zext() == value) return c.get();
+  constants_.emplace_back(new Constant(type, value));
+  return constants_.back().get();
+}
+
+size_t Module::instructionCount() const {
+  size_t n = 0;
+  for (const auto& f : functions_) n += f->instructionCount();
+  return n;
+}
+
+}  // namespace twill

@@ -1,0 +1,86 @@
+#include "src/ir/printer.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace twill {
+namespace {
+
+// Stable display names: named values print as %name, unnamed ones as %tN
+// using their dense ids (renumber() is invoked by printFunction).
+std::string refName(const Value* v) {
+  if (const auto* c = dyn_cast<Constant>(v)) {
+    return std::to_string(static_cast<int64_t>(c->sext()));
+  }
+  if (const auto* g = dyn_cast<GlobalVar>(v)) return "@" + g->name();
+  if (const auto* bb = dyn_cast<BasicBlock>(v)) return "label %" + bb->name();
+  if (const auto* f = dyn_cast<Function>(v)) return "@" + f->name();
+  if (!v->name().empty()) return "%" + v->name();
+  if (const auto* i = dyn_cast<Instruction>(v)) return "%t" + std::to_string(i->id());
+  if (const auto* a = dyn_cast<Argument>(v)) return "%arg" + std::to_string(a->index());
+  return "%?";
+}
+
+}  // namespace
+
+std::string printValueRef(const Value* v) { return refName(v); }
+
+std::string printInstruction(const Instruction* inst) {
+  std::ostringstream os;
+  if (!inst->type()->isVoid()) os << refName(inst) << " = ";
+  os << opcodeName(inst->op());
+  if (inst->op() == Opcode::Alloca) {
+    os << " i" << inst->allocaElemBits() << " x " << inst->allocaCount();
+    return os.str();
+  }
+  if (inst->op() == Opcode::Call) os << " @" << inst->callee()->name();
+  if (inst->op() == Opcode::Produce || inst->op() == Opcode::Consume ||
+      inst->op() == Opcode::SemRaise || inst->op() == Opcode::SemLower)
+    os << " ch" << inst->channel();
+  if (!inst->type()->isVoid()) os << " " << inst->type()->str();
+  if (inst->isPhi()) {
+    for (unsigned i = 0; i < inst->numIncoming(); ++i) {
+      os << (i ? ", " : " ") << "[" << refName(inst->incomingValue(i)) << ", %"
+         << inst->incomingBlock(i)->name() << "]";
+    }
+    return os.str();
+  }
+  for (unsigned i = 0; i < inst->numOperands(); ++i)
+    os << (i ? ", " : " ") << refName(inst->operand(i));
+  return os.str();
+}
+
+std::string printFunction(const Function* f) {
+  const_cast<Function*>(f)->renumber();
+  std::ostringstream os;
+  os << "func " << f->retType()->str() << " @" << f->name() << "(";
+  for (unsigned i = 0; i < f->numArgs(); ++i) {
+    if (i) os << ", ";
+    os << f->arg(i)->type()->str() << " " << refName(f->arg(i));
+  }
+  os << ") {\n";
+  for (const auto& bb : f->blocks()) {
+    os << bb->name() << ":\n";
+    for (const auto& inst : *bb) os << "  " << printInstruction(inst.get()) << "\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string printModule(const Module& m) {
+  std::ostringstream os;
+  for (const auto& g : m.globals()) {
+    os << "global @" << g->name() << " : i" << g->elemBits() << " x " << g->count();
+    if (g->isConst()) os << " const";
+    if (!g->init().empty()) {
+      os << " = [";
+      for (size_t i = 0; i < g->init().size(); ++i) os << (i ? "," : "") << g->init()[i];
+      os << "]";
+    }
+    os << "\n";
+  }
+  for (const auto& f : m.functions()) os << "\n" << printFunction(f.get());
+  return os.str();
+}
+
+}  // namespace twill

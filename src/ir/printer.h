@@ -1,0 +1,15 @@
+// Textual IR printer, used by tests and --dump-ir debugging.
+#pragma once
+
+#include <string>
+
+#include "src/ir/function.h"
+
+namespace twill {
+
+std::string printValueRef(const Value* v);
+std::string printInstruction(const Instruction* inst);
+std::string printFunction(const Function* f);
+std::string printModule(const Module& m);
+
+}  // namespace twill

@@ -1,0 +1,79 @@
+// Type system for the Twill IR.
+//
+// The thesis targets a 32-bit embedded platform and explicitly excludes
+// values wider than 32 bits (CHStone DFAdd/DFDiv/DFMul/DFSine are dropped for
+// that reason), so the type system is deliberately small: void, integers of
+// 1/8/16/32 bits, and pointers to integers. Arrays appear only as the
+// allocated shape of globals and allocas and decay to pointers everywhere
+// else, mirroring how the thesis's LLVM 2.9 subset is used.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace twill {
+
+class Type {
+public:
+  enum class Kind { Void, Int, Ptr };
+
+  Kind kind() const { return kind_; }
+  bool isVoid() const { return kind_ == Kind::Void; }
+  bool isInt() const { return kind_ == Kind::Int; }
+  bool isPtr() const { return kind_ == Kind::Ptr; }
+
+  /// For Int: the width in bits (1, 8, 16 or 32).
+  unsigned bits() const {
+    assert(isInt());
+    return bits_;
+  }
+
+  /// For Ptr: the width in bits of the pointed-to integer element.
+  unsigned pointeeBits() const {
+    assert(isPtr());
+    return bits_;
+  }
+
+  /// Byte size of a value of this type as stored in simulated memory.
+  unsigned byteSize() const {
+    if (isPtr()) return 4;
+    assert(isInt());
+    return bits_ == 1 ? 1 : bits_ / 8;
+  }
+
+  std::string str() const;
+
+private:
+  friend class TypeContext;
+  Type(Kind kind, unsigned bits) : kind_(kind), bits_(bits) {}
+
+  Kind kind_;
+  unsigned bits_;
+};
+
+/// Owns the unique Type instances for one Module. Types are interned, so
+/// pointer equality is type equality.
+class TypeContext {
+public:
+  TypeContext();
+
+  Type* voidTy() { return void_.get(); }
+  Type* intTy(unsigned bits);
+  /// Pointer to an integer element of the given width.
+  Type* ptrTy(unsigned pointeeBits);
+
+  Type* i1() { return intTy(1); }
+  Type* i8() { return intTy(8); }
+  Type* i16() { return intTy(16); }
+  Type* i32() { return intTy(32); }
+
+private:
+  std::unique_ptr<Type> void_;
+  std::vector<std::unique_ptr<Type>> ints_;  // indexed lookup by width
+  std::vector<std::unique_ptr<Type>> ptrs_;
+};
+
+}  // namespace twill

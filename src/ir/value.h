@@ -1,0 +1,133 @@
+// Value hierarchy for the Twill IR: everything an instruction can reference.
+//
+// Use tracking: every Value keeps the list of instructions that use it, so
+// transforms can replaceAllUsesWith() and DSWP can walk def-use chains when
+// building the Program Dependence Graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/type.h"
+
+namespace twill {
+
+class Instruction;
+
+class Value {
+public:
+  enum class Kind { Constant, Argument, Global, Instruction, BasicBlock, Function };
+
+  virtual ~Value() = default;
+
+  Kind kind() const { return kind_; }
+  Type* type() const { return type_; }
+
+  const std::string& name() const { return name_; }
+  void setName(std::string n) { name_ = std::move(n); }
+
+  /// Instructions currently using this value as an operand. May contain an
+  /// instruction multiple times if it uses the value in several operand
+  /// slots.
+  const std::vector<Instruction*>& users() const { return users_; }
+  bool hasUses() const { return !users_.empty(); }
+
+  /// Rewrites every use of this value to use `v` instead.
+  void replaceAllUsesWith(Value* v);
+
+  // Use-list maintenance; called only by Instruction operand setters.
+  void addUser(Instruction* i) { users_.push_back(i); }
+  void removeUser(Instruction* i);
+
+protected:
+  Value(Kind kind, Type* type) : kind_(kind), type_(type) {}
+
+  Kind kind_;
+  Type* type_;
+  std::string name_;
+  std::vector<Instruction*> users_;
+};
+
+/// Integer constant. The payload is stored zero-extended in a uint64_t; the
+/// consuming operation decides signedness, exactly as in LLVM.
+class Constant : public Value {
+public:
+  Constant(Type* type, uint64_t value) : Value(Kind::Constant, type), value_(value) {}
+
+  uint64_t zext() const { return value_; }
+  /// Sign-extended view at this constant's bit width.
+  int64_t sext() const;
+
+  static bool classof(const Value* v) { return v->kind() == Kind::Constant; }
+
+private:
+  uint64_t value_;
+};
+
+class Function;
+
+/// Formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type* type, unsigned index, Function* parent)
+      : Value(Kind::Argument, type), index_(index), parent_(parent) {}
+
+  unsigned index() const { return index_; }
+  Function* parent() const { return parent_; }
+
+  static bool classof(const Value* v) { return v->kind() == Kind::Argument; }
+
+private:
+  unsigned index_;
+  Function* parent_;
+};
+
+/// A module-level array (or scalar, count == 1) of integers. Its Value type
+/// is a pointer to the element type; the simulator assigns the address.
+class GlobalVar : public Value {
+public:
+  GlobalVar(Type* ptrType, std::string name, unsigned elemBits, uint32_t count, bool isConst)
+      : Value(Kind::Global, ptrType), elemBits_(elemBits), count_(count), isConst_(isConst) {
+    setName(std::move(name));
+  }
+
+  unsigned elemBits() const { return elemBits_; }
+  uint32_t count() const { return count_; }
+  bool isConst() const { return isConst_; }
+  unsigned elemByteSize() const { return elemBits_ == 1 ? 1 : elemBits_ / 8; }
+  uint32_t byteSize() const { return elemByteSize() * count_; }
+
+  /// Initial element values (zero-extended); shorter than count() means the
+  /// remainder is zero-initialized.
+  const std::vector<uint32_t>& init() const { return init_; }
+  void setInit(std::vector<uint32_t> init) { init_ = std::move(init); }
+
+  static bool classof(const Value* v) { return v->kind() == Kind::Global; }
+
+private:
+  unsigned elemBits_;
+  uint32_t count_;
+  bool isConst_;
+  std::vector<uint32_t> init_;
+};
+
+template <typename T>
+T* dyn_cast(Value* v) {
+  return v && T::classof(v) ? static_cast<T*>(v) : nullptr;
+}
+template <typename T>
+const T* dyn_cast(const Value* v) {
+  return v && T::classof(v) ? static_cast<const T*>(v) : nullptr;
+}
+template <typename T>
+bool isa(const Value* v) {
+  return v && T::classof(v);
+}
+template <typename T>
+T* cast(Value* v) {
+  T* t = dyn_cast<T>(v);
+  return t;
+}
+
+}  // namespace twill

@@ -1,0 +1,312 @@
+#include "src/ir/verifier.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/ir/printer.h"
+
+namespace twill {
+namespace {
+
+// Small self-contained dominance computation (iterative bitvector dataflow
+// over reverse-postorder). The verifier deliberately does not depend on the
+// analysis library it is used to validate.
+class SimpleDominance {
+public:
+  explicit SimpleDominance(Function& f) {
+    std::vector<BasicBlock*> rpo = reversePostOrder(f);
+    std::unordered_map<BasicBlock*, size_t> idx;
+    for (size_t i = 0; i < rpo.size(); ++i) idx[rpo[i]] = i;
+    size_t n = rpo.size();
+    // dom[i] = set of blocks dominating rpo[i], as bitvector.
+    std::vector<std::vector<bool>> dom(n, std::vector<bool>(n, true));
+    if (n == 0) return;
+    std::fill(dom[0].begin(), dom[0].end(), false);
+    dom[0][0] = true;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 1; i < n; ++i) {
+        std::vector<bool> in(n, true);
+        bool any = false;
+        for (BasicBlock* p : rpo[i]->predecessors()) {
+          auto it = idx.find(p);
+          if (it == idx.end()) continue;  // unreachable predecessor
+          any = true;
+          for (size_t k = 0; k < n; ++k) in[k] = in[k] && dom[it->second][k];
+        }
+        if (!any) std::fill(in.begin(), in.end(), false);
+        in[i] = true;
+        if (in != dom[i]) {
+          dom[i] = std::move(in);
+          changed = true;
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i)
+      for (size_t k = 0; k < n; ++k)
+        if (dom[i][k]) dominators_[rpo[i]].insert(rpo[k]);
+    for (BasicBlock* bb : rpo) reachable_.insert(bb);
+  }
+
+  bool reachable(BasicBlock* bb) const { return reachable_.count(bb) != 0; }
+
+  /// True if `a` dominates `b` (both must be reachable).
+  bool dominates(BasicBlock* a, BasicBlock* b) const {
+    auto it = dominators_.find(b);
+    return it != dominators_.end() && it->second.count(a) != 0;
+  }
+
+  static std::vector<BasicBlock*> reversePostOrder(Function& f) {
+    std::vector<BasicBlock*> post;
+    std::unordered_set<BasicBlock*> seen;
+    if (!f.entry()) return post;
+    // Iterative DFS.
+    std::vector<std::pair<BasicBlock*, size_t>> stack{{f.entry(), 0}};
+    seen.insert(f.entry());
+    while (!stack.empty()) {
+      auto& [bb, i] = stack.back();
+      auto succs = bb->successors();
+      if (i < succs.size()) {
+        BasicBlock* s = succs[i++];
+        if (seen.insert(s).second) stack.push_back({s, 0});
+      } else {
+        post.push_back(bb);
+        stack.pop_back();
+      }
+    }
+    std::reverse(post.begin(), post.end());
+    return post;
+  }
+
+private:
+  std::unordered_map<BasicBlock*, std::unordered_set<BasicBlock*>> dominators_;
+  std::unordered_set<BasicBlock*> reachable_;
+};
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(Function& f, DiagEngine& diag) : f_(f), diag_(diag) {}
+
+  bool run() {
+    if (!f_.entry()) {
+      error("function @" + f_.name() + " has no blocks");
+      return ok_;
+    }
+    checkStructure();
+    if (!ok_) return false;  // dominance checks assume structural sanity
+    SimpleDominance dom(f_);
+    checkSSA(dom);
+    checkPhis(dom);
+    return ok_;
+  }
+
+private:
+  void error(const std::string& msg) {
+    diag_.error({}, "[" + f_.name() + "] " + msg);
+    ok_ = false;
+  }
+
+  void checkStructure() {
+    std::unordered_set<BasicBlock*> blockSet;
+    for (auto& bb : f_.blocks()) blockSet.insert(bb.get());
+    if (!f_.entry()->predecessors().empty())
+      error("entry block has predecessors");
+    for (auto& bb : f_.blocks()) {
+      if (bb->empty()) {
+        error("block %" + bb->name() + " is empty");
+        continue;
+      }
+      if (!bb->terminator()) error("block %" + bb->name() + " lacks a terminator");
+      bool seenNonPhi = false;
+      for (auto it = bb->begin(); it != bb->end(); ++it) {
+        Instruction* inst = it->get();
+        if (inst->isTerminator() && inst != bb->back())
+          error("terminator in the middle of block %" + bb->name());
+        if (inst->isPhi()) {
+          if (seenNonPhi) error("phi after non-phi in block %" + bb->name());
+        } else {
+          seenNonPhi = true;
+        }
+        if (inst->parent() != bb.get()) error("instruction parent link broken in %" + bb->name());
+        for (unsigned i = 0; i < inst->numOperands(); ++i) {
+          Value* op = inst->operand(i);
+          if (!op) {
+            error("null operand in " + printInstruction(inst));
+            continue;
+          }
+          if (auto* tb = dyn_cast<BasicBlock>(op)) {
+            if (!blockSet.count(tb))
+              error("branch to block of another function in %" + bb->name());
+            if (!inst->isTerminator())
+              error("non-terminator references a block in %" + bb->name());
+          }
+          if (auto* oi = dyn_cast<Instruction>(op)) {
+            if (!oi->parent() || oi->parent()->parent() != &f_)
+              error("operand from another function in " + printInstruction(inst));
+          }
+          if (auto* oa = dyn_cast<Argument>(op)) {
+            if (oa->parent() != &f_)
+              error("argument of another function used in " + printInstruction(inst));
+          }
+        }
+        checkTypes(inst);
+      }
+    }
+  }
+
+  void checkTypes(Instruction* inst) {
+    auto intOp = [&](unsigned i) {
+      if (!inst->operand(i)->type()->isInt())
+        error("operand " + std::to_string(i) + " of " + printInstruction(inst) + " not an int");
+    };
+    Opcode op = inst->op();
+    if (isBinaryOp(op) || isCompareOp(op)) {
+      if (inst->numOperands() != 2) error("binary op arity");
+      else if (inst->operand(0)->type() != inst->operand(1)->type())
+        error("operand type mismatch in " + printInstruction(inst));
+    } else if (op == Opcode::Load) {
+      if (inst->numOperands() != 1 || !inst->operand(0)->type()->isPtr())
+        error("load needs a pointer operand: " + printInstruction(inst));
+      else if (inst->type()->bits() != inst->operand(0)->type()->pointeeBits())
+        error("load width mismatch: " + printInstruction(inst));
+    } else if (op == Opcode::Store) {
+      if (inst->numOperands() != 2 || !inst->operand(1)->type()->isPtr())
+        error("store needs (value, pointer): " + printInstruction(inst));
+      else if (!inst->operand(0)->type()->isInt() ||
+               inst->operand(0)->type()->bits() != inst->operand(1)->type()->pointeeBits())
+        error("store width mismatch: " + printInstruction(inst));
+    } else if (op == Opcode::Gep) {
+      if (inst->numOperands() != 2 || !inst->operand(0)->type()->isPtr())
+        error("gep needs (pointer, index): " + printInstruction(inst));
+      else intOp(1);
+    } else if (op == Opcode::CondBr) {
+      if (inst->operand(0)->type()->isInt() == false || inst->operand(0)->type()->bits() != 1)
+        error("condbr condition must be i1: " + printInstruction(inst));
+    } else if (op == Opcode::Ret) {
+      bool wantsValue = !f_.retType()->isVoid();
+      if (wantsValue != (inst->numOperands() == 1))
+        error("ret arity does not match function return type in @" + f_.name());
+      else if (wantsValue && inst->operand(0)->type() != f_.retType())
+        error("ret value type mismatch in @" + f_.name());
+    } else if (op == Opcode::Call) {
+      Function* callee = inst->callee();
+      if (!callee) {
+        error("call without callee");
+      } else if (inst->numOperands() != callee->numArgs()) {
+        error("call arity mismatch to @" + callee->name());
+      } else {
+        for (unsigned i = 0; i < inst->numOperands(); ++i)
+          if (inst->operand(i)->type() != callee->arg(i)->type())
+            error("call argument " + std::to_string(i) + " type mismatch to @" + callee->name());
+      }
+    } else if (isCastOp(op)) {
+      if (inst->numOperands() != 1 || !inst->operand(0)->type()->isInt() || !inst->type()->isInt())
+        error("cast wants int operand and result: " + printInstruction(inst));
+      else {
+        unsigned from = inst->operand(0)->type()->bits();
+        unsigned to = inst->type()->bits();
+        if ((op == Opcode::Trunc && to >= from) || (op != Opcode::Trunc && to <= from))
+          error("cast direction invalid: " + printInstruction(inst));
+      }
+    } else if (op == Opcode::PtrToInt) {
+      if (inst->numOperands() != 1 || !inst->operand(0)->type()->isPtr() ||
+          !inst->type()->isInt() || inst->type()->bits() != 32)
+        error("ptrtoint wants (pointer) -> i32: " + printInstruction(inst));
+    } else if (op == Opcode::IntToPtr) {
+      if (inst->numOperands() != 1 || !inst->operand(0)->type()->isInt() ||
+          inst->operand(0)->type()->bits() != 32 || !inst->type()->isPtr())
+        error("inttoptr wants (i32) -> pointer: " + printInstruction(inst));
+    } else if (op == Opcode::Select) {
+      if (inst->numOperands() != 3) error("select arity");
+      else if (inst->operand(1)->type() != inst->operand(2)->type())
+        error("select arm type mismatch: " + printInstruction(inst));
+    }
+  }
+
+  void checkSSA(const SimpleDominance& dom) {
+    for (auto& bb : f_.blocks()) {
+      if (!dom.reachable(bb.get())) continue;
+      for (auto& instPtr : *bb) {
+        Instruction* inst = instPtr.get();
+        if (inst->isPhi()) continue;  // phi uses checked on edges
+        for (unsigned i = 0; i < inst->numOperands(); ++i) {
+          auto* def = dyn_cast<Instruction>(inst->operand(i));
+          if (!def) continue;
+          if (!dominatesUse(def, inst, dom))
+            error("use of " + printValueRef(def) + " in " + printInstruction(inst) +
+                  " is not dominated by its definition");
+        }
+      }
+    }
+  }
+
+  bool dominatesUse(Instruction* def, Instruction* use, const SimpleDominance& dom) {
+    BasicBlock* db = def->parent();
+    BasicBlock* ub = use->parent();
+    if (db != ub) return dom.dominates(db, ub);
+    // Same block: def must come first.
+    for (auto& i : *db) {
+      if (i.get() == def) return true;
+      if (i.get() == use) return false;
+    }
+    return false;
+  }
+
+  void checkPhis(const SimpleDominance& dom) {
+    for (auto& bb : f_.blocks()) {
+      if (!dom.reachable(bb.get())) continue;
+      auto preds = bb->predecessors();
+      for (auto& instPtr : *bb) {
+        Instruction* inst = instPtr.get();
+        if (!inst->isPhi()) break;
+        if (inst->numIncoming() != preds.size()) {
+          error("phi in %" + bb->name() + " has " + std::to_string(inst->numIncoming()) +
+                " entries for " + std::to_string(preds.size()) + " predecessors");
+          continue;
+        }
+        for (unsigned i = 0; i < inst->numIncoming(); ++i) {
+          BasicBlock* in = inst->incomingBlock(i);
+          if (std::find(preds.begin(), preds.end(), in) == preds.end()) {
+            error("phi in %" + bb->name() + " names non-predecessor %" + in->name());
+            continue;
+          }
+          if (auto* def = dyn_cast<Instruction>(inst->incomingValue(i))) {
+            // The incoming value must dominate the edge, i.e. the pred block.
+            if (dom.reachable(in) &&
+                !(def->parent() == in ? true : dom.dominates(def->parent(), in)))
+              error("phi incoming value " + printValueRef(def) + " does not dominate edge from %" +
+                    in->name());
+          }
+          if (inst->incomingValue(i)->type() != inst->type() &&
+              !isa<Constant>(inst->incomingValue(i)))
+            error("phi incoming type mismatch in %" + bb->name());
+        }
+      }
+    }
+  }
+
+  Function& f_;
+  DiagEngine& diag_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+bool verifyFunction(Function& f, DiagEngine& diag) { return FunctionVerifier(f, diag).run(); }
+
+bool verifyModule(Module& m, DiagEngine& diag) {
+  bool ok = true;
+  for (auto& f : m.functions()) ok &= verifyFunction(*f, diag);
+  return ok;
+}
+
+std::string verifyToString(Module& m) {
+  DiagEngine diag;
+  verifyModule(m, diag);
+  return diag.str();
+}
+
+}  // namespace twill

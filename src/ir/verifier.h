@@ -1,0 +1,20 @@
+// IR verifier: structural and SSA well-formedness checks.
+#pragma once
+
+#include <string>
+
+#include "src/ir/function.h"
+#include "src/support/diag.h"
+
+namespace twill {
+
+/// Verifies one function; reports problems to `diag`. Returns true if clean.
+bool verifyFunction(Function& f, DiagEngine& diag);
+
+/// Verifies every function in the module.
+bool verifyModule(Module& m, DiagEngine& diag);
+
+/// Convenience: verify and return the diagnostics text ("" when clean).
+std::string verifyToString(Module& m);
+
+}  // namespace twill

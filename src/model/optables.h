@@ -1,0 +1,67 @@
+// Operation cost tables: software (Microblaze-like) cycles, hardware (HLS)
+// latencies, and hardware area — the numbers the thesis quotes where it
+// quotes any (§5.2: load/store 2 cycles SW, store 1 cycle HW; division 34
+// cycles SW vs 13 HW; §4.5: five cycles for any processor<->primitive
+// operation; §6.2: primitive LUT counts).
+#pragma once
+
+#include <cstdint>
+
+#include "src/ir/instruction.h"
+
+namespace twill {
+
+/// Cycles to execute one IR operation on the Microblaze-like soft core
+/// (pipeline-amortized; the CPU model adds bus contention for runtime ops).
+unsigned swCycles(const Instruction& inst);
+
+/// Hardware operation latency in cycles. Latency 0 = combinational, can
+/// chain with other latency-0 ops inside one FSM state (bounded chain depth).
+unsigned hwLatency(const Instruction& inst);
+
+/// Area of one hardware functional-unit instance for this operation.
+struct OpArea {
+  unsigned luts = 0;
+  unsigned dsps = 0;
+};
+OpArea hwOpArea(const Instruction& inst);
+
+/// Cycle·area product used as the DSWP partitioner's hardware weight (§5.2).
+uint64_t hwWeight(const Instruction& inst);
+
+/// Fixed runtime-primitive areas measured by the thesis (§6.2).
+struct PrimitiveAreas {
+  static constexpr unsigned kQueueLuts = 65;
+  static constexpr unsigned kQueueDsps = 1;
+  static constexpr unsigned kSemaphoreLuts = 70;
+  static constexpr unsigned kHwInterfaceLuts = 44;  // per hardware thread
+  static constexpr unsigned kProcessorIfaceLuts = 24;
+  static constexpr unsigned kSchedulerLuts = 98;
+  static constexpr unsigned kSchedulerDsps = 2;
+  static constexpr unsigned kBusArbiterLuts = 15;   // two arbiters in a system
+  static constexpr unsigned kMicroblazeLuts = 1434; // Table 6.2 fixed delta
+  static constexpr unsigned kMicroblazeBrams = 16;  // §6.2
+};
+
+/// Cycle costs of the runtime architecture (Ch. 4).
+struct RuntimeTiming {
+  /// Main bus: 1 cycle latency, 1 message/cycle throughput (§4.1).
+  static constexpr unsigned kBusLatency = 1;
+  /// Memory bus: write 1 cycle, read 2 cycles without contention (§4.1).
+  static constexpr unsigned kMemWrite = 1;
+  static constexpr unsigned kMemRead = 2;
+  /// Cross-domain store visibility (write-update coherency, §4.1/§4.5).
+  static constexpr unsigned kCoherencyDelay = 2;
+  /// Semaphore raise 1 cycle, lower >= 2 cycles (§4.2).
+  static constexpr unsigned kSemRaise = 1;
+  static constexpr unsigned kSemLower = 2;
+  /// Queue enqueue/dequeue >= 2 cycles (§4.3).
+  static constexpr unsigned kQueueOp = 2;
+  /// Any processor <-> primitive operation costs 5 cycles (§4.5).
+  static constexpr unsigned kProcessorPrimitiveOp = 5;
+  /// Context switch cost on the processor (single switch thanks to the
+  /// hardware scheduler, §4.4).
+  static constexpr unsigned kContextSwitch = 32;
+};
+
+}  // namespace twill

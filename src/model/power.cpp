@@ -1,0 +1,34 @@
+#include "src/model/power.h"
+
+#include <algorithm>
+
+namespace twill {
+
+double estimatePower(const PowerInputs& in) {
+  const double cycles = static_cast<double>(std::max<uint64_t>(in.totalCycles, 1));
+
+  // Static leakage: proportional to configured fabric. DSP/BRAM blocks are
+  // hard macros with small leakage per block.
+  double p = 0.003 * static_cast<double>(in.luts) + 0.1 * static_cast<double>(in.dsps) +
+             1.0 * static_cast<double>(in.brams);
+
+  // Clock network: one PLL for the fabric; the Microblaze adds two more
+  // (the dominant term the thesis observed in §6.3).
+  p += 45.0;
+  if (in.hasMicroblaze) p += 110.0;
+
+  // Dynamic power: processor core switching, fabric switching, bus traffic.
+  // CPU activity clamps to 1 (a core toggles at most every cycle). Fabric
+  // activity is averaged over the threads the busy cycles were summed from:
+  // each thread only toggles its own share of the LUTs.
+  double cpuActivity = std::min(1.0, static_cast<double>(in.cpuBusyCycles) / cycles);
+  double hwActivity = std::min(
+      1.0, static_cast<double>(in.hwBusyCycles) /
+               (cycles * static_cast<double>(in.hwThreads ? in.hwThreads : 1)));
+  p += 150.0 * cpuActivity;
+  p += 0.006 * static_cast<double>(in.luts) * hwActivity;
+  p += 10.0 * (static_cast<double>(in.busMessages) / cycles);
+  return p;
+}
+
+}  // namespace twill

@@ -1,0 +1,33 @@
+// Analytic power model (§6.3 of the thesis).
+//
+// Fig. 6.1 reports power normalized to the pure-Microblaze implementation,
+// measured with Xilinx's power simulation tools. This model reproduces that
+// ordering (pure HW < Twill hybrid < pure SW) from first principles:
+// static power proportional to configured area, dynamic power proportional
+// to per-domain activity, and a large fixed PLL term charged to systems
+// containing the Microblaze — the thesis attributes most of Microblaze's
+// inefficiency to its internal PLLs.
+#pragma once
+
+#include <cstdint>
+
+namespace twill {
+
+struct PowerInputs {
+  // Configured area.
+  uint64_t luts = 0;
+  uint64_t dsps = 0;
+  uint64_t brams = 0;
+  bool hasMicroblaze = false;
+  // Activity: busy cycles per domain over total cycles.
+  uint64_t totalCycles = 1;
+  uint64_t cpuBusyCycles = 0;
+  uint64_t hwBusyCycles = 0;   // summed over hardware threads
+  unsigned hwThreads = 1;      // threads the busy cycles are summed over
+  uint64_t busMessages = 0;    // module + memory bus
+};
+
+/// Power in arbitrary units (only ratios are meaningful, as in Fig. 6.1).
+double estimatePower(const PowerInputs& in);
+
+}  // namespace twill

@@ -1,0 +1,220 @@
+// Cycle-level model of the Twill hardware runtime (Ch. 4 of the thesis):
+// the module bus with its priority arbiter, the memory bus, FIFO queue
+// primitives and counting semaphores.
+//
+// Timing model: each bus is a 1-message-per-cycle resource; a requester gets
+// the earliest free slot at or after `now` (the CPU is ticked first each
+// cycle, which realizes the arbiter's processor-first priority of §4.1).
+// Queue handshakes cost the documented minimum cycles (§4.3: 2 cycles;
+// semaphore raise 1 / lower 2, §4.2; any processor-side primitive operation
+// costs 5 cycles, §4.5) plus bus contention. A configurable queue latency
+// delays element visibility for the Fig. 6.5 sweep.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/ir/interp.h"
+#include "src/model/optables.h"
+
+namespace twill {
+
+struct FabricConfig {
+  unsigned queueCapacity = 8;  // §6: 8x32 queues by default
+  unsigned queueLatency = RuntimeTiming::kQueueOp;  // produce -> visible delay
+  unsigned numProcessors = 1;
+};
+
+/// N-ports-per-cycle resource (dual-port BRAM in the pure-hardware flow).
+/// `now` must be non-decreasing across calls (single-owner use).
+class PortModel {
+public:
+  explicit PortModel(unsigned portsPerCycle) : cap_(portsPerCycle) {}
+  uint64_t acquire(uint64_t now) {
+    if (now > cycle_) {
+      cycle_ = now;
+      used_ = 1;
+      return now;
+    }
+    if (used_ < cap_) {
+      ++used_;
+      return cycle_;
+    }
+    ++cycle_;
+    used_ = 1;
+    return cycle_;
+  }
+
+private:
+  unsigned cap_;
+  uint64_t cycle_ = 0;
+  unsigned used_ = 0;
+};
+
+/// One-message-per-cycle shared resource.
+class BusModel {
+public:
+  /// Earliest grant cycle at or after `now`; reserves the slot.
+  uint64_t acquire(uint64_t now) {
+    uint64_t grant = now > nextFree_ ? now : nextFree_;
+    nextFree_ = grant + 1;
+    ++messages_;
+    return grant;
+  }
+  uint64_t messages() const { return messages_; }
+
+private:
+  uint64_t nextFree_ = 0;
+  uint64_t messages_ = 0;
+};
+
+/// FIFO queue primitive (§4.3). Elements carry the cycle at which they
+/// become visible to the consumer.
+class HwQueue {
+public:
+  HwQueue(unsigned capacity, unsigned width) : capacity_(capacity), width_(width) {}
+
+  bool full() const { return data_.size() >= capacity_; }
+  bool empty() const { return data_.empty(); }
+  bool frontVisible(uint64_t now) const { return !data_.empty() && data_.front().visibleAt <= now; }
+
+  void push(uint32_t value, uint64_t visibleAt) {
+    data_.push_back({value, visibleAt});
+    ++enqueues_;
+    if (data_.size() > maxOccupancy_) maxOccupancy_ = data_.size();
+  }
+  uint32_t pop() {
+    uint32_t v = data_.front().value;
+    data_.pop_front();
+    ++dequeues_;
+    return v;
+  }
+
+  unsigned capacity() const { return capacity_; }
+  unsigned width() const { return width_; }
+  uint64_t enqueues() const { return enqueues_; }
+  uint64_t dequeues() const { return dequeues_; }
+  size_t maxOccupancy() const { return maxOccupancy_; }
+
+private:
+  struct Elem {
+    uint32_t value;
+    uint64_t visibleAt;
+  };
+  unsigned capacity_;
+  unsigned width_;
+  std::deque<Elem> data_;
+  uint64_t enqueues_ = 0;
+  uint64_t dequeues_ = 0;
+  size_t maxOccupancy_ = 0;
+};
+
+/// Counting semaphore primitive (§4.2).
+class HwSemaphore {
+public:
+  explicit HwSemaphore(uint32_t initial = 0) : count_(initial) {}
+  bool tryLower(uint32_t n) {
+    if (count_ < n) return false;
+    count_ -= n;
+    ++lowers_;
+    return true;
+  }
+  void raise(uint32_t n) {
+    count_ += n;
+    ++raises_;
+  }
+  uint64_t raises() const { return raises_; }
+  uint64_t lowers() const { return lowers_; }
+
+private:
+  uint64_t count_;
+  uint64_t raises_ = 0;
+  uint64_t lowers_ = 0;
+};
+
+/// The assembled runtime fabric: buses + primitives + counters.
+class Fabric {
+public:
+  explicit Fabric(const FabricConfig& cfg) : cfg_(cfg) {}
+
+  void addQueue(int id, unsigned width) {
+    if (static_cast<size_t>(id) >= queues_.size()) queues_.resize(id + 1);
+    queues_[id] = std::make_unique<HwQueue>(cfg_.queueCapacity, width);
+  }
+  void addSemaphore(int id, uint32_t initial) {
+    if (static_cast<size_t>(id) >= sems_.size()) sems_.resize(id + 1);
+    sems_[id] = std::make_unique<HwSemaphore>(initial);
+  }
+
+  HwQueue& queue(int id) { return *queues_.at(id); }
+  HwSemaphore& semaphore(int id) { return *sems_.at(id); }
+  bool hasQueue(int id) const {
+    return id >= 0 && static_cast<size_t>(id) < queues_.size() && queues_[id];
+  }
+
+  BusModel& moduleBus() { return moduleBus_; }
+  BusModel& memoryBus() { return memoryBus_; }
+  const FabricConfig& config() const { return cfg_; }
+
+  size_t numQueues() const { return queues_.size(); }
+  size_t numSemaphores() const { return sems_.size(); }
+
+private:
+  FabricConfig cfg_;
+  BusModel moduleBus_;
+  BusModel memoryBus_;
+  std::vector<std::unique_ptr<HwQueue>> queues_;
+  std::vector<std::unique_ptr<HwSemaphore>> sems_;
+};
+
+/// Per-thread endpoint implementing the interpreter's ChannelIO against the
+/// fabric with domain-appropriate costs. The executing wrapper sets `now`
+/// before each step and reads `lastCost` after a successful runtime op.
+class ThreadPort : public ChannelIO {
+public:
+  ThreadPort(Fabric& fabric, bool isHW) : fabric_(fabric), isHW_(isHW) {}
+
+  uint64_t now = 0;
+  unsigned lastCost = 0;
+
+  bool tryProduce(int channel, uint32_t value) override {
+    HwQueue& q = fabric_.queue(channel);
+    if (q.full()) return false;
+    uint64_t grant = fabric_.moduleBus().acquire(now);
+    q.push(value, grant + fabric_.config().queueLatency);
+    lastCost = static_cast<unsigned>(grant - now) + opCost(RuntimeTiming::kQueueOp);
+    return true;
+  }
+  bool tryConsume(int channel, uint32_t& value) override {
+    HwQueue& q = fabric_.queue(channel);
+    if (!q.frontVisible(now)) return false;
+    uint64_t grant = fabric_.moduleBus().acquire(now);
+    value = q.pop();
+    lastCost = static_cast<unsigned>(grant - now) + opCost(RuntimeTiming::kQueueOp);
+    return true;
+  }
+  bool trySemRaise(int sem, uint32_t count) override {
+    uint64_t grant = fabric_.moduleBus().acquire(now);
+    fabric_.semaphore(sem).raise(count);
+    lastCost = static_cast<unsigned>(grant - now) + opCost(RuntimeTiming::kSemRaise);
+    return true;
+  }
+  bool trySemLower(int sem, uint32_t count) override {
+    if (!fabric_.semaphore(sem).tryLower(count)) return false;
+    uint64_t grant = fabric_.moduleBus().acquire(now);
+    lastCost = static_cast<unsigned>(grant - now) + opCost(RuntimeTiming::kSemLower);
+    return true;
+  }
+
+private:
+  unsigned opCost(unsigned hwCycles) const {
+    // §4.5: every processor <-> primitive operation takes 5 cycles.
+    return isHW_ ? hwCycles : RuntimeTiming::kProcessorPrimitiveOp;
+  }
+  Fabric& fabric_;
+  bool isHW_;
+};
+
+}  // namespace twill

@@ -1,0 +1,409 @@
+#include "src/sim/system.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace twill {
+namespace {
+
+/// One executing context (a hardware thread, or one software thread of the
+/// processor). Wraps the functional ExecState with a cost model.
+class SimThread {
+public:
+  SimThread(Module& m, const Layout& layout, Memory& mem, Fabric* fabric, Function* fn,
+            bool isHW, const ScheduleMap* schedules)
+      : port_(fabric ? std::make_unique<ThreadPort>(*fabric, isHW) : nullptr),
+        nullChans_(),
+        state_(m, layout, mem, port_ ? static_cast<ChannelIO&>(*port_) : nullChans_, fn),
+        fabric_(fabric),
+        isHW_(isHW),
+        schedules_(schedules) {}
+
+  std::string describeLocation() const { return state_.describeLocation(); }
+  bool finished() const { return state_.finished(); }
+  bool trapped() const { return state_.trapped(); }
+  const std::string& trapMessage() const { return state_.trapMessage(); }
+  uint32_t result() const { return state_.result(); }
+  uint64_t retired() const { return state_.retired(); }
+  uint64_t busyUntil = 0;
+  uint64_t busyCycles = 0;
+  uint64_t queueOps = 0;
+  bool lastBlocked = false;
+
+  /// Executes one instruction and charges its cost. Returns true if any
+  /// forward progress was made.
+  /// When blocked: the channel/semaphore and operation we wait on, so the
+  /// hardware scheduler can skip this thread until the wait is satisfied.
+  int waitChannel = -1;
+  Opcode waitOp = Opcode::Add;
+
+  /// True if the blocked thread's wait condition is now satisfiable.
+  bool waitSatisfied(uint64_t now) const {
+    if (!lastBlocked || waitChannel < 0 || !fabric_) return true;
+    switch (waitOp) {
+      case Opcode::Consume: {
+        HwQueue& q = fabric_->queue(waitChannel);
+        return q.frontVisible(now);
+      }
+      case Opcode::Produce:
+        return !fabric_->queue(waitChannel).full();
+      case Opcode::SemLower:
+        // Peek by attempting nothing: a zero-count semaphore stays blocked.
+        return fabric_->semaphore(waitChannel).raises() != semRaisesSeen_;
+      default:
+        return true;
+    }
+  }
+
+  bool step(uint64_t now) {
+    if (port_) port_->now = now;
+    StepResult r = state_.step();
+    lastBlocked = r.status == StepStatus::Blocked;
+    if (r.status == StepStatus::Blocked) {
+      busyUntil = now + 1;  // poll again next cycle
+      waitChannel = r.inst ? r.inst->channel() : -1;
+      waitOp = r.op;
+      if (waitOp == Opcode::SemLower && fabric_)
+        semRaisesSeen_ = fabric_->semaphore(waitChannel).raises();
+      return false;
+    }
+    waitChannel = -1;
+    if (r.status != StepStatus::Ran && r.status != StepStatus::Finished) return false;
+    uint64_t cost = chargeFor(r, now);
+    busyUntil = now + cost;
+    busyCycles += cost;
+    return true;
+  }
+
+private:
+  uint64_t chargeFor(const StepResult& r, uint64_t now) {
+    const Instruction* inst = r.inst;
+    if (!inst) return 0;
+    switch (r.op) {
+      case Opcode::Produce:
+      case Opcode::Consume:
+      case Opcode::SemRaise:
+      case Opcode::SemLower: {
+        ++queueOps;
+        unsigned c = port_ ? port_->lastCost : 1;
+        // In modulo-scheduled steady state a hardware thread overlaps the
+        // handshake with compute; only bus contention remains exposed.
+        if (isHW_ && pipelinedMode_ && c >= RuntimeTiming::kQueueOp)
+          c -= RuntimeTiming::kQueueOp - 1;
+        return c;
+      }
+      default:
+        break;
+    }
+    if (!isHW_) return swCycles(*inst);
+
+    // Hardware: per-block FSM cost charged on the terminator; memory ops
+    // dynamically against the memory bus; everything else is covered by the
+    // block's static state count. Blocks re-executing back-to-back run in
+    // modulo-scheduled steady state and cost their initiation interval.
+    switch (r.op) {
+      case Opcode::Load:
+      case Opcode::Store: {
+        unsigned handshake = r.op == Opcode::Load ? RuntimeTiming::kMemRead
+                                                  : RuntimeTiming::kMemWrite;
+        if (pipelinedMode_) handshake = 0;  // overlapped with compute
+        if (fabric_) {
+          // Twill: the single shared memory bus (§4.1).
+          uint64_t grant = fabric_->memoryBus().acquire(now);
+          return (grant - now) + handshake;
+        }
+        // Pure hardware: LegUp's dual-port block memories still bound the
+        // number of accesses per cycle.
+        uint64_t grant = localMem_.acquire(now);
+        return (grant - now) + handshake;
+      }
+      case Opcode::Br:
+      case Opcode::CondBr:
+      case Opcode::Ret: {
+        const BasicBlock* bb = inst->parent();
+        const Function* fn = bb->parent();
+        auto it = schedules_->find(fn);
+        // Steady state: this block ran within the last two control
+        // transfers (covers self-loops and header/body two-block loops).
+        pipelinedMode_ = (bb == prevBlock1_ || bb == prevBlock2_);
+        prevBlock2_ = prevBlock1_;
+        prevBlock1_ = bb;
+        if (it == schedules_->end()) return 1;
+        return pipelinedMode_ ? it->second.pipelinedIIFor(bb) : it->second.staticCyclesFor(bb);
+      }
+      case Opcode::Call:
+        pipelinedMode_ = false;
+        prevBlock1_ = prevBlock2_ = nullptr;
+        return 1;
+      default:
+        return 0;  // absorbed into the block's static cycles
+    }
+  }
+
+  const BasicBlock* prevBlock1_ = nullptr;
+  const BasicBlock* prevBlock2_ = nullptr;
+  bool pipelinedMode_ = false;
+  uint64_t semRaisesSeen_ = 0;
+  PortModel localMem_{2};  // dual-port BRAM for the pure-HW flow
+
+  std::unique_ptr<ThreadPort> port_;
+  FunctionalChannels nullChans_;  // for baseline runs without a fabric
+  ExecState state_;
+  Fabric* fabric_;
+  bool isHW_;
+  const ScheduleMap* schedules_;
+};
+
+}  // namespace
+
+ScheduleMap scheduleModule(Module& m, const HlsConstraints& c) {
+  ScheduleMap out;
+  for (auto& f : m.functions()) out.emplace(f.get(), scheduleFunction(*f, c));
+  return out;
+}
+
+SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg,
+                         const ScheduleMap& schedules) {
+  SimOutcome out;
+  Memory mem;
+  Layout layout;
+  layout.build(m, mem);
+
+  FabricConfig fc;
+  fc.queueCapacity = cfg.queueCapacity;
+  fc.queueLatency = cfg.queueLatency;
+  Fabric fabric(fc);
+  for (const auto& ch : dswp.channels) fabric.addQueue(ch.id, ch.bits);
+  for (const auto& s : dswp.semaphores) fabric.addSemaphore(s.id, s.initialCount);
+
+  // Threads: index 0 = main master (software); slaves per their domain.
+  std::vector<std::unique_ptr<SimThread>> swThreads;
+  std::vector<std::unique_ptr<SimThread>> hwThreads;
+  swThreads.push_back(std::make_unique<SimThread>(m, layout, mem, &fabric, dswp.mainMaster,
+                                                  /*isHW=*/false, &schedules));
+  SimThread* mainThread = swThreads[0].get();
+  for (const auto& t : dswp.threads) {
+    if (t.fn == dswp.mainMaster) continue;
+    auto st = std::make_unique<SimThread>(m, layout, mem, &fabric, t.fn, t.isHW, &schedules);
+    (t.isHW ? hwThreads : swThreads).push_back(std::move(st));
+  }
+
+  // Processor state: each Microblaze runs its share of the SW threads under
+  // the hardware round-robin scheduler (§4.4); the main master stays on
+  // processor 0 and threads are distributed round-robin (§4.5 allows a
+  // variable processor count; the thesis evaluates with one).
+  struct Proc {
+    std::vector<size_t> threads;  // indices into swThreads
+    size_t cur = 0;               // index into `threads`
+    uint64_t quantumEnd = 0;
+  };
+  std::vector<Proc> procs(std::max(1u, cfg.numProcessors));
+  for (size_t i = 0; i < swThreads.size(); ++i)
+    procs[i % procs.size()].threads.push_back(i);
+  for (auto& p : procs) p.quantumEnd = cfg.schedQuantum;
+  uint64_t cycle = 0;
+  uint64_t lastProgress = 0;
+
+  // "Runnable" as the hardware scheduler sees it: alive, and if blocked on
+  // a primitive, that primitive can now make progress (the scheduler snoops
+  // the message bus for this, §4.4).
+  auto swRunnable = [&](size_t i) {
+    SimThread* t = swThreads[i].get();
+    return !t->finished() && !t->trapped() && t->waitSatisfied(cycle);
+  };
+
+  while (!mainThread->finished()) {
+    bool progress = false;
+
+    // Processors: ticked first each cycle (arbiter's processor priority).
+    for (Proc& proc : procs) {
+      if (proc.threads.empty()) continue;
+      auto localRunnable = [&](size_t li) { return swRunnable(proc.threads[li]); };
+      size_t runnable = 0;
+      for (size_t li = 0; li < proc.threads.size(); ++li)
+        if (localRunnable(li)) ++runnable;
+      if (runnable == 0) continue;
+
+      if (!localRunnable(proc.cur)) {
+        // Current thread ended or is stalled; the scheduler installs the next.
+        for (size_t k = 1; k <= proc.threads.size(); ++k) {
+          size_t cand = (proc.cur + k) % proc.threads.size();
+          if (localRunnable(cand)) {
+            proc.cur = cand;
+            ++out.contextSwitches;
+            SimThread* in = swThreads[proc.threads[proc.cur]].get();
+            in->busyUntil = std::max(in->busyUntil, cycle + RuntimeTiming::kContextSwitch);
+            proc.quantumEnd = cycle + cfg.schedQuantum;
+            break;
+          }
+        }
+      }
+      SimThread* cur = swThreads[proc.threads[proc.cur]].get();
+      if (localRunnable(proc.cur) && cycle >= cur->busyUntil) {
+        if (cur->step(cycle)) progress = true;
+        // The hardware scheduler snoops the bus: it switches the processor
+        // out when the active thread blocks, and on quantum expiry (§4.4).
+        // The decision follows the step attempt so a blocked thread still
+        // retries its operation each time it is scheduled.
+        bool quantumExpired = cycle >= proc.quantumEnd;
+        if ((cur->lastBlocked || quantumExpired || cur->finished()) && runnable > 1) {
+          size_t next = proc.cur;
+          for (size_t k = 1; k <= proc.threads.size(); ++k) {
+            size_t cand = (proc.cur + k) % proc.threads.size();
+            if (localRunnable(cand)) {
+              next = cand;
+              break;
+            }
+          }
+          if (next != proc.cur) {
+            proc.cur = next;
+            ++out.contextSwitches;
+            SimThread* in = swThreads[proc.threads[proc.cur]].get();
+            in->busyUntil = std::max(in->busyUntil, cycle + RuntimeTiming::kContextSwitch);
+          }
+          proc.quantumEnd = cycle + cfg.schedQuantum;
+        }
+      }
+    }
+
+    // Hardware threads all tick concurrently.
+    for (auto& t : hwThreads) {
+      if (t->finished() || t->trapped()) continue;
+      if (cycle >= t->busyUntil) {
+        if (t->step(cycle)) progress = true;
+      }
+    }
+
+    if (progress) lastProgress = cycle;
+    if (cycle - lastProgress > cfg.deadlockWindow) {
+      out.message = "twill system deadlock (no progress for " +
+                    std::to_string(cfg.deadlockWindow) + " cycles)\n";
+      for (auto& t : swThreads)
+        if (!t->finished()) out.message += "  SW " + t->describeLocation() + "\n";
+      for (auto& t : hwThreads)
+        if (!t->finished()) out.message += "  HW " + t->describeLocation() + "\n";
+      for (const auto& ch : dswp.channels) {
+        if (!fabric.hasQueue(ch.id)) continue;
+        HwQueue& q = fabric.queue(ch.id);
+        if (!q.empty() || q.enqueues() != q.dequeues())
+          out.message += "  ch" + std::to_string(ch.id) + " [" + ch.note +
+                         "] occ=" + std::to_string(q.enqueues() - q.dequeues()) +
+                         " enq=" + std::to_string(q.enqueues()) + "\n";
+      }
+      return out;
+    }
+    for (auto& t : swThreads)
+      if (t->trapped()) {
+        out.message = "trap: " + t->trapMessage();
+        return out;
+      }
+    for (auto& t : hwThreads)
+      if (t->trapped()) {
+        out.message = "trap: " + t->trapMessage();
+        return out;
+      }
+
+    // Advance: skip idle gaps when every engine is waiting.
+    uint64_t next = cycle + 1;
+    bool anyReady = false;
+    uint64_t minBusy = UINT64_MAX;
+    auto consider = [&](SimThread* t) {
+      if (t->busyUntil <= next) anyReady = true;
+      minBusy = std::min(minBusy, t->busyUntil);
+    };
+    for (Proc& proc : procs)
+      if (!proc.threads.empty() && swRunnable(proc.threads[proc.cur]))
+        consider(swThreads[proc.threads[proc.cur]].get());
+    for (auto& t : hwThreads)
+      if (!t->finished() && !t->trapped()) consider(t.get());
+    cycle = (anyReady || minBusy == UINT64_MAX) ? next : minBusy;
+
+    if (cycle > cfg.maxCycles) {
+      out.message = "cycle limit exceeded";
+      return out;
+    }
+  }
+
+  out.ok = true;
+  out.result = mainThread->result();
+  out.cycles = mainThread->busyUntil;
+  out.busMessages = fabric.moduleBus().messages();
+  out.memBusMessages = fabric.memoryBus().messages();
+  for (auto& t : swThreads) {
+    out.retiredSW += t->retired();
+    out.cpuBusy += t->busyCycles;
+    out.queueOps += t->queueOps;
+  }
+  for (auto& t : hwThreads) {
+    out.retiredHW += t->retired();
+    out.hwBusy += t->busyCycles;
+    out.queueOps += t->queueOps;
+  }
+  return out;
+}
+
+SimOutcome simulatePureSW(Module& m, const SimConfig& cfg) {
+  SimOutcome out;
+  Function* main = m.findFunction("main");
+  if (!main) {
+    out.message = "no main";
+    return out;
+  }
+  Memory mem;
+  Layout layout;
+  layout.build(m, mem);
+  SimThread t(m, layout, mem, nullptr, main, /*isHW=*/false, nullptr);
+  uint64_t cycle = 0;
+  while (!t.finished() && !t.trapped()) {
+    if (cycle >= t.busyUntil) t.step(cycle);
+    cycle = std::max(cycle + 1, t.busyUntil);
+    if (cycle > cfg.maxCycles) {
+      out.message = "cycle limit exceeded";
+      return out;
+    }
+  }
+  if (t.trapped()) {
+    out.message = "trap: " + t.trapMessage();
+    return out;
+  }
+  out.ok = true;
+  out.result = t.result();
+  out.cycles = t.busyUntil;
+  out.retiredSW = t.retired();
+  out.cpuBusy = t.busyCycles;
+  return out;
+}
+
+SimOutcome simulatePureHW(Module& m, const ScheduleMap& schedules, const SimConfig& cfg) {
+  SimOutcome out;
+  Function* main = m.findFunction("main");
+  if (!main) {
+    out.message = "no main";
+    return out;
+  }
+  Memory mem;
+  Layout layout;
+  layout.build(m, mem);
+  SimThread t(m, layout, mem, nullptr, main, /*isHW=*/true, &schedules);
+  uint64_t cycle = 0;
+  while (!t.finished() && !t.trapped()) {
+    if (cycle >= t.busyUntil) t.step(cycle);
+    cycle = std::max(cycle + 1, t.busyUntil);
+    if (cycle > cfg.maxCycles) {
+      out.message = "cycle limit exceeded";
+      return out;
+    }
+  }
+  if (t.trapped()) {
+    out.message = "trap: " + t.trapMessage();
+    return out;
+  }
+  out.ok = true;
+  out.result = t.result();
+  out.cycles = t.busyUntil;
+  out.retiredHW = t.retired();
+  out.hwBusy = t.busyCycles;
+  return out;
+}
+
+}  // namespace twill

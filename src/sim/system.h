@@ -1,0 +1,75 @@
+// Cycle-level co-simulation of a Twill system: one Microblaze-like
+// processor running the software threads under the hardware round-robin
+// scheduler, plus one executor per hardware thread, all sharing the runtime
+// fabric and processor memory.
+//
+// Execution is functionally exact (every engine steps the same IR through
+// the shared eval semantics); timing is charged per the thesis's model:
+//  * software instructions cost their Microblaze cycles (src/model),
+//  * hardware blocks cost their HLS FSM state count (src/hls) with
+//    memory/queue handshakes charged dynamically against the buses,
+//  * runtime primitive operations cost the Ch. 4 handshake cycles plus bus
+//    contention (5 cycles from the processor side, §4.5),
+//  * the hardware scheduler interrupts the processor and a context switch
+//    costs a single switch (§4.4) when more than one SW thread is runnable.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dswp/extract.h"
+#include "src/hls/schedule.h"
+#include "src/rt/fabric.h"
+
+namespace twill {
+
+struct SimConfig {
+  unsigned queueCapacity = 8;
+  unsigned queueLatency = RuntimeTiming::kQueueOp;  // 2-cycle minimum (§4.3)
+  unsigned schedQuantum = 2000;  // scheduler period in cycles (§4.4)
+  /// Microblaze count (§4.5 supports "a variable number of Microblaze
+  /// processors"; the thesis evaluates with one). Software threads are
+  /// distributed round-robin; the main master stays on processor 0.
+  unsigned numProcessors = 1;
+  uint64_t maxCycles = 1ull << 40;
+  uint64_t deadlockWindow = 4u << 20;  // no-progress cycles before aborting
+};
+
+struct SimOutcome {
+  bool ok = false;
+  std::string message;
+  uint32_t result = 0;
+  uint64_t cycles = 0;
+  // Activity counters for the power model.
+  uint64_t busMessages = 0;
+  uint64_t memBusMessages = 0;
+  uint64_t retiredSW = 0;
+  uint64_t retiredHW = 0;
+  uint64_t contextSwitches = 0;
+  uint64_t queueOps = 0;
+  /// Busy (non-idle) cycles per domain.
+  uint64_t cpuBusy = 0;
+  uint64_t hwBusy = 0;
+};
+
+/// Map from every function that may execute in hardware to its FSM schedule.
+using ScheduleMap = std::unordered_map<const Function*, FunctionSchedule>;
+
+/// Builds schedules for every function in the module.
+ScheduleMap scheduleModule(Module& m, const HlsConstraints& c = {});
+
+/// Runs the full Twill system for an extracted module.
+SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg,
+                         const ScheduleMap& schedules);
+
+/// Pure-software baseline: the original (un-extracted) module on the
+/// Microblaze model alone.
+SimOutcome simulatePureSW(Module& m, const SimConfig& cfg = {});
+
+/// Pure-hardware baseline ("LegUp flow"): the whole original module as one
+/// hardware FSM with its own block memories (no runtime fabric).
+SimOutcome simulatePureHW(Module& m, const ScheduleMap& schedules, const SimConfig& cfg = {});
+
+}  // namespace twill

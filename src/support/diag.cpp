@@ -1,0 +1,34 @@
+#include "src/support/diag.h"
+
+#include <sstream>
+
+namespace twill {
+
+void DiagEngine::error(SourceLoc loc, std::string msg) {
+  diags_.push_back({DiagKind::Error, loc, std::move(msg)});
+  ++numErrors_;
+}
+
+void DiagEngine::warning(SourceLoc loc, std::string msg) {
+  diags_.push_back({DiagKind::Warning, loc, std::move(msg)});
+}
+
+void DiagEngine::note(SourceLoc loc, std::string msg) {
+  diags_.push_back({DiagKind::Note, loc, std::move(msg)});
+}
+
+std::string DiagEngine::str() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) {
+    if (d.loc.valid()) os << d.loc.line << ":" << d.loc.col << ": ";
+    switch (d.kind) {
+      case DiagKind::Error: os << "error: "; break;
+      case DiagKind::Warning: os << "warning: "; break;
+      case DiagKind::Note: os << "note: "; break;
+    }
+    os << d.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace twill

@@ -1,0 +1,46 @@
+// Diagnostics: source locations and error reporting shared by the frontend
+// and the IR verifier. Errors are collected rather than thrown so callers
+// (tests, the driver) can inspect everything that went wrong at once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace twill {
+
+/// A position in a source buffer (1-based line/column; 0 means "unknown").
+struct SourceLoc {
+  uint32_t line = 0;
+  uint32_t col = 0;
+  bool valid() const { return line != 0; }
+};
+
+enum class DiagKind { Error, Warning, Note };
+
+struct Diagnostic {
+  DiagKind kind = DiagKind::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Collects diagnostics for one compilation. Not thread-shared.
+class DiagEngine {
+public:
+  void error(SourceLoc loc, std::string msg);
+  void warning(SourceLoc loc, std::string msg);
+  void note(SourceLoc loc, std::string msg);
+
+  bool hasErrors() const { return numErrors_ > 0; }
+  size_t errorCount() const { return numErrors_; }
+  const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// Render all diagnostics as "line:col: kind: message" lines.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> diags_;
+  size_t numErrors_ = 0;
+};
+
+}  // namespace twill

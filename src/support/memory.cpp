@@ -1,0 +1,42 @@
+#include "src/support/memory.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace twill {
+
+void Memory::check(uint32_t addr, uint32_t len) const {
+  // Out-of-range access indicates a compiler or benchmark bug; abort loudly
+  // rather than silently corrupting the simulation.
+  if (addr > bytes_.size() || len > bytes_.size() - addr) {
+    std::fprintf(stderr, "twill: simulated memory access out of range: addr=0x%x len=%u size=0x%zx\n",
+                 addr, len, bytes_.size());
+    std::abort();
+  }
+}
+
+uint32_t Memory::load(uint32_t addr, uint32_t bytes) const {
+  check(addr, bytes);
+  ++loads_;
+  uint32_t v = 0;
+  for (uint32_t i = 0; i < bytes; ++i) v |= static_cast<uint32_t>(bytes_[addr + i]) << (8 * i);
+  return v;
+}
+
+void Memory::store(uint32_t addr, uint32_t bytes, uint32_t value) {
+  check(addr, bytes);
+  ++stores_;
+  for (uint32_t i = 0; i < bytes; ++i) bytes_[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+void Memory::write(uint32_t addr, const void* src, uint32_t len) {
+  check(addr, len);
+  std::memcpy(bytes_.data() + addr, src, len);
+}
+
+void Memory::read(uint32_t addr, void* dst, uint32_t len) const {
+  check(addr, len);
+  std::memcpy(dst, bytes_.data() + addr, len);
+}
+
+}  // namespace twill

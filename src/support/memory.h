@@ -1,0 +1,44 @@
+// Byte-addressed simulated memory shared by the IR interpreter, the
+// Microblaze-like CPU model and the hardware-thread executors. Functionally
+// a flat little-endian 32-bit address space; all timing (bus latency,
+// write-update coherency delay) is charged by the simulator, not here.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace twill {
+
+class Memory {
+public:
+  explicit Memory(uint32_t size = kDefaultSize) : bytes_(size, 0) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(bytes_.size()); }
+
+  /// Loads `bytes` (1, 2 or 4) little-endian, zero-extended to 32 bits.
+  uint32_t load(uint32_t addr, uint32_t bytes) const;
+  /// Stores the low `bytes` of `value` little-endian.
+  void store(uint32_t addr, uint32_t bytes, uint32_t value);
+
+  /// Bulk access for loading program data (global initializers).
+  void write(uint32_t addr, const void* src, uint32_t len);
+  void read(uint32_t addr, void* dst, uint32_t len) const;
+
+  void clear() { std::memset(bytes_.data(), 0, bytes_.size()); }
+
+  /// Number of loads/stores performed, for activity-based power modelling.
+  uint64_t loadCount() const { return loads_; }
+  uint64_t storeCount() const { return stores_; }
+
+  static constexpr uint32_t kDefaultSize = 4u << 20;  // 4 MiB
+
+private:
+  void check(uint32_t addr, uint32_t len) const;
+
+  std::vector<uint8_t> bytes_;
+  mutable uint64_t loads_ = 0;
+  uint64_t stores_ = 0;
+};
+
+}  // namespace twill

@@ -1,0 +1,266 @@
+// Function inlining and dead-function removal.
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/ir/builder.h"
+#include "src/transforms/passes.h"
+
+namespace twill {
+namespace {
+
+std::vector<Instruction*> callSitesIn(Function& f) {
+  std::vector<Instruction*> calls;
+  for (auto& bb : f.blocks())
+    for (auto& inst : *bb)
+      if (inst->op() == Opcode::Call) calls.push_back(inst.get());
+  return calls;
+}
+
+/// Clones an instruction with operands remapped through `map` (identity for
+/// unmapped values such as constants and globals).
+std::unique_ptr<Instruction> cloneInstruction(
+    Instruction* inst, const std::unordered_map<Value*, Value*>& map) {
+  auto clone = std::make_unique<Instruction>(inst->op(), inst->type());
+  auto mapped = [&](Value* v) -> Value* {
+    auto it = map.find(v);
+    return it == map.end() ? v : it->second;
+  };
+  if (inst->isPhi()) {
+    for (unsigned i = 0; i < inst->numIncoming(); ++i)
+      clone->addIncoming(mapped(inst->incomingValue(i)),
+                         static_cast<BasicBlock*>(mapped(inst->incomingBlock(i))));
+  } else {
+    for (unsigned i = 0; i < inst->numOperands(); ++i) clone->addOperand(mapped(inst->operand(i)));
+  }
+  if (inst->op() == Opcode::Alloca)
+    clone->setAllocaInfo(inst->allocaElemBits(), inst->allocaCount());
+  if (inst->op() == Opcode::Produce || inst->op() == Opcode::Consume ||
+      inst->op() == Opcode::SemRaise || inst->op() == Opcode::SemLower)
+    clone->setChannel(inst->channel());
+  if (inst->op() == Opcode::Call) clone->setCallee(inst->callee());
+  clone->setName(inst->name());
+  return clone;
+}
+
+/// Inlines one call site. Returns true on success.
+bool inlineCall(Module& m, Instruction* call) {
+  Function* callee = call->callee();
+  Function* caller = call->parent()->parent();
+  if (!callee->entry() || callee == caller) return false;
+
+  BasicBlock* pre = call->parent();
+  // Split: everything after the call (including the terminator) moves into a
+  // continuation block.
+  BasicBlock* post = caller->createBlockAfter(pre, pre->name() + ".inlcont");
+  {
+    std::vector<Instruction*> toMove;
+    bool after = false;
+    for (auto& inst : *pre) {
+      if (after) toMove.push_back(inst.get());
+      if (inst.get() == call) after = true;
+    }
+    for (Instruction* i : toMove) post->append(pre->detach(i));
+  }
+  // Successor PHIs that named `pre` must now name `post` (the terminator
+  // moved there).
+  for (BasicBlock* s : post->successors()) {
+    for (auto& inst : *s) {
+      if (!inst->isPhi()) break;
+      int idx = inst->incomingIndexFor(pre);
+      if (idx >= 0) inst->setIncomingBlock(static_cast<unsigned>(idx), post);
+    }
+  }
+
+  // Clone callee blocks (empty first, for forward references).
+  std::unordered_map<Value*, Value*> map;
+  for (unsigned i = 0; i < callee->numArgs(); ++i) map[callee->arg(i)] = call->operand(i);
+  std::vector<BasicBlock*> clonedBlocks;
+  BasicBlock* insertAfter = pre;
+  for (auto& bb : callee->blocks()) {
+    BasicBlock* c = caller->createBlockAfter(insertAfter, callee->name() + "." + bb->name());
+    insertAfter = c;
+    map[bb.get()] = c;
+    clonedBlocks.push_back(c);
+  }
+  // Clone instructions.
+  std::vector<Instruction*> retInsts;  // cloned rets; values read post-remap
+  {
+    auto cbIt = clonedBlocks.begin();
+    for (auto& bb : callee->blocks()) {
+      BasicBlock* c = *cbIt++;
+      for (auto& inst : *bb) {
+        std::unique_ptr<Instruction> clone = cloneInstruction(inst.get(), map);
+        Instruction* ci = c->append(std::move(clone));
+        map[inst.get()] = ci;
+        if (ci->op() == Opcode::Ret) retInsts.push_back(ci);
+      }
+    }
+    // Second pass: phis may reference instructions cloned later; fix them.
+    for (BasicBlock* c : clonedBlocks) {
+      for (auto& inst : *c) {
+        for (unsigned i = 0; i < inst->numOperands(); ++i) {
+          auto it = map.find(inst->operand(i));
+          if (it != map.end() && it->second != inst->operand(i)) inst->setOperand(i, it->second);
+        }
+        if (inst->isPhi()) {
+          for (unsigned i = 0; i < inst->numIncoming(); ++i) {
+            auto it = map.find(inst->incomingBlock(i));
+            if (it != map.end())
+              inst->setIncomingBlock(i, static_cast<BasicBlock*>(it->second));
+          }
+        }
+      }
+    }
+  }
+
+  // Branch from pre into the cloned entry.
+  IRBuilder b(m);
+  b.setInsertPoint(pre);
+  b.br(static_cast<BasicBlock*>(map[callee->entry()]));
+
+  // Rewire cloned returns to the continuation and merge return values.
+  // (Return values are read only now, after the second remap pass.)
+  Value* result = nullptr;
+  if (retInsts.size() == 1) {
+    result = retInsts[0]->numOperands() ? retInsts[0]->operand(0) : nullptr;
+  } else if (!retInsts.empty() && !callee->retType()->isVoid()) {
+    auto phi = std::make_unique<Instruction>(Opcode::Phi, callee->retType());
+    Instruction* p = post->insert(post->begin(), std::move(phi));
+    for (Instruction* ret : retInsts) p->addIncoming(ret->operand(0), ret->parent());
+    result = p;
+  }
+  for (Instruction* ret : retInsts) {
+    BasicBlock* rb = ret->parent();
+    ret->dropOperands();
+    rb->erase(ret);
+    IRBuilder rbld(m);
+    rbld.setInsertPoint(rb);
+    rbld.br(post);
+  }
+
+  // Replace the call's value and remove it.
+  if (!call->type()->isVoid() && result) call->replaceAllUsesWith(result);
+  call->dropOperands();
+  pre->erase(call);
+  return true;
+}
+
+}  // namespace
+
+bool inlineFunctions(Module& m, unsigned sizeThreshold) {
+  // Count call sites per callee.
+  std::unordered_map<Function*, unsigned> siteCount;
+  for (auto& f : m.functions())
+    for (Instruction* c : callSitesIn(*f)) siteCount[c->callee()]++;
+
+  bool any = false;
+  bool changed = true;
+  unsigned rounds = 0;
+  while (changed && rounds++ < 16) {
+    changed = false;
+    for (auto& f : m.functions()) {
+      for (Instruction* call : callSitesIn(*f)) {
+        Function* callee = call->callee();
+        if (!callee->entry()) continue;
+        if (callee == f.get()) continue;  // direct recursion: never
+        size_t size = callee->instructionCount();
+        bool shouldInline = size <= sizeThreshold || siteCount[callee] == 1;
+        if (!shouldInline) continue;
+        if (inlineCall(m, call)) {
+          changed = true;
+          any = true;
+        }
+      }
+    }
+  }
+  return any;
+}
+
+bool removeDeadFunctions(Module& m) {
+  bool any = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::unordered_set<Function*> called;
+    for (auto& f : m.functions())
+      for (Instruction* c : callSitesIn(*f)) called.insert(c->callee());
+    std::vector<Function*> dead;
+    for (auto& f : m.functions())
+      if (f->name() != "main" && !called.count(f.get())) dead.push_back(f.get());
+    for (Function* f : dead) {
+      m.eraseFunction(f);
+      changed = true;
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool globalsToArgs(Module& m) {
+  Function* main = m.findFunction("main");
+
+  // Call graph in callee-first order (inputs are recursion-free).
+  std::vector<Function*> order;
+  std::unordered_set<Function*> visited;
+  std::function<void(Function*)> dfs = [&](Function* f) {
+    if (!visited.insert(f).second) return;
+    for (auto& bb : f->blocks())
+      for (auto& inst : *bb)
+        if (inst->op() == Opcode::Call) dfs(inst->callee());
+    order.push_back(f);
+  };
+  for (auto& f : m.functions()) dfs(f.get());
+
+  // Globals used per function (direct + transitive through calls).
+  std::unordered_map<Function*, std::vector<GlobalVar*>> used;
+  for (Function* f : order) {
+    std::vector<GlobalVar*> list;
+    auto addGlobal = [&](GlobalVar* g) {
+      if (std::find(list.begin(), list.end(), g) == list.end()) list.push_back(g);
+    };
+    for (auto& bb : f->blocks())
+      for (auto& inst : *bb) {
+        for (unsigned i = 0; i < inst->numOperands(); ++i)
+          if (auto* g = dyn_cast<GlobalVar>(inst->operand(i))) addGlobal(g);
+        if (inst->op() == Opcode::Call)
+          for (GlobalVar* g : used[inst->callee()]) addGlobal(g);
+      }
+    used[f] = std::move(list);
+  }
+
+  bool any = false;
+  // Rewrite each non-main function: new pointer argument per used global.
+  std::unordered_map<Function*, std::unordered_map<GlobalVar*, Argument*>> argFor;
+  for (Function* f : order) {
+    if (f == main) continue;
+    for (GlobalVar* g : used[f]) {
+      Argument* a = f->addArg(g->type(), "g_" + g->name());
+      argFor[f][g] = a;
+      any = true;
+      // Replace direct uses within f.
+      for (auto& bb : f->blocks())
+        for (auto& inst : *bb)
+          for (unsigned i = 0; i < inst->numOperands(); ++i)
+            if (inst->operand(i) == g) inst->setOperand(i, a);
+    }
+  }
+  // Fix every call site: append the callee's global arguments.
+  for (Function* f : order) {
+    for (auto& bb : f->blocks()) {
+      for (auto& inst : *bb) {
+        if (inst->op() != Opcode::Call) continue;
+        Function* callee = inst->callee();
+        for (GlobalVar* g : used[callee]) {
+          Value* v = (f == main) ? static_cast<Value*>(g) : static_cast<Value*>(argFor[f][g]);
+          inst->addOperand(v);
+        }
+      }
+    }
+  }
+  return any;
+}
+
+}  // namespace twill

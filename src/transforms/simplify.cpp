@@ -1,0 +1,505 @@
+// CFG simplification, dead-code elimination, constant folding, merge-return,
+// lower-switch and loop-simplify.
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/domtree.h"
+#include "src/analysis/loopinfo.h"
+#include "src/ir/builder.h"
+#include "src/ir/eval.h"
+#include "src/transforms/passes.h"
+
+namespace twill {
+namespace {
+
+/// Removes `bb` from all PHIs of `succ`.
+void removePhiEntries(BasicBlock* succ, BasicBlock* pred) {
+  for (auto& inst : *succ) {
+    if (!inst->isPhi()) break;
+    int idx = inst->incomingIndexFor(pred);
+    if (idx >= 0) inst->removeIncoming(static_cast<unsigned>(idx));
+  }
+}
+
+bool removeUnreachableBlocks(Function& f) {
+  std::unordered_set<BasicBlock*> reachable;
+  for (BasicBlock* bb : reversePostOrder(f)) reachable.insert(bb);
+  std::vector<BasicBlock*> dead;
+  for (auto& bb : f.blocks())
+    if (!reachable.count(bb.get())) dead.push_back(bb.get());
+  if (dead.empty()) return false;
+  // First detach dead blocks from live PHIs, then sever *all* operand links
+  // inside the dead region (dead blocks may reference each other's
+  // instructions), and only then destroy the blocks.
+  for (BasicBlock* d : dead)
+    for (BasicBlock* s : d->successors())
+      if (reachable.count(s)) removePhiEntries(s, d);
+  for (BasicBlock* d : dead)
+    for (auto& inst : *d) inst->dropOperands();
+  for (BasicBlock* d : dead) f.eraseBlock(d);
+  return true;
+}
+
+bool foldConstantBranches(Function& f, Module& m) {
+  bool changed = false;
+  for (auto& bb : f.blocks()) {
+    Instruction* term = bb->terminator();
+    if (!term) continue;
+    if (term->op() == Opcode::CondBr) {
+      BasicBlock* t = term->successor(0);
+      BasicBlock* e = term->successor(1);
+      Constant* c = dyn_cast<Constant>(term->operand(0));
+      if (!c && t != e) continue;
+      BasicBlock* dest = c ? ((c->zext() & 1) ? t : e) : t;
+      BasicBlock* dropped = dest == t ? e : t;
+      IRBuilder b(m);
+      b.setInsertPoint(bb.get(), bb->iteratorTo(term));
+      b.br(dest);
+      term->dropOperands();
+      if (dropped != dest) removePhiEntries(dropped, bb.get());
+      bb->erase(term);
+      changed = true;
+    } else if (term->op() == Opcode::Switch) {
+      Constant* c = dyn_cast<Constant>(term->operand(0));
+      if (!c) continue;
+      BasicBlock* dest = term->successor(0);
+      for (unsigned i = 2; i + 1 < term->numOperands(); i += 2) {
+        if (cast<Constant>(term->operand(i))->zext() == c->zext()) {
+          dest = static_cast<BasicBlock*>(term->operand(i + 1));
+          break;
+        }
+      }
+      std::vector<BasicBlock*> others;
+      for (unsigned i = 0; i < term->numSuccessors(); ++i)
+        if (term->successor(i) != dest) others.push_back(term->successor(i));
+      IRBuilder b(m);
+      b.setInsertPoint(bb.get(), bb->iteratorTo(term));
+      b.br(dest);
+      term->dropOperands();
+      for (BasicBlock* o : others) removePhiEntries(o, bb.get());
+      bb->erase(term);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+/// Folds single-incoming PHIs and PHIs whose incomings are all identical.
+bool foldTrivialPhis(Function& f) {
+  bool changed = false;
+  for (auto& bb : f.blocks()) {
+    std::vector<Instruction*> phis;
+    for (auto& inst : *bb) {
+      if (!inst->isPhi()) break;
+      phis.push_back(inst.get());
+    }
+    for (Instruction* phi : phis) {
+      if (phi->numIncoming() == 0) continue;
+      Value* first = phi->incomingValue(0);
+      bool allSame = true;
+      for (unsigned i = 1; i < phi->numIncoming(); ++i) {
+        Value* v = phi->incomingValue(i);
+        if (v != first && v != phi) {
+          allSame = false;
+          break;
+        }
+      }
+      if (allSame && first != phi) {
+        phi->replaceAllUsesWith(first);
+        bb->erase(phi);
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+/// Merges `bb` into its unique predecessor when that predecessor's only
+/// successor is `bb`.
+bool mergeBlockChains(Function& f) {
+  bool changed = false;
+  for (auto it = f.blocks().begin(); it != f.blocks().end();) {
+    BasicBlock* bb = it->get();
+    ++it;
+    if (bb == f.entry()) continue;
+    auto preds = bb->predecessors();
+    if (preds.size() != 1) continue;
+    BasicBlock* pred = preds[0];
+    if (pred->successors().size() != 1 || pred->successors()[0] != bb) continue;
+    if (pred->terminator()->op() != Opcode::Br) continue;
+    // Fold PHIs (single predecessor).
+    foldTrivialPhis(f);
+    bool hasPhi = !bb->empty() && bb->front()->isPhi();
+    if (hasPhi) continue;  // self-referencing phi edge case; leave it
+    // Move instructions.
+    Instruction* term = pred->terminator();
+    term->dropOperands();
+    pred->erase(term);
+    while (!bb->empty()) {
+      std::unique_ptr<Instruction> inst = bb->detach(bb->front());
+      pred->append(std::move(inst));
+    }
+    // Successor PHIs refer to bb; now they must refer to pred.
+    for (BasicBlock* s : pred->successors()) {
+      for (auto& inst : *s) {
+        if (!inst->isPhi()) break;
+        int idx = inst->incomingIndexFor(bb);
+        if (idx >= 0) inst->setIncomingBlock(static_cast<unsigned>(idx), pred);
+      }
+    }
+    bb->replaceAllUsesWith(pred);  // stray references (none expected)
+    f.eraseBlock(bb);
+    changed = true;
+    it = f.blocks().begin();  // restart; iterators were invalidated
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool simplifyCFG(Function& f) {
+  Module& m = *f.parent();
+  bool any = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    changed |= foldConstantBranches(f, m);
+    changed |= removeUnreachableBlocks(f);
+    changed |= foldTrivialPhis(f);
+    changed |= mergeBlockChains(f);
+    any |= changed;
+  }
+  return any;
+}
+
+bool dce(Function& f) {
+  bool any = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& bb : f.blocks()) {
+      std::vector<Instruction*> dead;
+      for (auto& inst : *bb)
+        if (!inst->hasUses() && !inst->hasSideEffects() && !inst->isTerminator() &&
+            inst->op() != Opcode::Alloca)
+          dead.push_back(inst.get());
+      for (Instruction* i : dead) {
+        bb->erase(i);
+        changed = true;
+      }
+    }
+    // Allocas whose only users are stores into them are dead too.
+    for (auto& bb : f.blocks()) {
+      std::vector<Instruction*> deadAllocas;
+      for (auto& inst : *bb) {
+        if (inst->op() != Opcode::Alloca) continue;
+        bool onlyStores = true;
+        for (Instruction* u : inst->users())
+          if (!(u->op() == Opcode::Store && u->operand(1) == inst.get())) onlyStores = false;
+        if (onlyStores) deadAllocas.push_back(inst.get());
+      }
+      for (Instruction* a : deadAllocas) {
+        std::vector<Instruction*> stores(a->users().begin(), a->users().end());
+        for (Instruction* s : stores) {
+          s->dropOperands();
+          s->parent()->erase(s);
+        }
+        bb->erase(a);
+        changed = true;
+      }
+    }
+    any |= changed;
+  }
+  return any;
+}
+
+bool constantFold(Function& f, Module& m) {
+  bool any = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& bb : f.blocks()) {
+      std::vector<Instruction*> worklist;
+      for (auto& inst : *bb) worklist.push_back(inst.get());
+      for (Instruction* inst : worklist) {
+        Value* repl = nullptr;
+        Opcode op = inst->op();
+        auto c0 = inst->numOperands() > 0 ? dyn_cast<Constant>(inst->operand(0)) : nullptr;
+        auto c1 = inst->numOperands() > 1 ? dyn_cast<Constant>(inst->operand(1)) : nullptr;
+        // Block operands (branch targets) have no type; guard before asking
+        // for an operand width.
+        unsigned bits = (inst->numOperands() > 0 && inst->operand(0)->type())
+                            ? operandBits(inst->operand(0))
+                            : 32;
+        if (isBinaryOp(op) && c0 && c1) {
+          repl = m.constant(inst->type(),
+                            evalBinary(op, static_cast<uint32_t>(c0->zext()),
+                                       static_cast<uint32_t>(c1->zext()), bits));
+        } else if (isCompareOp(op) && c0 && c1) {
+          repl = m.constant(inst->type(),
+                            evalCompare(op, static_cast<uint32_t>(c0->zext()),
+                                        static_cast<uint32_t>(c1->zext()), bits));
+        } else if (isCastOp(op) && c0) {
+          repl = m.constant(inst->type(), evalCast(op, static_cast<uint32_t>(c0->zext()), bits,
+                                                   inst->type()->bits()));
+        } else if (op == Opcode::Select && c0) {
+          repl = (c0->zext() & 1) ? inst->operand(1) : inst->operand(2);
+        } else if (op == Opcode::IntToPtr) {
+          // inttoptr(ptrtoint x) -> x when the pointee widths agree.
+          if (auto* src = dyn_cast<Instruction>(inst->operand(0));
+              src && src->op() == Opcode::PtrToInt &&
+              src->operand(0)->type() == inst->type())
+            repl = src->operand(0);
+        } else if (op == Opcode::PtrToInt) {
+          if (auto* src = dyn_cast<Instruction>(inst->operand(0));
+              src && src->op() == Opcode::IntToPtr)
+            repl = src->operand(0);
+        } else if (op == Opcode::Gep && c1 && c1->zext() == 0) {
+          repl = inst->operand(0);
+        } else if (op == Opcode::Load) {
+          // Load from a constant global with a constant index.
+          GlobalVar* g = dyn_cast<GlobalVar>(inst->operand(0));
+          uint32_t index = 0;
+          if (!g) {
+            if (auto* gep = dyn_cast<Instruction>(inst->operand(0));
+                gep && gep->op() == Opcode::Gep) {
+              if (auto* base = dyn_cast<GlobalVar>(gep->operand(0))) {
+                if (auto* ci = dyn_cast<Constant>(gep->operand(1))) {
+                  g = base;
+                  index = static_cast<uint32_t>(ci->zext());
+                }
+              }
+            }
+          }
+          if (g && g->isConst() && index < g->count()) {
+            uint32_t v = index < g->init().size() ? g->init()[index] : 0;
+            repl = m.constant(inst->type(), v);
+          }
+        } else if (isBinaryOp(op) && (c0 || c1)) {
+          // Algebraic identities with one constant operand.
+          Value* x = c0 ? inst->operand(1) : inst->operand(0);
+          uint64_t c = (c0 ? c0 : c1)->zext();
+          bool constOnRight = c1 != nullptr;
+          switch (op) {
+            case Opcode::Add:
+            case Opcode::Or:
+            case Opcode::Xor:
+              if (c == 0) repl = x;
+              break;
+            case Opcode::Sub:
+              if (c == 0 && constOnRight) repl = x;
+              break;
+            case Opcode::Mul:
+              if (c == 1) repl = x;
+              else if (c == 0) repl = m.constant(inst->type(), 0);
+              break;
+            case Opcode::And:
+              if (c == 0) repl = m.constant(inst->type(), 0);
+              else if (inst->type()->isInt() && c == maskToBits(~0ull, inst->type()->bits()))
+                repl = x;
+              break;
+            case Opcode::Shl:
+            case Opcode::LShr:
+            case Opcode::AShr:
+              if (c == 0 && constOnRight) repl = x;
+              break;
+            case Opcode::UDiv:
+            case Opcode::SDiv:
+              if (c == 1 && constOnRight) repl = x;
+              break;
+            default:
+              break;
+          }
+        }
+        if (repl && repl != inst) {
+          inst->replaceAllUsesWith(repl);
+          inst->parent()->erase(inst);
+          changed = true;
+        }
+      }
+    }
+    any |= changed;
+  }
+  return any;
+}
+
+bool mergeReturns(Function& f, Module& m) {
+  std::vector<BasicBlock*> exits = exitBlocks(f);
+  if (exits.size() <= 1) return false;
+  BasicBlock* unified = f.createBlock("unified.exit");
+  IRBuilder b(m);
+  b.setInsertPoint(unified);
+  bool hasValue = !f.retType()->isVoid();
+  Instruction* phi = nullptr;
+  if (hasValue) {
+    phi = b.phi(f.retType());
+    b.setInsertPoint(unified);
+    b.ret(phi);
+  } else {
+    b.retVoid();
+  }
+  for (BasicBlock* e : exits) {
+    Instruction* ret = e->terminator();
+    Value* rv = hasValue ? ret->operand(0) : nullptr;
+    ret->dropOperands();
+    e->erase(ret);
+    IRBuilder eb(m);
+    eb.setInsertPoint(e);
+    eb.br(unified);
+    if (phi) phi->addIncoming(rv, e);
+  }
+  return true;
+}
+
+bool lowerSwitch(Function& f, Module& m) {
+  bool changed = false;
+  std::vector<Instruction*> switches;
+  for (auto& bb : f.blocks())
+    if (bb->terminator() && bb->terminator()->op() == Opcode::Switch)
+      switches.push_back(bb->terminator());
+  for (Instruction* sw : switches) {
+    BasicBlock* bb = sw->parent();
+    Value* v = sw->operand(0);
+    BasicBlock* dflt = sw->successor(0);
+    struct Case {
+      Constant* val;
+      BasicBlock* dest;
+    };
+    std::vector<Case> cases;
+    for (unsigned i = 2; i + 1 < sw->numOperands(); i += 2)
+      cases.push_back({cast<Constant>(sw->operand(i)), static_cast<BasicBlock*>(sw->operand(i + 1))});
+    sw->dropOperands();
+    bb->erase(sw);
+
+    // Chain of compare+condbr blocks. PHIs in the case destinations must be
+    // retargeted to the block that actually branches to them.
+    BasicBlock* cur = bb;
+    for (size_t i = 0; i < cases.size(); ++i) {
+      IRBuilder b(m);
+      b.setInsertPoint(cur);
+      Instruction* cmp = b.cmp(Opcode::CmpEQ, v, cases[i].val);
+      BasicBlock* next =
+          (i + 1 < cases.size()) ? f.createBlockAfter(cur, "sw.chain." + std::to_string(i)) : nullptr;
+      BasicBlock* falseDest = next ? next : dflt;
+      b.setInsertPoint(cur);
+      b.condBr(cmp, cases[i].dest, falseDest);
+      for (auto& inst : *cases[i].dest) {
+        if (!inst->isPhi()) break;
+        int idx = inst->incomingIndexFor(bb);
+        if (idx >= 0 && cur != bb) inst->setIncomingBlock(static_cast<unsigned>(idx), cur);
+      }
+      if (!next) {
+        for (auto& inst : *dflt) {
+          if (!inst->isPhi()) break;
+          int idx = inst->incomingIndexFor(bb);
+          if (idx >= 0 && cur != bb) inst->setIncomingBlock(static_cast<unsigned>(idx), cur);
+        }
+      }
+      cur = next;
+    }
+    if (cases.empty()) {
+      IRBuilder b(m);
+      b.setInsertPoint(bb);
+      b.br(dflt);
+    }
+    changed = true;
+  }
+  return changed;
+}
+
+bool loopSimplify(Function& f, Module& m) {
+  bool changed = false;
+  DomTree dom;
+  dom.build(f, false);
+  LoopInfo li;
+  li.build(f, dom);
+  for (auto& loopPtr : li.loops()) {
+    Loop* loop = loopPtr.get();
+    // Preheader: if the header has multiple out-of-loop predecessors, give
+    // it a dedicated one. (Single-entry headers from the frontend already
+    // satisfy this.)
+    auto entries = loop->entryPreds();
+    if (entries.size() > 1) {
+      BasicBlock* pre = f.createBlockAfter(entries[0], loop->header->name() + ".preheader");
+      IRBuilder b(m);
+      b.setInsertPoint(pre);
+      b.br(loop->header);
+      // Hoist header PHI entries for out-of-loop preds into a preheader PHI.
+      for (auto& inst : *loop->header) {
+        if (!inst->isPhi()) break;
+        auto newPhi = std::make_unique<Instruction>(Opcode::Phi, inst->type());
+        Instruction* np = pre->insert(pre->begin(), std::move(newPhi));
+        for (BasicBlock* e : entries) {
+          int idx = inst->incomingIndexFor(e);
+          if (idx >= 0) {
+            np->addIncoming(inst->incomingValue(static_cast<unsigned>(idx)), e);
+            inst->removeIncoming(static_cast<unsigned>(idx));
+          }
+        }
+        inst->addIncoming(np, pre);
+      }
+      for (BasicBlock* e : entries) {
+        Instruction* term = e->terminator();
+        for (unsigned i = 0; i < term->numSuccessors(); ++i)
+          if (term->successor(i) == loop->header) term->setSuccessor(i, pre);
+      }
+      changed = true;
+    }
+    // Dedicated exits: every exit block's predecessors must be in the loop.
+    for (BasicBlock* exit : loop->exitBlocks()) {
+      bool allInLoop = true;
+      for (BasicBlock* p : exit->predecessors())
+        if (!loop->contains(p)) allInLoop = false;
+      if (allInLoop) continue;
+      // Split every in-loop edge into the exit through a fresh block.
+      for (BasicBlock* p : exit->predecessors())
+        if (loop->contains(p)) splitEdge(f, p, exit, exit->name() + ".loopexit");
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void runDefaultPipeline(Module& m, unsigned inlineThreshold) {
+  // §5.1 order: simplifycfg / mem2reg / mergereturn / lowerswitch / inline /
+  // simplifycfg / gvn-ish folding / adce / loop-simplify, then the custom
+  // globals pass and cleanups (§5.2).
+  for (auto& f : m.functions()) {
+    simplifyCFG(*f);
+    mem2reg(*f);
+    mergeReturns(*f, m);
+    lowerSwitch(*f, m);
+  }
+  inlineFunctions(m, inlineThreshold);
+  removeDeadFunctions(m);
+  for (auto& f : m.functions()) {
+    simplifyCFG(*f);
+    mem2reg(*f);  // inlining exposes new promotable allocas
+    constantFold(*f, m);
+    dce(*f);
+    simplifyCFG(*f);
+    constantFold(*f, m);
+    dce(*f);
+  }
+  globalsToArgs(m);
+  for (auto& f : m.functions()) {
+    constantFold(*f, m);
+    dce(*f);
+    simplifyCFG(*f);
+    loopSimplify(*f, m);
+    mergeReturns(*f, m);  // loop-simplify cannot add returns, but stay safe
+  }
+}
+
+void runCleanupPipeline(Module& m) {
+  for (auto& f : m.functions()) {
+    simplifyCFG(*f);
+    constantFold(*f, m);
+    dce(*f);
+    simplifyCFG(*f);
+  }
+}
+
+}  // namespace twill

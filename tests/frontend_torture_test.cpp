@@ -1,0 +1,169 @@
+// Frontend torture battery: operator precedence/associativity against the
+// host compiler's semantics, lexer corner cases, and diagnostic quality.
+#include <gtest/gtest.h>
+
+#include "src/frontend/lower.h"
+#include "src/ir/interp.h"
+#include "src/ir/verifier.h"
+
+namespace twill {
+namespace {
+
+uint32_t runExpr(const std::string& expr) {
+  Module m;
+  DiagEngine diag;
+  std::string src = "int main(void) { return (int)(" + expr + "); }";
+  EXPECT_TRUE(compileC(src, m, diag)) << expr << "\n" << diag.str();
+  if (diag.hasErrors()) return 0xDEADBEEF;
+  Interp in(m);
+  return in.run("main");
+}
+
+// The host compiler evaluates the same expression; the frontend must agree.
+#define EXPR_CASE(e) EXPECT_EQ(runExpr(#e), static_cast<uint32_t>(e)) << #e
+
+TEST(PrecedenceTortureTest, ArithmeticAndBitwise) {
+  EXPR_CASE(2 + 3 * 4 - 5);
+  EXPR_CASE(100 / 5 / 2);
+  EXPR_CASE(100 % 7 % 3);
+  EXPR_CASE(1 << 3 << 1);
+  EXPR_CASE(256 >> 2 >> 1);
+  EXPR_CASE(1 | 2 ^ 3 & 4);
+  EXPR_CASE((1 | 2) ^ (3 & 4));
+  EXPR_CASE(7 & 3 | 4 ^ 1);
+  EXPR_CASE(5 + 3 << 2);        // shift binds looser than +
+  EXPR_CASE(16 >> 1 + 1);       // + binds tighter than >>
+  EXPR_CASE(-3 + +5);
+  EXPR_CASE(~0 & 0xFF);
+  EXPR_CASE(!5 + !0);
+}
+
+TEST(PrecedenceTortureTest, ComparisonsAndLogic) {
+  EXPR_CASE(3 < 5 == 1);
+  EXPR_CASE(3 < 5 && 7 > 2);
+  EXPR_CASE(1 || 0 && 0);       // && binds tighter than ||
+  EXPR_CASE((1 || 0) && 0);
+  EXPR_CASE(4 > 3 > 1);         // (4>3)>1 == 0
+  EXPR_CASE(1 ? 2 : 3 ? 4 : 5);
+  EXPR_CASE(0 ? 2 : 3 ? 4 : 5);
+  EXPR_CASE(0 ? 2 : 0 ? 4 : 5);
+  EXPR_CASE(5 == 5 != 0);
+}
+
+TEST(PrecedenceTortureTest, MixedSignedness) {
+  EXPR_CASE(-7 / 2);
+  EXPR_CASE(-7 % 2);
+  EXPR_CASE(-1 >> 1);
+  EXPR_CASE(0x80000000u >> 4);
+  EXPR_CASE((unsigned)-1 / 2u);
+  EXPR_CASE(-5 * -5);
+  EXPR_CASE((char)200 + 0);          // implementation: signed char
+  EXPR_CASE((unsigned char)200 + 0);
+  EXPR_CASE((short)0x8000 < 0 ? 9 : 4);
+}
+
+TEST(PrecedenceTortureTest, AssignmentExpressions) {
+  // Assignment value and chained compound assignments.
+  EXPECT_EQ(runExpr("0"), 0u);  // anchor
+  Module m;
+  DiagEngine diag;
+  ASSERT_TRUE(compileC(
+      "int main() { int a = 1; int b = 2; int c; c = a = b += 3; return c * 100 + a * 10 + b; }",
+      m, diag));
+  Interp in(m);
+  EXPECT_EQ(in.run("main"), 555u);
+}
+
+TEST(LexerTortureTest, AdjacentOperators) {
+  Module m;
+  DiagEngine diag;
+  // a+++b parses as (a++)+b per maximal munch.
+  ASSERT_TRUE(compileC("int main() { int a = 1; int b = 2; int r = a+++b; return r * 10 + a; }",
+                       m, diag))
+      << diag.str();
+  Interp in(m);
+  EXPECT_EQ(in.run("main"), 32u);
+}
+
+TEST(LexerTortureTest, CommentsInsideExpressions) {
+  Module m;
+  DiagEngine diag;
+  ASSERT_TRUE(compileC("int main() { return 1 /* one */ + /* plus */ 2 // end\n + 3; }", m, diag));
+  Interp in(m);
+  EXPECT_EQ(in.run("main"), 6u);
+}
+
+TEST(LexerTortureTest, CharEscapes) {
+  EXPECT_EQ(runExpr("'\\n'"), 10u);
+  EXPECT_EQ(runExpr("'\\t'"), 9u);
+  EXPECT_EQ(runExpr("'\\0'"), 0u);
+  EXPECT_EQ(runExpr("'\\\\'"), 92u);
+  EXPECT_EQ(runExpr("'A' + 1"), 66u);
+}
+
+TEST(LexerTortureTest, DefinesWithExpressions) {
+  Module m;
+  DiagEngine diag;
+  ASSERT_TRUE(compileC("#define HALF(n) no\n", m, diag) == false);  // function-like rejected
+  Module m2;
+  DiagEngine diag2;
+  ASSERT_TRUE(compileC("#define W (3 + 4)\nint main() { return W * 2; }", m2, diag2))
+      << diag2.str();
+  Interp in(m2);
+  EXPECT_EQ(in.run("main"), 14u);
+}
+
+TEST(DiagnosticsTest, ErrorsCarryLineNumbers) {
+  Module m;
+  DiagEngine diag;
+  EXPECT_FALSE(compileC("int main() {\n  int x = 1;\n  return zz;\n}", m, diag));
+  bool found = false;
+  for (const auto& d : diag.all())
+    if (d.kind == DiagKind::Error && d.loc.line == 3) found = true;
+  EXPECT_TRUE(found) << diag.str();
+}
+
+TEST(DiagnosticsTest, MultipleErrorsCollected) {
+  Module m;
+  DiagEngine diag;
+  EXPECT_FALSE(compileC("int main() { return a + b + c; }", m, diag));
+  EXPECT_GE(diag.errorCount(), 3u);
+}
+
+TEST(RegressionTest, DeepNesting) {
+  Module m;
+  DiagEngine diag;
+  ASSERT_TRUE(compileC(
+      "int main() { int s = 0;"
+      "for (int a = 0; a < 3; a++)"
+      " for (int b = 0; b < 3; b++)"
+      "  for (int c = 0; c < 3; c++)"
+      "   for (int d = 0; d < 3; d++)"
+      "    if ((a ^ b) == (c ^ d)) s++;"
+      "return s; }",
+      m, diag));
+  Interp in(m);
+  int s = 0;
+  for (int a = 0; a < 3; a++)
+    for (int b = 0; b < 3; b++)
+      for (int c = 0; c < 3; c++)
+        for (int d = 0; d < 3; d++)
+          if ((a ^ b) == (c ^ d)) s++;
+  EXPECT_EQ(in.run("main"), static_cast<uint32_t>(s));
+}
+
+TEST(RegressionTest, ManyLocalsManyScopes) {
+  // Scope shadowing: inner declarations hide outer ones.
+  Module m;
+  DiagEngine diag;
+  ASSERT_TRUE(compileC(
+      "int main() { int x = 1; { int x = 2; { int x = 3; } x += 10; }"
+      "return x; }",
+      m, diag))
+      << diag.str();
+  Interp in(m);
+  EXPECT_EQ(in.run("main"), 1u);
+}
+
+}  // namespace
+}  // namespace twill

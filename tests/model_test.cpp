@@ -1,0 +1,152 @@
+// Cost/area/power model tests: the cycle numbers the thesis pins down must
+// stay pinned.
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/model/optables.h"
+#include "src/model/power.h"
+
+namespace twill {
+namespace {
+
+class OpTableFixture : public ::testing::Test {
+protected:
+  Module m;
+  IRBuilder b{m};
+  Function* f = nullptr;
+  BasicBlock* bb = nullptr;
+
+  void SetUp() override {
+    f = m.createFunction("t", m.types().i32());
+    bb = f->createBlock("entry");
+    b.setInsertPoint(bb);
+  }
+
+  Instruction* mk(Opcode op, std::initializer_list<Value*> ops, Type* ty = nullptr) {
+    return b.create(op, ty ? ty : m.types().i32(), ops);
+  }
+};
+
+TEST_F(OpTableFixture, ThesisPinnedCosts) {
+  Value* x = m.i32Const(5);
+  Value* y = m.i32Const(3);
+  // §5.2: division 34 cycles SW vs 13 HW (plus the SW fetch cycle).
+  Instruction* div = mk(Opcode::SDiv, {x, y});
+  EXPECT_EQ(swCycles(*div), 35u);
+  EXPECT_EQ(hwLatency(*div), 13u);
+  // §5.2: loads/stores two cycles SW; store one cycle HW.
+  GlobalVar* g = m.createGlobal("g", 32, 1, false);
+  Instruction* ld = b.load(g);
+  Instruction* st = b.store(x, g);
+  EXPECT_EQ(swCycles(*ld), 3u);
+  EXPECT_EQ(hwLatency(*ld), 2u);
+  EXPECT_EQ(hwLatency(*st), 1u);
+  // §4.5: processor primitive ops are 5 cycles (+fetch).
+  Instruction* prod = b.produce(0, x);
+  EXPECT_EQ(swCycles(*prod), RuntimeTiming::kProcessorPrimitiveOp + 1);
+  EXPECT_EQ(hwLatency(*prod), RuntimeTiming::kQueueOp);
+  b.ret(m.i32Const(0));
+}
+
+TEST_F(OpTableFixture, AreaMinimizedMicroblaze) {
+  Value* x = m.i32Const(5);
+  // Software multiply (no hardware multiplier on the minimal config).
+  Instruction* mul = mk(Opcode::Mul, {x, x});
+  EXPECT_GE(swCycles(*mul), 32u);
+  // Serial shifter: cost follows the constant shift amount.
+  Instruction* sh1 = mk(Opcode::Shl, {x, m.i32Const(1)});
+  Instruction* sh16 = mk(Opcode::Shl, {x, m.i32Const(16)});
+  EXPECT_LT(swCycles(*sh1), swCycles(*sh16));
+  b.ret(m.i32Const(0));
+}
+
+TEST_F(OpTableFixture, HwAreaShapes) {
+  Value* x = m.i32Const(5);
+  Instruction* add = mk(Opcode::Add, {x, x});
+  Instruction* mul = mk(Opcode::Mul, {x, x});
+  Instruction* div = mk(Opcode::UDiv, {x, x});
+  EXPECT_EQ(hwOpArea(*mul).dsps, 1u);
+  EXPECT_GE(hwOpArea(*div).luts, hwOpArea(*add).luts);  // serial divider big
+  // Constant shifts are free wiring; variable shifts need a barrel shifter.
+  Instruction* shc = mk(Opcode::Shl, {x, m.i32Const(4)});
+  Instruction* shv = mk(Opcode::Shl, {x, add});
+  EXPECT_EQ(hwOpArea(*shc).luts, 0u);
+  EXPECT_GT(hwOpArea(*shv).luts, 0u);
+  b.ret(m.i32Const(0));
+}
+
+TEST_F(OpTableFixture, HwWeightOrdersDivAboveAdd) {
+  Value* x = m.i32Const(5);
+  Instruction* add = mk(Opcode::Add, {x, x});
+  Instruction* div = mk(Opcode::SDiv, {x, x});
+  EXPECT_GT(hwWeight(*div), hwWeight(*add));
+  b.ret(m.i32Const(0));
+}
+
+TEST(PrimitiveAreasTest, Thesis62Numbers) {
+  // §6.2's measured primitive sizes are load-bearing for Table 6.2.
+  EXPECT_EQ(PrimitiveAreas::kQueueLuts, 65u);
+  EXPECT_EQ(PrimitiveAreas::kQueueDsps, 1u);
+  EXPECT_EQ(PrimitiveAreas::kSemaphoreLuts, 70u);
+  EXPECT_EQ(PrimitiveAreas::kHwInterfaceLuts, 44u);
+  EXPECT_EQ(PrimitiveAreas::kProcessorIfaceLuts, 24u);
+  EXPECT_EQ(PrimitiveAreas::kSchedulerLuts, 98u);
+  EXPECT_EQ(PrimitiveAreas::kBusArbiterLuts, 15u);
+  EXPECT_EQ(PrimitiveAreas::kMicroblazeLuts, 1434u);  // Table 6.2 fixed delta
+  EXPECT_EQ(PrimitiveAreas::kMicroblazeBrams, 16u);
+}
+
+TEST(PowerModelTest, MicroblazePllDominates) {
+  PowerInputs sw;
+  sw.luts = PrimitiveAreas::kMicroblazeLuts;
+  sw.brams = 16;
+  sw.hasMicroblaze = true;
+  sw.totalCycles = 1000;
+  sw.cpuBusyCycles = 1000;
+  PowerInputs hw;
+  hw.luts = 15000;  // much more fabric...
+  hw.totalCycles = 1000;
+  hw.hwBusyCycles = 900;
+  // ...but still less power than the PLL-burdened processor (§6.3).
+  EXPECT_LT(estimatePower(hw), estimatePower(sw));
+}
+
+TEST(PowerModelTest, ActivityIncreasesPower) {
+  PowerInputs idle;
+  idle.luts = 5000;
+  idle.totalCycles = 1000;
+  idle.hwBusyCycles = 0;
+  PowerInputs busy = idle;
+  busy.hwBusyCycles = 1000;
+  EXPECT_LT(estimatePower(idle), estimatePower(busy));
+}
+
+TEST(PowerModelTest, HybridBetweenHwAndSw) {
+  // Representative numbers: the hybrid has the processor (PLLs) plus a
+  // moderately busy fabric, but a mostly idle CPU.
+  PowerInputs sw;
+  sw.luts = 1434;
+  sw.brams = 16;
+  sw.hasMicroblaze = true;
+  sw.totalCycles = 1000;
+  sw.cpuBusyCycles = 1000;
+  PowerInputs hw;
+  hw.luts = 12000;
+  hw.totalCycles = 1000;
+  hw.hwBusyCycles = 800;
+  PowerInputs hybrid;
+  hybrid.luts = 9000 + 1434;
+  hybrid.brams = 16;
+  hybrid.hasMicroblaze = true;
+  hybrid.totalCycles = 1000;
+  hybrid.cpuBusyCycles = 120;
+  hybrid.hwBusyCycles = 700;
+  double pSW = estimatePower(sw);
+  double pHW = estimatePower(hw);
+  double pHy = estimatePower(hybrid);
+  EXPECT_LT(pHW, pHy);
+  EXPECT_LT(pHy, pSW);
+}
+
+}  // namespace
+}  // namespace twill

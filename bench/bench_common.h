@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +20,72 @@
 
 namespace twill {
 namespace bench {
+
+/// Canonical sweep points for Fig. 6.5 (queue latency) and Fig. 6.6 (queue
+/// capacity); bench_main records the same points in BENCH_dswp.json so the
+/// artifact stays comparable with the figure binaries.
+inline const std::vector<unsigned> kQueueLatencySweep = {2, 8, 32, 128};
+inline const std::vector<unsigned> kQueueCapacitySweep = {2, 4, 8, 16, 32};
+
+/// Shared command line for the bench binaries:
+///   --quick        trimmed run (kernel subset, no parameter sweeps)
+///   --out FILE     write the machine-readable JSON artifact to FILE
+///   --kernel NAME  restrict to one kernel (repeatable)
+struct BenchCli {
+  bool quick = false;
+  std::string out;
+  std::vector<std::string> kernels;
+};
+
+inline BenchCli parseBenchCli(int argc, char** argv, const char* defaultOut = "") {
+  BenchCli cli;
+  cli.out = defaultOut;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto needValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a value\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      cli.quick = true;
+    } else if (arg == "--out") {
+      cli.out = needValue("--out");
+    } else if (arg == "--kernel") {
+      cli.kernels.push_back(needValue("--kernel"));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--quick] [--out FILE] [--kernel NAME ...]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0], arg.c_str());
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+/// Kernels selected by the CLI: the explicit `--kernel` list, or the first
+/// `quickCount` kernels under `--quick`, or all eight.
+inline std::vector<KernelInfo> selectKernels(const BenchCli& cli, size_t quickCount = 3) {
+  std::vector<KernelInfo> out;
+  if (!cli.kernels.empty()) {
+    for (const auto& name : cli.kernels) {
+      const KernelInfo* k = findKernel(name);
+      if (!k) {
+        std::fprintf(stderr, "unknown kernel '%s'\n", name.c_str());
+        std::exit(2);
+      }
+      out.push_back(*k);
+    }
+    return out;
+  }
+  const auto& all = chstoneKernels();
+  size_t n = cli.quick ? (quickCount < all.size() ? quickCount : all.size()) : all.size();
+  out.assign(all.begin(), all.begin() + static_cast<long>(n));
+  return out;
+}
 
 /// Pre-compiled benchmark: the optimized baseline module plus the extracted
 /// Twill module, so parameter sweeps can re-simulate without re-compiling.
@@ -33,8 +100,11 @@ struct PreparedKernel {
   bool ok = false;
 };
 
+/// `withBaseline = false` skips compiling/scheduling the pure-SW/HW module
+/// (the checksum is taken from the optimized module before extraction);
+/// Twill-only parameter sweeps don't pay for a baseline they never simulate.
 inline PreparedKernel prepareKernel(const KernelInfo& k, const DswpConfig& dswpCfg = {},
-                                    unsigned inlineThreshold = 100) {
+                                    unsigned inlineThreshold = 100, bool withBaseline = true) {
   PreparedKernel out;
   out.name = k.name;
   auto compile = [&](std::unique_ptr<Module>& m) {
@@ -47,13 +117,14 @@ inline PreparedKernel prepareKernel(const KernelInfo& k, const DswpConfig& dswpC
     runDefaultPipeline(*m, inlineThreshold);
     return true;
   };
-  if (!compile(out.base) || !compile(out.twillMod)) return out;
+  if (withBaseline && !compile(out.base)) return out;
+  if (!compile(out.twillMod)) return out;
   {
-    Interp in(*out.base);
+    Interp in(withBaseline ? *out.base : *out.twillMod);
     out.expected = in.run("main");
   }
   out.dswp = runDswp(*out.twillMod, dswpCfg);
-  out.baseSchedules = scheduleModule(*out.base);
+  if (withBaseline) out.baseSchedules = scheduleModule(*out.base);
   out.twillSchedules = scheduleModule(*out.twillMod);
   out.ok = true;
   return out;

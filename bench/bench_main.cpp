@@ -1,0 +1,126 @@
+// bench_main — the repo's perf-trajectory harness.
+//
+// Runs the measurements behind the fig/table benches (full three-flow
+// reports per CHStone kernel, plus the Fig. 6.5/6.6 queue latency/capacity
+// sweeps) under one CLI and writes a machine-readable artifact so future
+// changes can be compared against a baseline:
+//
+//   $ bench_main --quick --out BENCH_dswp.json
+//   $ bench_main --out BENCH_dswp.json            # full run, all 8 kernels
+//
+// The JSON records, per kernel, the driver report (cycles, areas, power,
+// speedups) and the wall-clock cost of each pipeline stage — the former
+// tracks fidelity to the thesis, the latter tracks the toolchain's own
+// speed.
+#include <chrono>
+
+#include "bench/bench_common.h"
+#include "src/support/json.h"
+
+using namespace twill;
+using namespace twill::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+void emitSweep(JsonWriter& w, PreparedKernel& pk, const char* key,
+               const std::vector<unsigned>& values, bool isLatency) {
+  w.key(key);
+  w.beginArray();
+  for (unsigned v : values) {
+    SimConfig sc;
+    if (isLatency)
+      sc.queueLatency = v;
+    else
+      sc.queueCapacity = v;
+    w.beginObject();
+    w.field(isLatency ? "latency" : "capacity", v);
+    w.field("cycles", runTwillCycles(pk, sc));
+    w.endObject();
+  }
+  w.endArray();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchCli cli = parseBenchCli(argc, argv, "BENCH_dswp.json");
+  std::vector<KernelInfo> kernels = selectKernels(cli);
+
+  const auto runStart = Clock::now();
+  JsonWriter w;
+  w.beginObject();
+  w.field("bench", "dswp");
+  w.field("quick", cli.quick);
+  w.key("kernels");
+  w.beginArray();
+
+  unsigned okCount = 0;
+  double speedupTwillSum = 0, powerTwillSum = 0;
+  for (const auto& k : kernels) {
+    std::fprintf(stderr, "[bench_main] %s...\n", k.name);
+    auto t0 = Clock::now();
+    DriverOptions dopts;
+    dopts.keepTwillArtifacts = !cli.quick;  // sweeps reuse the extracted module
+    BenchmarkReport r = runBenchmark(k.name, k.source, dopts);
+    double reportMs = msSince(t0);
+
+    w.beginObject();
+    w.key("report");
+    emitReport(w, r);
+    w.field("report_wall_ms", reportMs);
+    if (r.ok) {
+      ++okCount;
+      speedupTwillSum += r.speedupTwillvsSW();
+      powerTwillSum += r.powerTwill;
+    }
+
+    if (!cli.quick && r.ok && r.twillArtifacts) {
+      // Fig. 6.5 / 6.6: re-simulate across queue latencies and capacities,
+      // reusing the module runBenchmark already extracted and scheduled.
+      PreparedKernel pk;
+      pk.name = k.name;
+      pk.expected = r.expected;
+      pk.twillMod = std::move(r.twillArtifacts->module);
+      pk.dswp = std::move(r.twillArtifacts->dswp);
+      pk.twillSchedules = std::move(r.twillArtifacts->schedules);
+      pk.ok = true;
+      t0 = Clock::now();
+      emitSweep(w, pk, "queue_latency_sweep", kQueueLatencySweep, /*isLatency=*/true);
+      emitSweep(w, pk, "queue_capacity_sweep", kQueueCapacitySweep, /*isLatency=*/false);
+      w.field("sweep_wall_ms", msSince(t0));
+    }
+    w.endObject();
+  }
+  w.endArray();
+
+  w.key("summary");
+  w.beginObject();
+  w.field("kernels_run", static_cast<uint64_t>(kernels.size()));
+  w.field("kernels_ok", okCount);
+  w.field("avg_speedup_twill_vs_sw", okCount ? speedupTwillSum / okCount : 0.0);
+  w.field("avg_power_twill", okCount ? powerTwillSum / okCount : 0.0);
+  w.field("total_wall_ms", msSince(runStart));
+  w.endObject();
+  w.endObject();
+
+  if (cli.out.empty() || cli.out == "-") {
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::FILE* f = std::fopen(cli.out.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_main: cannot write '%s'\n", cli.out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", w.str().c_str());
+    std::fclose(f);
+    std::fprintf(stderr, "[bench_main] wrote %s (%u/%zu kernels ok)\n", cli.out.c_str(),
+                 okCount, kernels.size());
+  }
+  return okCount == kernels.size() ? 0 : 1;
+}

@@ -10,7 +10,7 @@ int main() {
          "thesis: ~27%% average slowdown at latency 128 (more than the original DSWP's 10%% "
          "at 100, because Twill flushes the pipeline at function boundaries)");
 
-  const unsigned latencies[] = {2, 8, 32, 128};
+  const std::vector<unsigned>& latencies = kQueueLatencySweep;
   std::printf("%-10s", "Benchmark");
   for (unsigned l : latencies) std::printf(" %8s%-3u", "lat=", l);
   std::printf("\n");
@@ -18,7 +18,7 @@ int main() {
   double slowdown128Sum = 0;
   int count = 0;
   for (const auto& k : chstoneKernels()) {
-    PreparedKernel pk = prepareKernel(k);
+    PreparedKernel pk = prepareKernel(k, {}, 100, /*withBaseline=*/false);
     if (!pk.ok) continue;
     uint64_t baseCycles = 0;
     std::printf("%-10s", k.name);

@@ -9,7 +9,7 @@ int main() {
   header("Fig 6.6: speedup vs queue size (normalized to length-8 queues)",
          "thesis: ~9.7%% slowdown shrinking queues from 32 to 8; resilient overall");
 
-  const unsigned sizes[] = {2, 4, 8, 16, 32};
+  const std::vector<unsigned>& sizes = kQueueCapacitySweep;
   std::printf("%-10s", "Benchmark");
   for (unsigned s : sizes) std::printf(" %7s%-3u", "len=", s);
   std::printf("\n");
@@ -17,7 +17,7 @@ int main() {
   double s32Sum = 0;
   int count = 0;
   for (const auto& k : chstoneKernels()) {
-    PreparedKernel pk = prepareKernel(k);
+    PreparedKernel pk = prepareKernel(k, {}, 100, /*withBaseline=*/false);
     if (!pk.ok) continue;
     uint64_t baseCycles = 0;
     std::vector<double> norms;

@@ -23,19 +23,10 @@ int main() {
       std::printf("%-10s  FAILED: %s\n", k.name, r.error.c_str());
       continue;
     }
-    // Estimated workload split: share of per-partition weight on HW threads.
-    // Reconstructed from a fresh extraction for the stats.
-    PreparedKernel pk = prepareKernel(k);
-    uint64_t hwW = 0, totalW = 0;
-    (void)hwW;
-    (void)totalW;
-    double hwShare = 0;
-    {
-      // Approximate via thread domains: HW thread count over total threads.
-      unsigned hwT = pk.dswp.hwThreadCount();
-      unsigned total = static_cast<unsigned>(pk.dswp.threads.size());
-      hwShare = total ? 100.0 * hwT / total : 0;
-    }
+    // Estimated workload split, approximated via thread domains: HW thread
+    // count over total threads (both already on the report).
+    unsigned total = r.hwThreads + r.swThreads;
+    double hwShare = total ? 100.0 * r.hwThreads / total : 0;
     hwShareSum += hwShare;
     ++count;
     std::printf("%-10s %8u %12u %11u %11u %13.0f%%\n", k.name, r.queues, r.semaphores,

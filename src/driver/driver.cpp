@@ -6,6 +6,7 @@
 #include "src/frontend/lower.h"
 #include "src/ir/interp.h"
 #include "src/ir/verifier.h"
+#include "src/support/json.h"
 
 namespace twill {
 namespace {
@@ -61,6 +62,9 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
                              const DriverOptions& opts) {
   BenchmarkReport rep;
   rep.name = name;
+  rep.ranSW = opts.runPureSW;
+  rep.ranHW = opts.runPureHW;
+  rep.ranTwill = opts.runTwill;
 
   // --- Baseline module (pure SW, pure HW, golden reference) -----------------
   std::unique_ptr<Module> base = compileAndOptimize(source, opts.inlineThreshold, rep.error);
@@ -95,7 +99,10 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
     rep.areas.legup.brams += bramBlocksForGlobals(*base);
   }
 
-  if (!opts.runTwill) return rep;
+  if (!opts.runTwill) {
+    rep.ok = true;  // SW/HW-only run: nothing failed
+    return rep;
+  }
 
   // --- Twill flow -------------------------------------------------------------
   std::unique_ptr<Module> tm = compileAndOptimize(source, opts.inlineThreshold, rep.error);
@@ -172,8 +179,94 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
     rep.powerTwill = pSW > 0 ? pTwill / pSW : 0;
   }
 
+  if (opts.keepTwillArtifacts) {
+    auto art = std::make_shared<TwillArtifacts>();
+    art->module = std::move(tm);
+    art->dswp = std::move(dswp);
+    art->schedules = std::move(twillSchedules);
+    rep.twillArtifacts = std::move(art);
+  }
+
   rep.ok = true;
   return rep;
+}
+
+namespace {
+
+void emitOutcome(JsonWriter& w, const std::string& key, const SimOutcome& o, bool ran) {
+  w.key(key);
+  w.beginObject();
+  w.field("ran", ran);
+  w.field("ok", o.ok);
+  w.field("result", static_cast<uint64_t>(o.result));
+  w.field("cycles", o.cycles);
+  w.field("retired_sw", o.retiredSW);
+  w.field("retired_hw", o.retiredHW);
+  w.field("bus_messages", o.busMessages);
+  w.field("mem_bus_messages", o.memBusMessages);
+  w.field("context_switches", o.contextSwitches);
+  w.field("queue_ops", o.queueOps);
+  w.field("cpu_busy", o.cpuBusy);
+  w.field("hw_busy", o.hwBusy);
+  w.endObject();
+}
+
+void emitArea(JsonWriter& w, const std::string& key, const AreaEstimate& a) {
+  w.key(key);
+  w.beginObject();
+  w.field("luts", a.luts);
+  w.field("dsps", a.dsps);
+  w.field("brams", a.brams);
+  w.endObject();
+}
+
+}  // namespace
+
+void emitReport(JsonWriter& w, const BenchmarkReport& rep) {
+  w.beginObject();
+  w.field("name", rep.name);
+  w.field("ok", rep.ok);
+  if (!rep.error.empty()) w.field("error", rep.error);
+  w.field("result", static_cast<uint64_t>(rep.expected));
+  w.key("flows");
+  w.beginObject();
+  emitOutcome(w, "sw", rep.sw, rep.ranSW);
+  emitOutcome(w, "hw", rep.hw, rep.ranHW);
+  emitOutcome(w, "twill", rep.twill, rep.ranTwill);
+  w.endObject();
+  w.key("dswp");
+  w.beginObject();
+  w.field("queues", rep.queues);
+  w.field("semaphores", rep.semaphores);
+  w.field("hw_threads", rep.hwThreads);
+  w.field("sw_threads", rep.swThreads);
+  w.endObject();
+  w.key("areas");
+  w.beginObject();
+  emitArea(w, "legup", rep.areas.legup);
+  emitArea(w, "twill_hw_threads", rep.areas.twillHwThreads);
+  emitArea(w, "twill_total", rep.areas.twillTotal);
+  emitArea(w, "twill_plus_microblaze", rep.areas.twillPlusMicroblaze);
+  w.endObject();
+  w.key("power");
+  w.beginObject();
+  w.field("sw", rep.powerSW);
+  w.field("hw", rep.powerHW);
+  w.field("twill", rep.powerTwill);
+  w.endObject();
+  w.key("speedups");
+  w.beginObject();
+  w.field("hw_vs_sw", rep.speedupHWvsSW());
+  w.field("twill_vs_sw", rep.speedupTwillvsSW());
+  w.field("twill_vs_hw", rep.speedupTwillvsHW());
+  w.endObject();
+  w.endObject();
+}
+
+std::string reportToJson(const BenchmarkReport& rep) {
+  JsonWriter w;
+  emitReport(w, rep);
+  return w.str();
 }
 
 }  // namespace twill

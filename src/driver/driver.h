@@ -32,6 +32,16 @@ struct DriverOptions {
   bool runPureSW = true;
   bool runPureHW = true;
   bool runTwill = true;
+  /// Keep the extracted module, DSWP result and schedules on the report so
+  /// callers (bench sweeps) can re-simulate without re-compiling.
+  bool keepTwillArtifacts = false;
+};
+
+/// The compiled products of the Twill flow, retained on request.
+struct TwillArtifacts {
+  std::unique_ptr<Module> module;  // extracted module (dswp points into it)
+  DswpResult dswp;
+  ScheduleMap schedules;
 };
 
 struct FlowAreas {
@@ -50,6 +60,15 @@ struct BenchmarkReport {
   SimOutcome sw;
   SimOutcome hw;
   SimOutcome twill;
+  // Which flows actually ran (mirrors DriverOptions.run*): distinguishes a
+  // skipped flow from a failed one in machine-readable output.
+  bool ranSW = false;
+  bool ranHW = false;
+  bool ranTwill = false;
+
+  /// Set when DriverOptions::keepTwillArtifacts was requested and the Twill
+  /// flow succeeded. shared_ptr keeps the report copyable.
+  std::shared_ptr<TwillArtifacts> twillArtifacts;
 
   // Table 6.1 quantities.
   unsigned queues = 0;
@@ -80,5 +99,17 @@ struct BenchmarkReport {
 /// simulation failure is reported in `error` with ok=false.
 BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
                              const DriverOptions& opts = {});
+
+class JsonWriter;
+
+/// Writes the report as one JSON object into an open writer: golden result,
+/// per-flow cycles/activity, DSWP structure counts, areas, normalized power
+/// and speedups. Lets the bench harness embed reports inside its own
+/// document.
+void emitReport(JsonWriter& w, const BenchmarkReport& rep);
+
+/// Serializes a report as a standalone machine-readable JSON document.
+/// Shared by `twillc --json` and the bench harness.
+std::string reportToJson(const BenchmarkReport& rep);
 
 }  // namespace twill

@@ -1,0 +1,119 @@
+#include "src/support/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace twill {
+
+std::string jsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::newlineIndent() {
+  out_.push_back('\n');
+  out_.append(static_cast<size_t>(depth_ * indentWidth_), ' ');
+}
+
+void JsonWriter::beforeValue() {
+  if (afterKey_) {
+    afterKey_ = false;
+    return;
+  }
+  if (depth_ == 0) return;  // document root
+  if (!firstInScope_) out_.push_back(',');
+  firstInScope_ = false;
+  newlineIndent();
+}
+
+void JsonWriter::beginObject() {
+  beforeValue();
+  out_.push_back('{');
+  ++depth_;
+  firstInScope_ = true;
+}
+
+void JsonWriter::endObject() {
+  --depth_;
+  if (!firstInScope_) newlineIndent();
+  firstInScope_ = false;
+  out_.push_back('}');
+}
+
+void JsonWriter::beginArray() {
+  beforeValue();
+  out_.push_back('[');
+  ++depth_;
+  firstInScope_ = true;
+}
+
+void JsonWriter::endArray() {
+  --depth_;
+  if (!firstInScope_) newlineIndent();
+  firstInScope_ = false;
+  out_.push_back(']');
+}
+
+void JsonWriter::key(const std::string& k) {
+  if (!firstInScope_) out_.push_back(',');
+  firstInScope_ = false;
+  newlineIndent();
+  out_ += jsonQuote(k);
+  out_ += ": ";
+  afterKey_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  beforeValue();
+  out_ += jsonQuote(v);
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(bool v) {
+  beforeValue();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(double v) {
+  beforeValue();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(uint64_t v) {
+  beforeValue();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(int64_t v) {
+  beforeValue();
+  out_ += std::to_string(v);
+}
+
+}  // namespace twill

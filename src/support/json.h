@@ -1,0 +1,60 @@
+// Minimal streaming JSON emitter shared by the machine-readable outputs
+// (`twillc --json`, bench_main's BENCH_*.json).
+//
+// Scope-based with automatic comma/indent handling; only the shapes the
+// report emitters need (objects, arrays, string/number/bool scalars). No
+// parsing, no DOM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace twill {
+
+/// Returns `s` as a double-quoted JSON string literal (quotes included),
+/// escaping control characters, quotes and backslashes.
+std::string jsonQuote(const std::string& s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indentWidth = 2) : indentWidth_(indentWidth) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits the key of the next field; must be inside an object and followed
+  /// by exactly one value()/begin*() call.
+  void key(const std::string& k);
+
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(bool v);
+  void value(double v);
+  void value(uint64_t v);
+  void value(int64_t v);
+  void value(unsigned v) { value(static_cast<uint64_t>(v)); }
+  void value(int v) { value(static_cast<int64_t>(v)); }
+
+  template <typename T>
+  void field(const std::string& k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// The document built so far (complete once every scope is closed).
+  const std::string& str() const { return out_; }
+
+ private:
+  void beforeValue();
+  void newlineIndent();
+
+  std::string out_;
+  int indentWidth_;
+  int depth_ = 0;
+  bool firstInScope_ = true;
+  bool afterKey_ = false;
+};
+
+}  // namespace twill

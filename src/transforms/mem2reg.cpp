@@ -93,7 +93,7 @@ bool mem2reg(Function& f) {
   };
 
   std::vector<Frame> stack;
-  stack.push_back({f.entry()});
+  stack.push_back({f.entry(), 0, {}});
   // Pre-scan: process instructions of a block on push.
   auto processBlock = [&](Frame& fr) {
     BasicBlock* bb = fr.bb;
@@ -146,7 +146,7 @@ bool mem2reg(Function& f) {
     size_t nKids = kidIt == kids.children.end() ? 0 : kidIt->second.size();
     if (fr.child < nKids) {
       BasicBlock* next = kidIt->second[fr.child++];
-      stack.push_back({next});
+      stack.push_back({next, 0, {}});
       processBlock(stack.back());
     } else {
       for (auto it = fr.saved.rbegin(); it != fr.saved.rend(); ++it) cur[it->first] = it->second;

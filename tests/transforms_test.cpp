@@ -216,9 +216,7 @@ TEST(MergeReturnsTest, SingleExitAfterwards) {
   Function* f = c.m->findFunction("main");
   mergeReturns(*f, *c.m);
   expectVerified(*c.m);
-  size_t rets = 0;
-  for (auto& bb : f->blocks()) rets += countOps(*f, Opcode::Ret) > 0 ? 0 : 0;
-  rets = countOps(*f, Opcode::Ret);
+  size_t rets = countOps(*f, Opcode::Ret);
   EXPECT_EQ(rets, 1u);
   EXPECT_EQ(rerun(*c.m), 1u);
 }

@@ -1,0 +1,220 @@
+// End-to-end tests for the twillc CLI binary: spawns the real executable
+// (path injected by CMake as TWILLC_PATH) and validates exit codes, the
+// human-readable report, and the shape of the --json output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+#ifndef TWILLC_PATH
+#error "TWILLC_PATH must be defined to the twillc binary location"
+#endif
+
+struct RunResult {
+  int exitCode = -1;
+  std::string out;
+};
+
+/// Runs `twillc <args>` capturing stdout (stderr is folded in so failures
+/// show up in test logs).
+RunResult runTwillc(const std::string& args) {
+  RunResult r;
+  std::string cmd = std::string(TWILLC_PATH) + " " + args + " 2>&1";
+  std::FILE* p = popen(cmd.c_str(), "r");
+  if (!p) return r;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), p)) > 0) r.out.append(buf, n);
+  int status = pclose(p);
+  r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+/// ctest runs each TEST as its own concurrent process, so temp files must
+/// be unique per test to avoid write/read races.
+std::string tempPath(const std::string& suffix) {
+  const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+  return testing::TempDir() + "twillc_" + info->name() + suffix;
+}
+
+std::string writeTempSource(const std::string& contents) {
+  std::string path = tempPath("_input.c");
+  std::ofstream f(path);
+  f << contents;
+  return path;
+}
+
+/// Minimal JSON validity scanner: checks that the document is one object
+/// with balanced braces/brackets and well-formed strings. Not a full
+/// parser, but enough to reject truncated or comma-broken output.
+bool looksLikeValidJson(const std::string& s) {
+  int depth = 0;
+  bool inString = false, escaped = false, sawTop = false;
+  for (char c : s) {
+    if (inString) {
+      if (escaped)
+        escaped = false;
+      else if (c == '\\')
+        escaped = true;
+      else if (c == '"')
+        inString = false;
+      continue;
+    }
+    switch (c) {
+      case '"': inString = true; break;
+      case '{':
+      case '[':
+        ++depth;
+        sawTop = true;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return sawTop && depth == 0 && !inString;
+}
+
+const char* kQuickstartProgram =
+    "int data[64];\n"
+    "int main(void) {\n"
+    "  unsigned x = 12345u;\n"
+    "  for (int i = 0; i < 64; i++) {\n"
+    "    x = x * 1664525u + 1013904223u;\n"
+    "    data[i] = (int)(x >> 24);\n"
+    "  }\n"
+    "  int sum = 0;\n"
+    "  for (int i = 0; i < 64; i++) sum += data[i];\n"
+    "  return sum;\n"
+    "}\n";
+
+TEST(TwillcTest, JsonReportHasCyclesResultAndPower) {
+  std::string src = writeTempSource(kQuickstartProgram);
+  RunResult r = runTwillc("--json " + src);
+  ASSERT_EQ(r.exitCode, 0) << r.out;
+  EXPECT_TRUE(looksLikeValidJson(r.out)) << r.out;
+  // The acceptance shape: simulated cycle counts, the checksum result, and
+  // the power estimate must all be present.
+  EXPECT_NE(r.out.find("\"cycles\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"result\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"power\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"flows\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"speedups\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"ok\": true"), std::string::npos) << r.out;
+  // Name defaults to the source file stem.
+  EXPECT_NE(r.out.find("\"name\": \"twillc_JsonReportHasCyclesResultAndPower_input\""),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(TwillcTest, HumanReportMentionsAllThreeFlows) {
+  std::string src = writeTempSource(kQuickstartProgram);
+  RunResult r = runTwillc(src);
+  ASSERT_EQ(r.exitCode, 0) << r.out;
+  EXPECT_NE(r.out.find("pure SW"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("pure HW"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("Twill"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("power"), std::string::npos) << r.out;
+}
+
+TEST(TwillcTest, ReadsProgramFromStdin) {
+  std::string cmd = std::string("echo 'int main(void){return 41+1;}' | ") + TWILLC_PATH +
+                    " --json - 2>&1";
+  std::FILE* p = popen(cmd.c_str(), "r");
+  ASSERT_NE(p, nullptr);
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), p)) > 0) out.append(buf, n);
+  int status = pclose(p);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << out;
+  EXPECT_NE(out.find("\"name\": \"stdin\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"result\": 42"), std::string::npos) << out;
+}
+
+TEST(TwillcTest, WritesJsonToOutFile) {
+  std::string src = writeTempSource(kQuickstartProgram);
+  std::string outPath = tempPath("_out.json");
+  std::remove(outPath.c_str());
+  RunResult r = runTwillc("--json --out " + outPath + " " + src);
+  ASSERT_EQ(r.exitCode, 0) << r.out;
+  std::ifstream f(outPath);
+  ASSERT_TRUE(f.good());
+  std::string contents((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_TRUE(looksLikeValidJson(contents)) << contents;
+  EXPECT_NE(contents.find("\"power\""), std::string::npos);
+}
+
+TEST(TwillcTest, SimKnobsAreAccepted) {
+  std::string src = writeTempSource(kQuickstartProgram);
+  RunResult r = runTwillc("--json --queue-capacity 16 --queue-latency 4 --partitions 2 " + src);
+  ASSERT_EQ(r.exitCode, 0) << r.out;
+  EXPECT_NE(r.out.find("\"ok\": true"), std::string::npos) << r.out;
+}
+
+TEST(TwillcTest, SkippedFlowsAreMarkedNotRan) {
+  std::string src = writeTempSource(kQuickstartProgram);
+  RunResult r = runTwillc("--json --no-hw " + src);
+  ASSERT_EQ(r.exitCode, 0) << r.out;
+  // A consumer must be able to tell "flow disabled" from "flow failed".
+  EXPECT_NE(r.out.find("\"ran\": false"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"ran\": true"), std::string::npos) << r.out;
+  // An SW/HW-only run (no Twill flow at all) is still a successful run.
+  RunResult noTwill = runTwillc("--json --no-twill " + src);
+  EXPECT_EQ(noTwill.exitCode, 0) << noTwill.out;
+  EXPECT_NE(noTwill.out.find("\"ok\": true"), std::string::npos) << noTwill.out;
+}
+
+TEST(TwillcTest, FailedRunDoesNotClobberHumanOutFile) {
+  std::string good = writeTempSource(kQuickstartProgram);
+  std::string outPath = tempPath("_report.txt");
+  ASSERT_EQ(runTwillc("--out " + outPath + " " + good).exitCode, 0);
+  std::string bad = tempPath("_bad.c");
+  {
+    std::ofstream f(bad);
+    f << "int main( {";
+  }
+  EXPECT_EQ(runTwillc("--out " + outPath + " " + bad).exitCode, 1);
+  std::ifstream f(outPath);
+  std::string contents((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_FALSE(contents.empty()) << "previous report was truncated away";
+}
+
+TEST(TwillcTest, BadUsageExitsWithTwo) {
+  EXPECT_EQ(runTwillc("--definitely-not-a-flag").exitCode, 2);
+  EXPECT_EQ(runTwillc("").exitCode, 2);            // no input file
+  EXPECT_EQ(runTwillc("--sw-fraction 7 x.c").exitCode, 2);
+  EXPECT_EQ(runTwillc("--kernel no_such_kernel").exitCode, 2);
+  // strtoul would silently wrap these; the CLI must reject them.
+  EXPECT_EQ(runTwillc("--queue-capacity -1 x.c").exitCode, 2);
+  EXPECT_EQ(runTwillc("--queue-capacity 0 x.c").exitCode, 2);
+  EXPECT_EQ(runTwillc("--processors 0 x.c").exitCode, 2);
+  EXPECT_EQ(runTwillc("--partitions '' x.c").exitCode, 2);
+  EXPECT_EQ(runTwillc("--partitions 99999999999999999999 x.c").exitCode, 2);
+}
+
+TEST(TwillcTest, CompileErrorExitsWithOneAndReportsDiagnostics) {
+  std::string src = writeTempSource("int main( {");
+  RunResult r = runTwillc(src);
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.out.find("twillc:"), std::string::npos) << r.out;
+}
+
+TEST(TwillcTest, HelpAndListKernels) {
+  RunResult help = runTwillc("--help");
+  EXPECT_EQ(help.exitCode, 0);
+  EXPECT_NE(help.out.find("usage: twillc"), std::string::npos);
+  RunResult list = runTwillc("--list-kernels");
+  EXPECT_EQ(list.exitCode, 0);
+  EXPECT_NE(list.out.find("mips"), std::string::npos) << list.out;
+}
+
+}  // namespace

@@ -1,0 +1,264 @@
+// twillc — command-line driver for the whole Twill pipeline.
+//
+// Takes one C source file (in the thesis's supported subset) and runs
+// parse -> lower -> mem2reg/simplify/inline -> PDG -> DSWP extract/partition
+// -> HLS schedule -> cycle-level co-simulation -> power estimate, printing
+// either a human-readable report or (--json) the machine-readable form that
+// bench_main and the CLI tests consume.
+//
+//   $ twillc program.c
+//   $ twillc --json --queue-capacity 16 --partitions 3 program.c
+//   $ twillc --kernel mips --json          # run a built-in CHStone kernel
+//   $ echo 'int main(){return 7;}' | twillc -
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/chstone/kernels.h"
+#include "src/driver/driver.h"
+
+namespace {
+
+void printUsage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: twillc [options] <source.c | - >\n"
+               "\n"
+               "Runs the full Twill flow on one C source file: compile, optimize,\n"
+               "DSWP-extract, HW/SW partition, HLS-schedule, co-simulate, and\n"
+               "estimate power. '-' reads the program from stdin.\n"
+               "\n"
+               "output:\n"
+               "  --json                 machine-readable JSON report\n"
+               "  --out FILE             write the report to FILE instead of stdout\n"
+               "  --name NAME            report name (default: source file stem)\n"
+               "\n"
+               "input:\n"
+               "  --kernel NAME          use the built-in CHStone kernel NAME instead\n"
+               "                         of a source file (see --list-kernels)\n"
+               "  --list-kernels         list built-in kernels and exit\n"
+               "\n"
+               "flows (all three run by default):\n"
+               "  --no-sw | --no-hw | --no-twill\n"
+               "                         skip the pure-SW / pure-HW / Twill flow\n"
+               "\n"
+               "pipeline knobs:\n"
+               "  --inline-threshold N   inliner size bound (default 100)\n"
+               "  --partitions N         DSWP partitions per function, 0 = auto\n"
+               "  --max-partitions N     partition cap when auto (default 6)\n"
+               "  --min-instructions N   don't partition functions smaller than N\n"
+               "  --sw-fraction F        targeted software share of work (default 0.1)\n"
+               "\n"
+               "simulation knobs:\n"
+               "  --queue-capacity N     FIFO queue depth (default 8)\n"
+               "  --queue-latency N      queue handshake cycles (default 2)\n"
+               "  --processors N         Microblaze count (default 1)\n"
+               "  --sched-quantum N      scheduler period in cycles (default 2000)\n");
+}
+
+bool readFile(const std::string& path, std::string& out, std::string& error) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    out = ss.str();
+    return true;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::string stemOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base = base.substr(0, dot);
+  return base.empty() ? "program" : base;
+}
+
+void printHuman(std::FILE* to, const twill::BenchmarkReport& r,
+                const twill::DriverOptions& opts) {
+  std::fprintf(to, "%s: checksum 0x%08X\n", r.name.c_str(), r.expected);
+  std::fprintf(to, "  threads: %u hardware, %u software; %u queues, %u semaphores\n",
+               r.hwThreads, r.swThreads, r.queues, r.semaphores);
+  if (opts.runPureSW)
+    std::fprintf(to, "  pure SW  : %12llu cycles\n",
+                 static_cast<unsigned long long>(r.sw.cycles));
+  if (opts.runPureHW)
+    std::fprintf(to, "  pure HW  : %12llu cycles (%.2fx over SW)\n",
+                 static_cast<unsigned long long>(r.hw.cycles), r.speedupHWvsSW());
+  if (opts.runTwill)
+    std::fprintf(to, "  Twill    : %12llu cycles (%.2fx over SW, %.2fx vs HW)\n",
+                 static_cast<unsigned long long>(r.twill.cycles), r.speedupTwillvsSW(),
+                 r.speedupTwillvsHW());
+  std::fprintf(to, "  area LUTs: LegUp %u | Twill HW %u | +runtime %u | +Microblaze %u\n",
+               r.areas.legup.luts, r.areas.twillHwThreads.luts, r.areas.twillTotal.luts,
+               r.areas.twillPlusMicroblaze.luts);
+  std::fprintf(to, "  power (normalized to SW): HW %.2f, Twill %.2f\n", r.powerHW,
+               r.powerTwill);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  twill::DriverOptions opts;
+  bool json = false;
+  std::string outPath;
+  std::string name;
+  std::string kernelName;
+  std::string inputPath;
+
+  auto needValue = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "twillc: %s requires a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  auto parseUnsigned = [&](int& i, const char* flag) -> unsigned {
+    const char* v = needValue(i, flag);
+    errno = 0;
+    char* end = nullptr;
+    unsigned long n = std::strtoul(v, &end, 10);
+    // strtoul silently wraps negatives and accepts the empty string; reject
+    // anything that isn't a plain decimal in [0, UINT_MAX].
+    if (end == v || *end != '\0' || v[0] == '-' || errno == ERANGE || n > UINT_MAX) {
+      std::fprintf(stderr, "twillc: %s expects an unsigned integer, got '%s'\n", flag, v);
+      std::exit(2);
+    }
+    return static_cast<unsigned>(n);
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      printUsage(stdout);
+      return 0;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--out") {
+      outPath = needValue(i, "--out");
+    } else if (arg == "--name") {
+      name = needValue(i, "--name");
+    } else if (arg == "--kernel") {
+      kernelName = needValue(i, "--kernel");
+    } else if (arg == "--list-kernels") {
+      for (const auto& k : twill::chstoneKernels())
+        std::printf("%-10s %s\n", k.name, k.description);
+      return 0;
+    } else if (arg == "--no-sw") {
+      opts.runPureSW = false;
+    } else if (arg == "--no-hw") {
+      opts.runPureHW = false;
+    } else if (arg == "--no-twill") {
+      opts.runTwill = false;
+    } else if (arg == "--inline-threshold") {
+      opts.inlineThreshold = parseUnsigned(i, "--inline-threshold");
+    } else if (arg == "--partitions") {
+      opts.dswp.numPartitions = parseUnsigned(i, "--partitions");
+    } else if (arg == "--max-partitions") {
+      opts.dswp.maxPartitions = parseUnsigned(i, "--max-partitions");
+    } else if (arg == "--min-instructions") {
+      opts.dswp.minInstructions = parseUnsigned(i, "--min-instructions");
+    } else if (arg == "--sw-fraction") {
+      const char* v = needValue(i, "--sw-fraction");
+      char* end = nullptr;
+      double f = std::strtod(v, &end);
+      if (end == v || !end || *end != '\0' || f < 0.0 || f > 1.0) {
+        std::fprintf(stderr, "twillc: --sw-fraction expects a number in [0,1], got '%s'\n", v);
+        return 2;
+      }
+      opts.dswp.swFraction = f;
+    } else if (arg == "--queue-capacity") {
+      opts.sim.queueCapacity = parseUnsigned(i, "--queue-capacity");
+      if (opts.sim.queueCapacity == 0) {
+        std::fprintf(stderr, "twillc: --queue-capacity must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--queue-latency") {
+      opts.sim.queueLatency = parseUnsigned(i, "--queue-latency");
+    } else if (arg == "--processors") {
+      opts.sim.numProcessors = parseUnsigned(i, "--processors");
+      if (opts.sim.numProcessors == 0) {
+        std::fprintf(stderr, "twillc: --processors must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--sched-quantum") {
+      opts.sim.schedQuantum = parseUnsigned(i, "--sched-quantum");
+    } else if (arg == "-" || arg[0] != '-') {
+      if (!inputPath.empty()) {
+        std::fprintf(stderr, "twillc: multiple input files ('%s' and '%s')\n",
+                     inputPath.c_str(), arg.c_str());
+        return 2;
+      }
+      inputPath = arg;
+    } else {
+      std::fprintf(stderr, "twillc: unknown option '%s'\n", arg.c_str());
+      printUsage(stderr);
+      return 2;
+    }
+  }
+
+  std::string source;
+  if (!kernelName.empty()) {
+    if (!inputPath.empty()) {
+      std::fprintf(stderr, "twillc: --kernel and a source file are mutually exclusive\n");
+      return 2;
+    }
+    const twill::KernelInfo* k = twill::findKernel(kernelName);
+    if (!k) {
+      std::fprintf(stderr, "twillc: unknown kernel '%s' (try --list-kernels)\n",
+                   kernelName.c_str());
+      return 2;
+    }
+    source = k->source;
+    if (name.empty()) name = k->name;
+  } else {
+    if (inputPath.empty()) {
+      std::fprintf(stderr, "twillc: no input file\n");
+      printUsage(stderr);
+      return 2;
+    }
+    std::string error;
+    if (!readFile(inputPath, source, error)) {
+      std::fprintf(stderr, "twillc: %s\n", error.c_str());
+      return 1;
+    }
+    if (name.empty()) name = inputPath == "-" ? "stdin" : stemOf(inputPath);
+  }
+
+  twill::BenchmarkReport r = twill::runBenchmark(name, source, opts);
+
+  // In human mode a failed run produces no report, so don't open (and
+  // truncate) --out unless something will be written.
+  const bool haveOutput = json || r.ok;
+  std::FILE* out = stdout;
+  if (!outPath.empty() && haveOutput) {
+    out = std::fopen(outPath.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "twillc: cannot write '%s'\n", outPath.c_str());
+      return 1;
+    }
+  }
+  if (json) {
+    std::fprintf(out, "%s\n", twill::reportToJson(r).c_str());
+  } else if (r.ok) {
+    printHuman(out, r, opts);
+  }
+  if (!r.ok) {
+    std::fprintf(stderr, "twillc: %s: %s\n", name.c_str(), r.error.c_str());
+  }
+  if (out != stdout) std::fclose(out);
+  return r.ok ? 0 : 1;
+}

@@ -31,10 +31,12 @@ inline const std::vector<unsigned> kQueueCapacitySweep = {2, 4, 8, 16, 32};
 ///   --quick        trimmed run (kernel subset, no parameter sweeps)
 ///   --out FILE     write the machine-readable JSON artifact to FILE
 ///   --kernel NAME  restrict to one kernel (repeatable)
+///   --repeat N     run each stage N times, report the median wall time
 struct BenchCli {
   bool quick = false;
   std::string out;
   std::vector<std::string> kernels;
+  unsigned repeat = 1;
 };
 
 inline BenchCli parseBenchCli(int argc, char** argv, const char* defaultOut = "") {
@@ -55,8 +57,15 @@ inline BenchCli parseBenchCli(int argc, char** argv, const char* defaultOut = ""
       cli.out = needValue("--out");
     } else if (arg == "--kernel") {
       cli.kernels.push_back(needValue("--kernel"));
+    } else if (arg == "--repeat") {
+      int n = std::atoi(needValue("--repeat"));
+      if (n < 1) {
+        std::fprintf(stderr, "%s: --repeat wants a positive count\n", argv[0]);
+        std::exit(2);
+      }
+      cli.repeat = static_cast<unsigned>(n);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--quick] [--out FILE] [--kernel NAME ...]\n", argv[0]);
+      std::printf("usage: %s [--quick] [--out FILE] [--kernel NAME ...] [--repeat N]\n", argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0], arg.c_str());
@@ -131,9 +140,11 @@ inline PreparedKernel prepareKernel(const KernelInfo& k, const DswpConfig& dswpC
 }
 
 /// Runs the Twill simulation for a prepared kernel under `cfg`, verifying
-/// the checksum. Returns 0 cycles on failure (and prints why).
-inline uint64_t runTwillCycles(PreparedKernel& pk, const SimConfig& cfg) {
-  SimOutcome o = simulateTwill(*pk.twillMod, pk.dswp, cfg, pk.twillSchedules);
+/// the checksum. Returns 0 cycles on failure (and prints why). Pass a
+/// SimProgram to share one decode across a parameter sweep.
+inline uint64_t runTwillCycles(PreparedKernel& pk, const SimConfig& cfg,
+                               SimProgram* shared = nullptr) {
+  SimOutcome o = simulateTwill(*pk.twillMod, pk.dswp, cfg, pk.twillSchedules, shared);
   if (!o.ok || o.result != pk.expected) {
     std::fprintf(stderr, "%s: twill sim failed: %s\n", pk.name.c_str(), o.message.c_str());
     return 0;

@@ -7,6 +7,7 @@
 #include "src/chstone/kernels.h"
 #include "src/dswp/extract.h"
 #include "src/frontend/lower.h"
+#include "src/ir/interp.h"
 #include "src/rt/fabric.h"
 #include "src/transforms/passes.h"
 
@@ -59,6 +60,56 @@ void BM_BusArbitration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BusArbitration);
+
+// ExecState::step() throughput: the pre-decoded engine (the production
+// path) vs. the reference tree-walking interpreter (the legacy path). The
+// items/s counter is retired instructions per second.
+void BM_ExecStepDecoded(benchmark::State& state) {
+  const KernelInfo& k = chstoneKernels()[static_cast<size_t>(state.range(0))];
+  state.SetLabel(k.name);
+  Module m;
+  DiagEngine diag;
+  compileC(k.source, m, diag);
+  runDefaultPipeline(m);
+  uint64_t retired = 0;
+  for (auto _ : state) {
+    Memory mem;
+    Layout lay;
+    lay.build(m, mem);
+    DecodedProgram prog(m, lay);
+    FunctionalChannels chans;
+    ExecState st(prog, mem, chans, m.findFunction("main"));
+    while (st.step().status == StepStatus::Ran) {
+    }
+    retired += st.retired();
+    benchmark::DoNotOptimize(st.result());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(retired));
+}
+BENCHMARK(BM_ExecStepDecoded)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+void BM_ExecStepLegacy(benchmark::State& state) {
+  const KernelInfo& k = chstoneKernels()[static_cast<size_t>(state.range(0))];
+  state.SetLabel(k.name);
+  Module m;
+  DiagEngine diag;
+  compileC(k.source, m, diag);
+  runDefaultPipeline(m);
+  uint64_t retired = 0;
+  for (auto _ : state) {
+    Memory mem;
+    Layout lay;
+    lay.build(m, mem);
+    FunctionalChannels chans;
+    RefExecState st(m, lay, mem, chans, m.findFunction("main"));
+    while (st.step().status == StepStatus::Ran) {
+    }
+    retired += st.retired();
+    benchmark::DoNotOptimize(st.result());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(retired));
+}
+BENCHMARK(BM_ExecStepLegacy)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
 
 void BM_CompileKernel(benchmark::State& state) {
   const KernelInfo& k = chstoneKernels()[static_cast<size_t>(state.range(0))];

@@ -1,0 +1,43 @@
+#include "src/exec/core.h"
+
+namespace twill {
+
+void Layout::build(Module& m, Memory& mem) {
+  globalAddr.reserve(m.globals().size());
+  size_t allocaCount = 0;
+  for (auto& f : m.functions())
+    for (auto& bb : f->blocks())
+      for (auto& inst : *bb)
+        if (inst->op() == Opcode::Alloca) ++allocaCount;
+  allocaAddr.reserve(allocaCount);
+
+  uint32_t addr = dataBase;
+  auto align4 = [](uint32_t a) { return (a + 3u) & ~3u; };
+  for (auto& g : m.globals()) {
+    addr = align4(addr);
+    globalAddr[g.get()] = addr;
+    unsigned esz = g->elemByteSize();
+    const auto& init = g->init();
+    for (uint32_t i = 0; i < g->count(); ++i) {
+      uint32_t v = i < init.size() ? init[i] : 0;
+      mem.store(addr + i * esz, esz, v);
+    }
+    addr += g->byteSize();
+  }
+  stackBase = align4(addr);
+  addr = stackBase;
+  for (auto& f : m.functions()) {
+    for (auto& bb : f->blocks()) {
+      for (auto& inst : *bb) {
+        if (inst->op() != Opcode::Alloca) continue;
+        addr = align4(addr);
+        allocaAddr[inst.get()] = addr;
+        unsigned esz = inst->allocaElemBits() == 1 ? 1 : inst->allocaElemBits() / 8;
+        addr += esz * inst->allocaCount();
+      }
+    }
+  }
+  top = align4(addr);
+}
+
+}  // namespace twill

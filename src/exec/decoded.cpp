@@ -1,0 +1,557 @@
+#include "src/exec/decoded.h"
+
+#include <cassert>
+
+#include "src/ir/eval.h"
+#include "src/ir/printer.h"
+#include "src/model/optables.h"
+#include "src/rt/fabric.h"
+
+namespace twill {
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+const DecodedFunction& DecodedProgram::get(Function* f) {
+  auto it = cache_.find(f);
+  if (it != cache_.end()) return *it->second;
+  // Insert before decoding so (disallowed) recursive call graphs resolve to
+  // a stable pointer instead of looping.
+  auto& slot = cache_[f];
+  slot = std::make_unique<DecodedFunction>();
+  decode(f, *slot);
+  return *slot;
+}
+
+namespace {
+
+/// Records a trap message on the function and returns its index.
+int32_t addTrap(DecodedFunction& df, std::string msg) {
+  df.trapMessages.push_back(std::move(msg));
+  return static_cast<int32_t>(df.trapMessages.size() - 1);
+}
+
+}  // namespace
+
+void DecodedProgram::decode(Function* f, DecodedFunction& df) {
+  f->renumber();
+  df.fn = f;
+  df.numSlots = f->numValueSlots();
+
+  const FunctionSchedule* sched = nullptr;
+  if (schedules_) {
+    auto sit = schedules_->find(f);
+    if (sit != schedules_->end()) sched = &sit->second;
+  }
+  const uint32_t blockUidBase = nextBlockUid_;
+  nextBlockUid_ += static_cast<uint32_t>(f->numBlocks());
+
+  // Pass 1: pc of each block's first non-phi instruction.
+  std::vector<uint32_t> blockPc(f->numBlocks(), 0);
+  uint32_t pc = 0;
+  for (auto& bb : f->blocks()) {
+    uint32_t first = pc;
+    bool seen = false;
+    for (auto& inst : *bb) {
+      if (inst->isPhi()) continue;
+      if (!seen) {
+        first = pc;
+        seen = true;
+      }
+      ++pc;
+    }
+    if (!seen) first = pc;  // malformed empty block; edge decode traps below
+    blockPc[bb->id()] = first;
+  }
+  df.entryPc = f->entry() ? blockPc[f->entry()->id()] : 0;
+  df.insts.reserve(pc);
+
+  // Immediates (constants, pre-folded global/alloca addresses) are interned
+  // into the frame constant pool, so every operand reference is a plain slot
+  // index and the hot loop never branches on operand kind.
+  std::unordered_map<uint32_t, uint32_t> poolIndex;
+  auto poolSlot = [&](uint32_t value) -> uint32_t {
+    auto [it, inserted] =
+        poolIndex.try_emplace(value, df.numSlots + static_cast<uint32_t>(df.constPool.size()));
+    if (inserted) df.constPool.push_back(value);
+    return it->second;
+  };
+
+  // Resolves a data operand to a slot index. Unmapped globals/allocas poison
+  // the instruction with a trap diagnostic instead of aborting
+  // (Layout::addrOf used to call unordered_map::at here).
+  auto refOf = [&](Value* v, DecodedInst& d) -> uint32_t {
+    if (const auto* cst = dyn_cast<Constant>(v))
+      return poolSlot(static_cast<uint32_t>(cst->zext()));
+    if (const auto* g = dyn_cast<GlobalVar>(v)) {
+      uint32_t addr = layout_.addrOf(g);
+      if (addr == Layout::kUnmapped && d.trapMsg < 0)
+        d.trapMsg = addTrap(df, "global @" + g->name() + " has no address in this layout " +
+                                    "(module changed after Layout::build?)");
+      return poolSlot(addr);
+    }
+    int slot = Function::valueSlot(v);
+    if (slot < 0) {
+      if (d.trapMsg < 0)
+        d.trapMsg = addTrap(df, "operand without a value slot in @" + f->name());
+      return poolSlot(0);
+    }
+    return static_cast<uint32_t>(slot);
+  };
+  auto setOpnd = [&](DecodedInst& d, unsigned which, Value* v) {
+    (which == 0 ? d.a : which == 1 ? d.b : d.c) = refOf(v, d);
+  };
+
+  // Decodes the edge from `from` to `to`: target pc plus phi copies,
+  // evaluated with parallel-copy semantics at run time.
+  auto decodeEdge = [&](BasicBlock* from, BasicBlock* to, DecodedInst& d) -> uint32_t {
+    DecodedEdge e;
+    e.targetPc = blockPc[to->id()];
+    e.copyBegin = static_cast<uint32_t>(df.phiCopies.size());
+    if (to->empty()) {
+      e.trapMsg = addTrap(df, "branch to empty block %" + to->name());
+    } else {
+      for (auto& instPtr : *to) {
+        Instruction* phi = instPtr.get();
+        if (!phi->isPhi()) break;
+        int idx = phi->incomingIndexFor(from);
+        if (idx < 0) {
+          e.trapMsg = addTrap(df, "phi in %" + to->name() + " has no entry for predecessor %" +
+                                      from->name());
+          break;
+        }
+        PhiCopy pcpy;
+        pcpy.dst = phi->id();
+        pcpy.src = refOf(phi->incomingValue(static_cast<unsigned>(idx)), d);
+        df.phiCopies.push_back(pcpy);
+      }
+    }
+    e.copyCount = static_cast<uint32_t>(df.phiCopies.size()) - e.copyBegin;
+    for (uint32_t i = e.copyBegin; i < e.copyBegin + e.copyCount && !e.overlaps; ++i)
+      for (uint32_t j = e.copyBegin; j < e.copyBegin + e.copyCount; ++j)
+        if (df.phiCopies[i].dst == df.phiCopies[j].src && i != j) {
+          e.overlaps = true;
+          break;
+        }
+    df.edges.push_back(e);
+    return static_cast<uint32_t>(df.edges.size() - 1);
+  };
+
+  // Pass 2: emit the packed records.
+  for (auto& bb : f->blocks()) {
+    for (auto& instPtr : *bb) {
+      Instruction* inst = instPtr.get();
+      if (inst->isPhi()) continue;
+      DecodedInst d;
+      const Opcode op = inst->op();
+      d.op = op;
+      d.src = inst;
+      d.swCost = static_cast<uint16_t>(swCycles(*inst));
+      d.blockUid = blockUidBase + bb->id();
+      if (!inst->type()->isVoid()) {
+        d.flags |= DecodedInst::kHasResult;
+        d.resMask = maskToBits(0xFFFFFFFFu, operandBits(inst));
+        d.resSlot = inst->id();
+      }
+      if (inst->isTerminator() && sched) {
+        d.flags |= DecodedInst::kHasSchedule;
+        d.hlsStatic = sched->staticCyclesFor(bb.get());
+        d.hlsII = sched->pipelinedIIFor(bb.get());
+      }
+
+      if (isBinaryOp(op) || isCompareOp(op)) {
+        d.evalBits = static_cast<uint8_t>(operandBits(inst->operand(0)));
+        setOpnd(d, 0, inst->operand(0));
+        setOpnd(d, 1, inst->operand(1));
+      } else if (isCastOp(op)) {
+        d.evalBits = static_cast<uint8_t>(operandBits(inst->operand(0)));
+        d.auxBits = static_cast<uint8_t>(inst->type()->bits());
+        setOpnd(d, 0, inst->operand(0));
+      } else {
+        switch (op) {
+          case Opcode::Select:
+            setOpnd(d, 0, inst->operand(0));
+            setOpnd(d, 1, inst->operand(1));
+            setOpnd(d, 2, inst->operand(2));
+            break;
+          case Opcode::PtrToInt:
+          case Opcode::IntToPtr:
+            setOpnd(d, 0, inst->operand(0));
+            break;
+          case Opcode::Alloca: {
+            uint32_t addr = layout_.addrOf(inst);
+            if (addr == Layout::kUnmapped)
+              d.trapMsg = addTrap(df, "alloca %" + inst->name() + " in @" + f->name() +
+                                          " has no address in this layout " +
+                                          "(module changed after Layout::build?)");
+            d.a = poolSlot(addr);
+            break;
+          }
+          case Opcode::Load:
+            d.accessBytes = static_cast<uint8_t>(inst->type()->byteSize());
+            setOpnd(d, 0, inst->operand(0));
+            break;
+          case Opcode::Store:
+            d.accessBytes = static_cast<uint8_t>(inst->operand(0)->type()->byteSize());
+            setOpnd(d, 0, inst->operand(0));  // value
+            setOpnd(d, 1, inst->operand(1));  // address
+            break;
+          case Opcode::Gep: {
+            unsigned pb = inst->type()->pointeeBits();
+            d.scale = pb == 1 ? 1 : pb / 8;
+            d.auxBits = static_cast<uint8_t>(operandBits(inst->operand(1)));
+            setOpnd(d, 0, inst->operand(0));
+            setOpnd(d, 1, inst->operand(1));
+            break;
+          }
+          case Opcode::Produce:
+            d.channel = inst->channel();
+            setOpnd(d, 0, inst->operand(0));
+            break;
+          case Opcode::Consume:
+            d.channel = inst->channel();
+            break;
+          case Opcode::SemRaise:
+          case Opcode::SemLower:
+            d.channel = inst->channel();
+            setOpnd(d, 0, inst->operand(0));
+            break;
+          case Opcode::Br:
+            d.edge0 = decodeEdge(bb.get(), inst->successor(0), d);
+            break;
+          case Opcode::CondBr:
+            setOpnd(d, 0, inst->operand(0));
+            d.edge0 = decodeEdge(bb.get(), inst->successor(0), d);
+            d.edge1 = decodeEdge(bb.get(), inst->successor(1), d);
+            break;
+          case Opcode::Switch: {
+            d.evalBits = static_cast<uint8_t>(operandBits(inst->operand(0)));
+            setOpnd(d, 0, inst->operand(0));
+            d.edge0 = decodeEdge(bb.get(), inst->successor(0), d);  // default
+            d.caseBegin = static_cast<uint32_t>(df.cases.size());
+            for (unsigned i = 2; i + 1 < inst->numOperands(); i += 2) {
+              DecodedCase dc;
+              dc.value = static_cast<uint32_t>(cast<Constant>(inst->operand(i))->zext());
+              dc.edge = decodeEdge(bb.get(), static_cast<BasicBlock*>(inst->operand(i + 1)), d);
+              df.cases.push_back(dc);
+            }
+            d.caseCount = static_cast<uint32_t>(df.cases.size()) - d.caseBegin;
+            break;
+          }
+          case Opcode::Ret:
+            if (inst->numOperands()) {
+              d.flags |= DecodedInst::kRetHasValue;
+              setOpnd(d, 0, inst->operand(0));
+            }
+            break;
+          case Opcode::Call: {
+            d.callee = &get(inst->callee());
+            d.argBegin = static_cast<uint32_t>(df.callArgs.size());
+            for (unsigned i = 0; i < inst->numOperands(); ++i)
+              df.callArgs.push_back(refOf(inst->operand(i), d));
+            d.argCount = static_cast<uint32_t>(df.callArgs.size()) - d.argBegin;
+            break;
+          }
+          case Opcode::Phi:
+            break;  // elided; unreachable
+          default:
+            d.trapMsg = addTrap(df, std::string("unhandled opcode ") + opcodeName(op));
+            break;
+        }
+      }
+      // Poisoned records dispatch through the trap arm (see step()).
+      if (d.trapMsg >= 0) d.op = Opcode::Phi;
+      df.insts.push_back(d);
+    }
+    // Defensive: a block that is still being built (no terminator) must not
+    // let the pc run into the next block.
+    if (!bb->terminator()) {
+      DecodedInst d;
+      d.op = Opcode::Phi;
+      d.src = bb->empty() ? nullptr : bb->back();
+      d.trapMsg = addTrap(df, "block %" + bb->name() + " in @" + f->name() +
+                                  " has no terminator");
+      df.insts.push_back(d);
+    }
+  }
+  df.frameSlots = df.numSlots + static_cast<uint32_t>(df.constPool.size());
+}
+
+// ---------------------------------------------------------------------------
+// ExecState
+// ---------------------------------------------------------------------------
+
+ExecState::ExecState(DecodedProgram& prog, Memory& mem, ChannelIO& chans, Function* f,
+                     std::vector<uint32_t> args)
+    : prog_(prog),
+      mem_(mem),
+      chans_(chans),
+      fastPort_(dynamic_cast<ThreadPort*>(&chans)),
+      name_(f->name()) {
+  start(f, args);
+}
+
+ExecState::ExecState(Module& m, const Layout& layout, Memory& mem, ChannelIO& chans, Function* f,
+                     std::vector<uint32_t> args)
+    : owned_(std::make_unique<DecodedProgram>(m, layout)),
+      prog_(*owned_),
+      mem_(mem),
+      chans_(chans),
+      name_(f->name()) {
+  start(f, args);
+}
+
+void ExecState::start(Function* f, std::vector<uint32_t>& args) {
+  const DecodedFunction& df = prog_.get(f);
+  Frame fr;
+  fr.fn = &df;
+  fr.pc = df.entryPc;
+  fr.base = 0;
+  slots_.assign(df.frameSlots, 0);
+  std::copy(df.constPool.begin(), df.constPool.end(), slots_.begin() + df.numSlots);
+  for (unsigned i = 0; i < args.size() && i < f->numArgs(); ++i) slots_[i] = args[i];
+  frames_.push_back(fr);
+}
+
+bool ExecState::takeEdge(Frame& fr, const DecodedFunction& df, uint32_t edgeIdx) {
+  const DecodedEdge& e = df.edges[edgeIdx];
+  if (e.trapMsg >= 0) {
+    trap(df.trapMessages[static_cast<size_t>(e.trapMsg)]);
+    return false;
+  }
+  uint32_t* slots = slots_.data() + fr.base;
+  const PhiCopy* copies = df.phiCopies.data() + e.copyBegin;
+  if (!e.overlaps) {
+    for (uint32_t i = 0; i < e.copyCount; ++i) slots[copies[i].dst] = slots[copies[i].src];
+  } else {
+    // Parallel-copy: read every source before writing any destination.
+    if (phiScratch_.size() < e.copyCount) phiScratch_.resize(e.copyCount);
+    for (uint32_t i = 0; i < e.copyCount; ++i) phiScratch_[i] = slots[copies[i].src];
+    for (uint32_t i = 0; i < e.copyCount; ++i) slots[copies[i].dst] = phiScratch_[i];
+  }
+  fr.pc = e.targetPc;
+  return true;
+}
+
+std::string ExecState::describeLocation() const {
+  if (frames_.empty()) return name_ + ": finished";
+  const Frame& fr = frames_.back();
+  const DecodedInst& d = fr.fn->insts[fr.pc];
+  std::string s = fr.fn->fn->name();
+  if (d.src) {
+    s += "/" + d.src->parent()->name();
+    s += ": " + printInstruction(d.src);
+  }
+  return s;
+}
+
+StepResult ExecState::trap(std::string msg) {
+  trapped_ = true;
+  trapMessage_ = std::move(msg);
+  frames_.clear();
+  return {StepStatus::Trapped, Opcode::Add, nullptr};
+}
+
+StepResult ExecState::step() {
+  // trap() clears the frame stack, so one emptiness test covers both ends.
+  if (frames_.empty())
+    return {trapped_ ? StepStatus::Trapped : StepStatus::Finished, Opcode::Add, nullptr};
+
+  Frame& fr = frames_.back();
+  const DecodedFunction& df = *fr.fn;
+  const DecodedInst& d = df.insts[fr.pc];
+
+  uint32_t* slots = slots_.data() + fr.base;
+  const Opcode op = d.op;
+  auto A = [&]() { return slots[d.a]; };
+  auto B = [&]() { return slots[d.b]; };
+  auto C = [&]() { return slots[d.c]; };
+  auto ranOk = [&]() -> StepResult {
+    ++retired_;
+    return {StepStatus::Ran, op, &d};
+  };
+
+  // One switch, one dispatch. Straight-line arms compute `result` and break
+  // to the shared write-back tail; control flow and the (possibly blocking)
+  // Twill operations return from their arm. The eval helpers are inline and
+  // called with a constant opcode, so each arm compiles down to the bare
+  // operation.
+  uint32_t result = 0;
+  switch (op) {
+#define TWILL_BIN(OP) \
+  case Opcode::OP:    \
+    result = evalBinary(Opcode::OP, A(), B(), d.evalBits); \
+    break;
+    TWILL_BIN(Add)
+    TWILL_BIN(Sub)
+    TWILL_BIN(Mul)
+    TWILL_BIN(SDiv)
+    TWILL_BIN(UDiv)
+    TWILL_BIN(SRem)
+    TWILL_BIN(URem)
+    TWILL_BIN(And)
+    TWILL_BIN(Or)
+    TWILL_BIN(Xor)
+    TWILL_BIN(Shl)
+    TWILL_BIN(LShr)
+    TWILL_BIN(AShr)
+#undef TWILL_BIN
+#define TWILL_CMP(OP) \
+  case Opcode::OP:    \
+    result = evalCompare(Opcode::OP, A(), B(), d.evalBits); \
+    break;
+    TWILL_CMP(CmpEQ)
+    TWILL_CMP(CmpNE)
+    TWILL_CMP(CmpSLT)
+    TWILL_CMP(CmpSLE)
+    TWILL_CMP(CmpSGT)
+    TWILL_CMP(CmpSGE)
+    TWILL_CMP(CmpULT)
+    TWILL_CMP(CmpULE)
+    TWILL_CMP(CmpUGT)
+    TWILL_CMP(CmpUGE)
+#undef TWILL_CMP
+    case Opcode::ZExt:
+      result = evalCast(Opcode::ZExt, A(), d.evalBits, d.auxBits);
+      break;
+    case Opcode::SExt:
+      result = evalCast(Opcode::SExt, A(), d.evalBits, d.auxBits);
+      break;
+    case Opcode::Trunc:
+      result = evalCast(Opcode::Trunc, A(), d.evalBits, d.auxBits);
+      break;
+    case Opcode::Select:
+      result = (A() & 1u) ? B() : C();
+      break;
+    case Opcode::PtrToInt:
+    case Opcode::IntToPtr:
+    case Opcode::Alloca:
+      result = A();
+      break;
+    case Opcode::Load:
+      result = mem_.load(A(), d.accessBytes);
+      break;
+    case Opcode::Store:
+      mem_.store(B(), d.accessBytes, A());
+      break;
+    case Opcode::Gep: {
+      int32_t sidx = signExtend(B(), d.auxBits);
+      result = A() + static_cast<uint32_t>(sidx) * d.scale;
+      break;
+    }
+
+    // --- Control flow -------------------------------------------------------
+    case Opcode::Br: {
+      if (!takeEdge(fr, df, d.edge0)) return {StepStatus::Trapped, op, &d};
+      return ranOk();
+    }
+    case Opcode::CondBr: {
+      uint32_t cond = A() & 1u;
+      if (!takeEdge(fr, df, cond ? d.edge0 : d.edge1))
+        return {StepStatus::Trapped, op, &d};
+      return ranOk();
+    }
+    case Opcode::Switch: {
+      uint32_t v = maskToBits(A(), d.evalBits);
+      uint32_t edge = d.edge0;  // default
+      const DecodedCase* cs = df.cases.data() + d.caseBegin;
+      for (uint32_t i = 0; i < d.caseCount; ++i) {
+        if (cs[i].value == v) {
+          edge = cs[i].edge;
+          break;
+        }
+      }
+      if (!takeEdge(fr, df, edge)) return {StepStatus::Trapped, op, &d};
+      return ranOk();
+    }
+    case Opcode::Ret: {
+      uint32_t rv = (d.flags & DecodedInst::kRetHasValue) ? A() : 0;
+      const Frame popped = fr;
+      frames_.pop_back();  // slots_ keeps its high-water size; Call re-fills
+      if (frames_.empty()) {
+        result_ = rv;
+        ++retired_;
+        return {StepStatus::Finished, op, &d};
+      }
+      Frame& caller = frames_.back();
+      if (popped.wantRet)
+        slots_[caller.base + popped.retSlot] = rv & popped.retMask;
+      ++caller.pc;
+      ++retired_;
+      return {StepStatus::Ran, op, &d};
+    }
+    case Opcode::Call: {
+      if (frames_.size() > 512) return trap("call depth exceeded (recursion is unsupported)");
+      const DecodedFunction* callee = d.callee;
+      const uint32_t newBase = fr.base + df.frameSlots;
+      if (slots_.size() < newBase + callee->frameSlots)
+        slots_.resize(newBase + callee->frameSlots);
+      std::fill(slots_.begin() + newBase, slots_.begin() + newBase + callee->numSlots, 0);
+      std::copy(callee->constPool.begin(), callee->constPool.end(),
+                slots_.begin() + newBase + callee->numSlots);
+      uint32_t* callerSlots = slots_.data() + fr.base;  // re-read after resize
+      const uint32_t* args = df.callArgs.data() + d.argBegin;
+      const uint32_t nCopy = d.argCount < callee->numSlots ? d.argCount : callee->numSlots;
+      for (uint32_t i = 0; i < nCopy; ++i) slots_[newBase + i] = callerSlots[args[i]];
+      Frame nf;
+      nf.fn = callee;
+      nf.pc = callee->entryPc;
+      nf.base = newBase;
+      nf.retSlot = d.resSlot;
+      nf.retMask = d.resMask;
+      nf.wantRet = (d.flags & DecodedInst::kHasResult) != 0;
+      frames_.push_back(nf);
+      ++retired_;
+      return {StepStatus::Ran, op, &d};
+    }
+
+    // --- Blocking Twill operations (may leave state unchanged) --------------
+    // `fastPort_` is a constant per engine, so the selects below are fully
+    // predictable, and the ThreadPort calls devirtualize and inline.
+    case Opcode::Produce: {
+      const bool ok = fastPort_ ? fastPort_->tryProduce(d.channel, A())
+                                : chans_.tryProduce(d.channel, A());
+      if (!ok) return {StepStatus::Blocked, op, &d};
+      ++fr.pc;
+      return ranOk();
+    }
+    case Opcode::Consume: {
+      uint32_t v;
+      const bool ok =
+          fastPort_ ? fastPort_->tryConsume(d.channel, v) : chans_.tryConsume(d.channel, v);
+      if (!ok) return {StepStatus::Blocked, op, &d};
+      slots[d.resSlot] = v & d.resMask;
+      ++fr.pc;
+      return ranOk();
+    }
+    case Opcode::SemRaise: {
+      const bool ok = fastPort_ ? fastPort_->trySemRaise(d.channel, A())
+                                : chans_.trySemRaise(d.channel, A());
+      if (!ok) return {StepStatus::Blocked, op, &d};
+      ++fr.pc;
+      return ranOk();
+    }
+    case Opcode::SemLower: {
+      const bool ok = fastPort_ ? fastPort_->trySemLower(d.channel, A())
+                                : chans_.trySemLower(d.channel, A());
+      if (!ok) return {StepStatus::Blocked, op, &d};
+      ++fr.pc;
+      return ranOk();
+    }
+
+    case Opcode::Phi:
+    default:
+      // Decode-time poisoned records (unmapped address, malformed block,
+      // genuinely unhandled opcode) are dispatched here with op == Phi so
+      // the hot path needs no per-step poison test.
+      if (d.trapMsg >= 0) return trap(df.trapMessages[static_cast<size_t>(d.trapMsg)]);
+      return trap(std::string("unhandled opcode ") + opcodeName(op));
+  }
+
+  if (d.flags & DecodedInst::kHasResult) slots[d.resSlot] = result & d.resMask;
+  ++fr.pc;
+  return ranOk();
+}
+
+}  // namespace twill

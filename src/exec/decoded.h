@@ -1,0 +1,214 @@
+// Pre-decoded execution engine.
+//
+// The tree-walking interpreter (RefExecState in src/ir/interp.h) re-resolves
+// every operand on every retired instruction: it branches over Value kinds,
+// hashes into Layout::globalAddr/allocaAddr, chases list iterators, and — on
+// the cycle-level side — probes the ScheduleMap on every terminator. This
+// module compiles each Function once into a dense DecodedFunction: flat
+// arrays of packed DecodedInst records carrying the opcode, pre-resolved
+// operand slot indices or inline constant immediates, pre-folded
+// global/alloca addresses, pre-resolved branch-target pcs with phi copy
+// lists, and the pre-computed Microblaze cycle cost and HLS per-block FSM
+// cycles. The per-step inner loop becomes a switch over a packed struct
+// with zero hash lookups and zero kind branching.
+//
+// ExecState here is the production engine behind the step() interface every
+// caller already uses; all four execution engines (golden Interp,
+// PipelineInterp, the CPU model and the HLS executors in src/sim) run on
+// it. Decoding snapshots the IR: rebuild the DecodedProgram after any
+// transform (engines built per run do this naturally).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/exec/core.h"
+#include "src/hls/schedule.h"
+
+namespace twill {
+
+class ThreadPort;
+
+/// One phi move attached to a CFG edge. All sources are read before any
+/// destination is written (parallel-copy semantics). Sources are frame slot
+/// indices: constants and pre-folded addresses live in the frame's constant
+/// pool (see DecodedFunction), so reads never branch on operand kind.
+struct PhiCopy {
+  uint32_t dst = 0;  // destination slot
+  uint32_t src = 0;  // source slot
+};
+
+/// A decoded CFG edge: jump target plus the phi copies the edge performs.
+struct DecodedEdge {
+  uint32_t targetPc = 0;
+  uint32_t copyBegin = 0;
+  uint32_t copyCount = 0;
+  int32_t trapMsg = -1;  // >= 0: taking this edge traps (malformed phi)
+  /// Some copy's destination is another copy's source: stage through a
+  /// scratch buffer to keep parallel-copy semantics (rare).
+  bool overlaps = false;
+};
+
+struct DecodedCase {
+  uint32_t value = 0;
+  uint32_t edge = 0;
+};
+
+struct DecodedFunction;
+
+/// Packed execution record for one instruction. Fixed operand fields a/b/c
+/// cover every opcode with up to three operands; calls and switches spill
+/// into the per-function side pools. All operands are frame slot indices —
+/// immediates were folded into the frame constant pool at decode time — so
+/// the hot loop reads `slots[d.a]` unconditionally.
+struct DecodedInst {
+  static constexpr uint8_t kHasResult = 1u << 0;
+  static constexpr uint8_t kRetHasValue = 1u << 1;
+  static constexpr uint8_t kHasSchedule = 1u << 2;  // hlsStatic/hlsII valid
+
+  Opcode op = Opcode::Add;
+  uint8_t flags = 0;
+  uint8_t evalBits = 32;    // operand-0 width (binary/compare/cast-from/switch)
+  uint8_t auxBits = 32;     // cast to-width / gep index width
+  uint8_t accessBytes = 4;  // load/store byte size
+  uint16_t swCost = 0;      // pre-computed swCycles()
+  uint32_t a = 0, b = 0, c = 0;  // operand slots
+  uint32_t resSlot = 0;
+  uint32_t resMask = 0xFFFFFFFFu;  // result mask (instruction type width)
+  uint32_t scale = 1;       // gep element byte scale
+  int32_t channel = -1;     // produce/consume/semaphore id
+  uint32_t edge0 = 0;       // Br/CondBr-true/Switch-default edge index
+  uint32_t edge1 = 0;       // CondBr-false edge index
+  uint32_t caseBegin = 0, caseCount = 0;  // Switch case pool range
+  uint32_t hlsStatic = 1;   // parent block static FSM cycles (terminators)
+  uint32_t hlsII = 1;       // parent block pipelined initiation interval
+  uint32_t blockUid = 0;    // program-wide block id (steady-state tracking)
+  const DecodedFunction* callee = nullptr;
+  uint32_t argBegin = 0, argCount = 0;    // call argument pool range
+  int32_t trapMsg = -1;     // >= 0: executing this instruction traps
+  const Instruction* src = nullptr;       // original IR (diagnostics)
+};
+
+/// A function compiled to the dense executable form. A frame window holds
+/// `numSlots` value slots followed by the function's deduplicated constant
+/// pool (`constPool`), copied in on frame entry; `frameSlots` is the total
+/// window size.
+struct DecodedFunction {
+  Function* fn = nullptr;
+  uint32_t numSlots = 0;
+  uint32_t frameSlots = 0;
+  uint32_t entryPc = 0;
+  std::vector<DecodedInst> insts;        // block order, phis elided
+  std::vector<DecodedEdge> edges;
+  std::vector<PhiCopy> phiCopies;
+  std::vector<DecodedCase> cases;
+  std::vector<uint32_t> callArgs;        // argument source slots
+  std::vector<uint32_t> constPool;
+  std::vector<std::string> trapMessages;
+};
+
+/// Decode cache for one module snapshot. Functions are decoded on first use
+/// (call instructions resolve their callee's DecodedFunction eagerly, so the
+/// execution hot loop never consults this cache). When `schedules` is given,
+/// each terminator carries its block's static FSM cycles and pipelined
+/// initiation interval for the HLS executors.
+class DecodedProgram {
+public:
+  DecodedProgram(Module& m, const Layout& layout, const ScheduleMap* schedules = nullptr)
+      : m_(m), layout_(layout), schedules_(schedules) {}
+
+  const DecodedFunction& get(Function* f);
+
+  Module& module() const { return m_; }
+  const Layout& layout() const { return layout_; }
+
+private:
+  void decode(Function* f, DecodedFunction& df);
+
+  Module& m_;
+  const Layout& layout_;
+  const ScheduleMap* schedules_;
+  std::unordered_map<const Function*, std::unique_ptr<DecodedFunction>> cache_;
+  uint32_t nextBlockUid_ = 0;
+};
+
+/// A single thread of pre-decoded IR execution with an explicit call stack,
+/// advanced one instruction at a time. Blocking Twill operations (consume on
+/// an empty queue, …) leave the state unchanged so the caller can retry;
+/// this is exactly the interface the cycle-level CPU model and the
+/// multi-threaded pipeline interpreter need. Behaviour matches RefExecState
+/// bit for bit (tests/exec_test.cpp holds the equivalence suite).
+class ExecState {
+public:
+  /// Shares a decode cache (one per simulation; threads share it).
+  ExecState(DecodedProgram& prog, Memory& mem, ChannelIO& chans, Function* f,
+            std::vector<uint32_t> args = {});
+  /// Convenience: owns a private decode cache (functional single-use runs).
+  ExecState(Module& m, const Layout& layout, Memory& mem, ChannelIO& chans, Function* f,
+            std::vector<uint32_t> args = {});
+
+  /// Executes one instruction (or blocks). Cheap to call repeatedly.
+  StepResult step();
+
+  /// The next instruction to execute (null when finished). The scheduler
+  /// peeks to see whether the next step can interact with other threads
+  /// (queue/semaphore operations).
+  const DecodedInst* peekInst() const {
+    if (frames_.empty()) return nullptr;
+    const Frame& fr = frames_.back();
+    return &fr.fn->insts[fr.pc];
+  }
+
+  bool finished() const { return frames_.empty(); }
+  uint32_t result() const { return result_; }
+  bool trapped() const { return trapped_; }
+  const std::string& trapMessage() const { return trapMessage_; }
+
+  /// Total instructions retired (for reporting / cost sanity checks).
+  uint64_t retired() const { return retired_; }
+
+  /// Name of the root function (thread identity in reports).
+  const std::string& name() const { return name_; }
+
+  /// Human-readable current location ("fn/block: inst"), for deadlock
+  /// diagnostics.
+  std::string describeLocation() const;
+
+private:
+  struct Frame {
+    const DecodedFunction* fn = nullptr;
+    uint32_t pc = 0;
+    uint32_t base = 0;      // this frame's window into slots_
+    uint32_t retSlot = 0;   // caller slot receiving the return value
+    uint32_t retMask = 0xFFFFFFFFu;
+    bool wantRet = false;
+  };
+
+  void start(Function* f, std::vector<uint32_t>& args);
+  /// Performs the edge's phi copies and jumps. False if the edge traps.
+  bool takeEdge(Frame& fr, const DecodedFunction& df, uint32_t edgeIdx);
+  StepResult trap(std::string msg);
+
+  std::unique_ptr<DecodedProgram> owned_;  // set by the convenience ctor
+  DecodedProgram& prog_;
+  Memory& mem_;
+  ChannelIO& chans_;
+  /// Devirtualized channel endpoint when `chans_` is the runtime's
+  /// ThreadPort (the cycle-level sims): queue handshakes are ~half of a
+  /// pipelined kernel's retired instructions, and the indirect call cost
+  /// dominates them.
+  ThreadPort* fastPort_ = nullptr;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> slots_;      // all frame windows, stack discipline
+  std::vector<uint32_t> phiScratch_; // parallel-copy staging
+  uint32_t result_ = 0;
+  bool trapped_ = false;
+  std::string trapMessage_;
+  uint64_t retired_ = 0;
+  std::string name_;
+};
+
+}  // namespace twill

@@ -201,6 +201,12 @@ FunctionSchedule scheduleFunction(Function& f, const HlsConstraints& c) {
   return out;
 }
 
+ScheduleMap scheduleModule(Module& m, const HlsConstraints& c) {
+  ScheduleMap out;
+  for (auto& f : m.functions()) out.emplace(f.get(), scheduleFunction(*f, c));
+  return out;
+}
+
 unsigned bramBlocksForGlobals(const Module& m) {
   // Virtex-5 18kbit BRAMs hold 2 KiB; LegUp instantiates one memory per
   // array (plus a minimum-size one for small arrays).

@@ -74,6 +74,14 @@ struct FunctionSchedule {
 /// Schedules one function. Pure analysis: the IR is not modified.
 FunctionSchedule scheduleFunction(Function& f, const HlsConstraints& c = {});
 
+/// Map from every function that may execute in hardware to its FSM schedule.
+/// Lives here (not in src/sim) because the pre-decoded execution engine
+/// folds these per-block cycle counts into its instruction records.
+using ScheduleMap = std::unordered_map<const Function*, FunctionSchedule>;
+
+/// Builds schedules for every function in the module.
+ScheduleMap scheduleModule(Module& m, const HlsConstraints& c = {});
+
 /// Area of the memory blocks a pure-hardware (LegUp) translation would
 /// instantiate for the module's globals (Twill instead keeps data in the
 /// processor's memory, §6.2).

@@ -6,35 +6,110 @@
 // cross-engine checksum tests stay meaningful.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 
 #include "src/ir/instruction.h"
 
 namespace twill {
 
-/// Masks `v` to `bits` (bits in {1,8,16,32}; pointers evaluate at 32).
+/// Masks `v` to `bits` (bits in [1, 32]; pointers evaluate at 32).
+/// Branchless: these two helpers run once or twice per simulated
+/// instruction, and a data-dependent width branch mispredicts constantly.
 inline uint32_t maskToBits(uint64_t v, unsigned bits) {
-  return bits >= 32 ? static_cast<uint32_t>(v)
-                    : static_cast<uint32_t>(v & ((1ull << bits) - 1));
+  return static_cast<uint32_t>(v & ((1ull << bits) - 1));
 }
 
 /// Sign-extends the low `bits` of `v` to a signed 32-bit value.
 inline int32_t signExtend(uint32_t v, unsigned bits) {
-  if (bits >= 32) return static_cast<int32_t>(v);
-  uint32_t m = 1u << (bits - 1);
-  return static_cast<int32_t>(((v & ((1u << bits) - 1)) ^ m) - m);
+  const unsigned sh = 32u - bits;
+  return static_cast<int32_t>(v << sh) >> sh;
 }
 
 /// Evaluates a binary arithmetic/bitwise operation at the given width.
 /// Division/remainder by zero returns 0 (the simulated hardware divider's
 /// behaviour; real CHStone inputs never divide by zero).
-uint32_t evalBinary(Opcode op, uint32_t a, uint32_t b, unsigned bits);
+///
+/// Defined inline (likewise the two helpers below): the pre-decoded engine
+/// calls these from per-opcode switch arms with a constant `op`, and
+/// inlining lets the compiler specialize each arm down to the one operation.
+inline uint32_t evalBinary(Opcode op, uint32_t a, uint32_t b, unsigned bits) {
+  a = maskToBits(a, bits);
+  b = maskToBits(b, bits);
+  const int32_t sa = signExtend(a, bits);
+  const int32_t sb = signExtend(b, bits);
+  uint64_t r = 0;
+  switch (op) {
+    case Opcode::Add: r = static_cast<uint64_t>(a) + b; break;
+    case Opcode::Sub: r = static_cast<uint64_t>(a) - b; break;
+    case Opcode::Mul: r = static_cast<uint64_t>(a) * b; break;
+    case Opcode::UDiv: r = b == 0 ? 0 : a / b; break;
+    case Opcode::URem: r = b == 0 ? 0 : a % b; break;
+    case Opcode::SDiv:
+      // INT_MIN / -1 overflows in C++; the 32-bit two's-complement result
+      // wraps back to INT_MIN, which is what the hardware divider produces.
+      if (sb == 0) r = 0;
+      else if (sa == INT32_MIN && sb == -1) r = static_cast<uint32_t>(INT32_MIN);
+      else r = static_cast<uint32_t>(sa / sb);
+      break;
+    case Opcode::SRem:
+      if (sb == 0) r = 0;
+      else if (sa == INT32_MIN && sb == -1) r = 0;
+      else r = static_cast<uint32_t>(sa % sb);
+      break;
+    case Opcode::And: r = a & b; break;
+    case Opcode::Or: r = a | b; break;
+    case Opcode::Xor: r = a ^ b; break;
+    case Opcode::Shl: r = (b & 31u) >= bits ? 0 : static_cast<uint64_t>(a) << (b & 31u); break;
+    case Opcode::LShr: r = (b & 31u) >= bits ? 0 : a >> (b & 31u); break;
+    case Opcode::AShr: {
+      unsigned sh = b & 31u;
+      if (sh >= bits) sh = bits - 1;
+      r = static_cast<uint32_t>(signExtend(a, bits) >> sh);
+      break;
+    }
+    default:
+      assert(false && "not a binary op");
+  }
+  return maskToBits(r, bits);
+}
 
 /// Evaluates a comparison; returns 0 or 1.
-uint32_t evalCompare(Opcode op, uint32_t a, uint32_t b, unsigned bits);
+inline uint32_t evalCompare(Opcode op, uint32_t a, uint32_t b, unsigned bits) {
+  a = maskToBits(a, bits);
+  b = maskToBits(b, bits);
+  const int32_t sa = signExtend(a, bits);
+  const int32_t sb = signExtend(b, bits);
+  switch (op) {
+    case Opcode::CmpEQ: return a == b;
+    case Opcode::CmpNE: return a != b;
+    case Opcode::CmpULT: return a < b;
+    case Opcode::CmpULE: return a <= b;
+    case Opcode::CmpUGT: return a > b;
+    case Opcode::CmpUGE: return a >= b;
+    case Opcode::CmpSLT: return sa < sb;
+    case Opcode::CmpSLE: return sa <= sb;
+    case Opcode::CmpSGT: return sa > sb;
+    case Opcode::CmpSGE: return sa >= sb;
+    default:
+      assert(false && "not a compare op");
+      return 0;
+  }
+}
 
 /// Evaluates zext/sext/trunc from `fromBits` to `toBits`.
-uint32_t evalCast(Opcode op, uint32_t v, unsigned fromBits, unsigned toBits);
+inline uint32_t evalCast(Opcode op, uint32_t v, unsigned fromBits, unsigned toBits) {
+  switch (op) {
+    case Opcode::ZExt: return maskToBits(maskToBits(v, fromBits), toBits);
+    case Opcode::SExt:
+      return maskToBits(static_cast<uint32_t>(signExtend(maskToBits(v, fromBits), fromBits)),
+                        toBits);
+    case Opcode::Trunc: return maskToBits(v, toBits);
+    default:
+      assert(false && "not a cast op");
+      return 0;
+  }
+}
 
 /// Bit width at which an instruction's operands are evaluated (the operand
 /// type's width; pointers count as 32).

@@ -10,45 +10,11 @@
 namespace twill {
 
 // ---------------------------------------------------------------------------
-// Layout
+// RefExecState
 // ---------------------------------------------------------------------------
 
-void Layout::build(Module& m, Memory& mem) {
-  uint32_t addr = dataBase;
-  auto align4 = [](uint32_t a) { return (a + 3u) & ~3u; };
-  for (auto& g : m.globals()) {
-    addr = align4(addr);
-    globalAddr[g.get()] = addr;
-    unsigned esz = g->elemByteSize();
-    const auto& init = g->init();
-    for (uint32_t i = 0; i < g->count(); ++i) {
-      uint32_t v = i < init.size() ? init[i] : 0;
-      mem.store(addr + i * esz, esz, v);
-    }
-    addr += g->byteSize();
-  }
-  stackBase = align4(addr);
-  addr = stackBase;
-  for (auto& f : m.functions()) {
-    for (auto& bb : f->blocks()) {
-      for (auto& inst : *bb) {
-        if (inst->op() != Opcode::Alloca) continue;
-        addr = align4(addr);
-        allocaAddr[inst.get()] = addr;
-        unsigned esz = inst->allocaElemBits() == 1 ? 1 : inst->allocaElemBits() / 8;
-        addr += esz * inst->allocaCount();
-      }
-    }
-  }
-  top = align4(addr);
-}
-
-// ---------------------------------------------------------------------------
-// ExecState
-// ---------------------------------------------------------------------------
-
-ExecState::ExecState(Module& m, const Layout& layout, Memory& mem, ChannelIO& chans, Function* f,
-                     std::vector<uint32_t> args)
+RefExecState::RefExecState(Module& m, const Layout& layout, Memory& mem, ChannelIO& chans,
+                           Function* f, std::vector<uint32_t> args)
     : module_(m), layout_(layout), mem_(mem), chans_(chans), name_(f->name()) {
   f->renumber();
   Frame fr;
@@ -60,15 +26,21 @@ ExecState::ExecState(Module& m, const Layout& layout, Memory& mem, ChannelIO& ch
   frames_.push_back(std::move(fr));
 }
 
-uint32_t ExecState::valueOf(const Value* v, const Frame& fr) const {
+uint32_t RefExecState::valueOf(const Value* v, const Frame& fr) {
   if (const auto* c = dyn_cast<Constant>(v)) return static_cast<uint32_t>(c->zext());
-  if (const auto* g = dyn_cast<GlobalVar>(v)) return layout_.addrOf(g);
+  if (const auto* g = dyn_cast<GlobalVar>(v)) {
+    uint32_t addr = layout_.addrOf(g);
+    if (addr == Layout::kUnmapped && pendingTrap_.empty())
+      pendingTrap_ = "global @" + g->name() + " has no address in this layout " +
+                     "(module changed after Layout::build?)";
+    return addr;
+  }
   int slot = Function::valueSlot(v);
   assert(slot >= 0 && static_cast<size_t>(slot) < fr.slots.size());
   return fr.slots[static_cast<size_t>(slot)];
 }
 
-void ExecState::enterBlock(Frame& fr, BasicBlock* from, BasicBlock* to) {
+void RefExecState::enterBlock(Frame& fr, BasicBlock* from, BasicBlock* to) {
   // Evaluate all PHIs of `to` atomically with values from before the edge.
   std::vector<std::pair<Instruction*, uint32_t>> values;
   for (auto& instPtr : *to) {
@@ -86,7 +58,7 @@ void ExecState::enterBlock(Frame& fr, BasicBlock* from, BasicBlock* to) {
   fr.ip = to->firstNonPhi();
 }
 
-std::string ExecState::describeLocation() const {
+std::string RefExecState::describeLocation() const {
   if (frames_.empty()) return name_ + ": finished";
   const Frame& fr = frames_.back();
   std::string s = fr.fn->name() + "/" + fr.block->name();
@@ -94,14 +66,14 @@ std::string ExecState::describeLocation() const {
   return s;
 }
 
-StepResult ExecState::trap(std::string msg) {
+StepResult RefExecState::trap(std::string msg) {
   trapped_ = true;
   trapMessage_ = std::move(msg);
   frames_.clear();
   return {StepStatus::Trapped, Opcode::Add, nullptr};
 }
 
-StepResult ExecState::step() {
+StepResult RefExecState::step() {
   if (trapped_) return {StepStatus::Trapped, Opcode::Add, nullptr};
   if (frames_.empty()) return {StepStatus::Finished, Opcode::Add, nullptr};
 
@@ -111,34 +83,40 @@ StepResult ExecState::step() {
   const Opcode op = inst->op();
 
   auto ranOk = [&]() -> StepResult {
+    if (!pendingTrap_.empty()) {
+      std::string msg;
+      std::swap(msg, pendingTrap_);
+      return trap(std::move(msg));
+    }
     ++retired_;
-    return {StepStatus::Ran, op, inst};
+    return {StepStatus::Ran, op, nullptr};
   };
 
   // --- Blocking Twill operations (may leave state unchanged) ---------------
   switch (op) {
     case Opcode::Produce: {
       if (!chans_.tryProduce(inst->channel(), valueOf(inst->operand(0), fr)))
-        return {StepStatus::Blocked, op, inst};
+        return {StepStatus::Blocked, op, nullptr};
       ++fr.ip;
       return ranOk();
     }
     case Opcode::Consume: {
       uint32_t v;
-      if (!chans_.tryConsume(inst->channel(), v)) return {StepStatus::Blocked, op, inst};
+      if (!chans_.tryConsume(inst->channel(), v))
+        return {StepStatus::Blocked, op, nullptr};
       fr.slots[inst->id()] = maskToBits(v, operandBits(inst));
       ++fr.ip;
       return ranOk();
     }
     case Opcode::SemRaise: {
       if (!chans_.trySemRaise(inst->channel(), valueOf(inst->operand(0), fr)))
-        return {StepStatus::Blocked, op, inst};
+        return {StepStatus::Blocked, op, nullptr};
       ++fr.ip;
       return ranOk();
     }
     case Opcode::SemLower: {
       if (!chans_.trySemLower(inst->channel(), valueOf(inst->operand(0), fr)))
-        return {StepStatus::Blocked, op, inst};
+        return {StepStatus::Blocked, op, nullptr};
       ++fr.ip;
       return ranOk();
     }
@@ -150,12 +128,12 @@ StepResult ExecState::step() {
   switch (op) {
     case Opcode::Br: {
       enterBlock(fr, fr.block, inst->successor(0));
-      return trapped_ ? StepResult{StepStatus::Trapped, op, inst} : ranOk();
+      return trapped_ ? StepResult{StepStatus::Trapped, op, nullptr} : ranOk();
     }
     case Opcode::CondBr: {
       uint32_t c = valueOf(inst->operand(0), fr) & 1u;
       enterBlock(fr, fr.block, inst->successor(c ? 0 : 1));
-      return trapped_ ? StepResult{StepStatus::Trapped, op, inst} : ranOk();
+      return trapped_ ? StepResult{StepStatus::Trapped, op, nullptr} : ranOk();
     }
     case Opcode::Switch: {
       uint32_t v = maskToBits(valueOf(inst->operand(0), fr), operandBits(inst->operand(0)));
@@ -168,7 +146,7 @@ StepResult ExecState::step() {
         }
       }
       enterBlock(fr, fr.block, dest);
-      return trapped_ ? StepResult{StepStatus::Trapped, op, inst} : ranOk();
+      return trapped_ ? StepResult{StepStatus::Trapped, op, nullptr} : ranOk();
     }
     case Opcode::Ret: {
       uint32_t rv = inst->numOperands() ? valueOf(inst->operand(0), fr) : 0;
@@ -177,7 +155,7 @@ StepResult ExecState::step() {
       if (frames_.empty()) {
         result_ = rv;
         ++retired_;
-        return {StepStatus::Finished, op, inst};
+        return {StepStatus::Finished, op, nullptr};
       }
       Frame& caller = frames_.back();
       if (callSite && !callSite->type()->isVoid())
@@ -199,7 +177,7 @@ StepResult ExecState::step() {
       nf.callSite = inst;
       frames_.push_back(std::move(nf));
       ++retired_;
-      return {StepStatus::Ran, op, inst};
+      return {StepStatus::Ran, op, nullptr};
     }
     default:
       break;
@@ -226,17 +204,24 @@ StepResult ExecState::step() {
       case Opcode::IntToPtr:
         result = valueOf(inst->operand(0), fr);
         break;
-      case Opcode::Alloca:
+      case Opcode::Alloca: {
         result = layout_.addrOf(inst);
+        if (result == Layout::kUnmapped)
+          return trap("alloca %" + inst->name() + " in @" + fr.fn->name() +
+                      " has no address in this layout (module changed after Layout::build?)");
         break;
+      }
       case Opcode::Load: {
         uint32_t addr = valueOf(inst->operand(0), fr);
+        if (!pendingTrap_.empty()) return ranOk();  // surfaces the trap
         result = mem_.load(addr, inst->type()->byteSize());
         break;
       }
       case Opcode::Store: {
         uint32_t addr = valueOf(inst->operand(1), fr);
-        mem_.store(addr, inst->operand(0)->type()->byteSize(), valueOf(inst->operand(0), fr));
+        uint32_t v = valueOf(inst->operand(0), fr);
+        if (!pendingTrap_.empty()) return ranOk();  // surfaces the trap
+        mem_.store(addr, inst->operand(0)->type()->byteSize(), v);
         break;
       }
       case Opcode::Gep: {
@@ -264,8 +249,9 @@ StepResult ExecState::step() {
 // ---------------------------------------------------------------------------
 
 uint32_t Interp::run(Function* f, std::vector<uint32_t> args, uint64_t maxSteps) {
+  if (!prog_) prog_ = std::make_unique<DecodedProgram>(module_, layout_);
   FunctionalChannels chans;
-  ExecState st(module_, layout_, memory(), chans, f, std::move(args));
+  ExecState st(*prog_, memory(), chans, f, std::move(args));
   for (uint64_t i = 0; i < maxSteps; ++i) {
     StepResult r = st.step();
     if (r.status == StepStatus::Finished) {
@@ -279,7 +265,7 @@ uint32_t Interp::run(Function* f, std::vector<uint32_t> args, uint64_t maxSteps)
     }
     if (r.status == StepStatus::Blocked) {
       std::fprintf(stderr, "twill interp: single-threaded run blocked on %s ch%d\n",
-                   opcodeName(r.op), r.inst->channel());
+                   opcodeName(r.op), r.dinst ? r.dinst->channel : -1);
       std::abort();
     }
   }
@@ -298,7 +284,8 @@ uint32_t Interp::run(const std::string& fname, std::vector<uint32_t> args) {
 // ---------------------------------------------------------------------------
 
 size_t PipelineInterp::addThread(Function* f, std::vector<uint32_t> args) {
-  threads_.emplace_back(new ExecState(module_, layout_, mem_, chans_, f, std::move(args)));
+  if (!prog_) prog_ = std::make_unique<DecodedProgram>(module_, layout_);
+  threads_.emplace_back(new ExecState(*prog_, mem_, chans_, f, std::move(args)));
   return threads_.size() - 1;
 }
 

@@ -1,116 +1,42 @@
 // Functional IR execution.
 //
-// Three pieces:
-//  * Layout — assigns simulated-memory addresses to globals and (static)
-//    alloca slots and writes global initializers. The thesis's input subset
-//    forbids recursion, so every alloca can live at a fixed address; this is
-//    also what makes DSWP's cross-thread memory sharing simple (§4.5).
-//  * ExecState — a single thread of IR execution with an explicit call
-//    stack, advanced one instruction at a time. Blocking Twill operations
-//    (consume on an empty queue, …) leave the state unchanged so the caller
-//    can retry; this is exactly the interface the cycle-level CPU model and
-//    the multi-threaded pipeline interpreter need.
-//  * Interp — convenience single-threaded runner (the golden reference), and
-//    PipelineInterp — round-robin multi-thread runner with unbounded
-//    functional queues, used to test DSWP-extracted pipelines independently
-//    of the cycle-level runtime.
+// The execution substrate (Layout, ChannelIO, StepResult) lives in
+// src/exec/core.h and the production pre-decoded engine (ExecState) in
+// src/exec/decoded.h; this header re-exports both, so callers keep including
+// src/ir/interp.h. What remains here:
+//  * RefExecState — the original tree-walking interpreter, kept as the
+//    independent golden reference the decoded engine is checked against
+//    (tests/exec_test.cpp) and as the "legacy path" in the microbenches. It
+//    resolves every operand from the IR on every step; do not use it on a
+//    hot path.
+//  * Interp — convenience single-threaded runner (golden results for the
+//    driver and benches), and PipelineInterp — round-robin multi-thread
+//    runner with unbounded functional queues, used to test DSWP-extracted
+//    pipelines independently of the cycle-level runtime. Both run on the
+//    decoded engine.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/exec/decoded.h"
 #include "src/ir/function.h"
 #include "src/support/memory.h"
 
 namespace twill {
 
-/// Address assignment for a module in simulated memory.
-struct Layout {
-  std::unordered_map<const GlobalVar*, uint32_t> globalAddr;
-  std::unordered_map<const Instruction*, uint32_t> allocaAddr;
-  uint32_t dataBase = 0x1000;   // globals start here
-  uint32_t stackBase = 0;       // allocas start here (after globals)
-  uint32_t top = 0;             // first free address
-
-  /// Assigns addresses and writes global initializers into `mem`.
-  void build(Module& m, Memory& mem);
-  uint32_t addrOf(const GlobalVar* g) const { return globalAddr.at(g); }
-  uint32_t addrOf(const Instruction* alloca) const { return allocaAddr.at(alloca); }
-};
-
-/// Queue/semaphore endpoints used by ExecState. The functional
-/// implementation (FunctionalChannels) is unbounded; the cycle-level runtime
-/// provides a bounded, latency-accurate implementation.
-class ChannelIO {
+/// A single thread of tree-walking IR execution with an explicit call
+/// stack, advanced one instruction at a time. Blocking Twill operations
+/// (consume on an empty queue, …) leave the state unchanged so the caller
+/// can retry. Reference semantics for ExecState (src/exec/decoded.h).
+class RefExecState {
 public:
-  virtual ~ChannelIO() = default;
-  /// Returns false if the operation must block (state unchanged).
-  virtual bool tryProduce(int channel, uint32_t value) = 0;
-  virtual bool tryConsume(int channel, uint32_t& value) = 0;
-  virtual bool trySemRaise(int sem, uint32_t count) = 0;
-  virtual bool trySemLower(int sem, uint32_t count) = 0;
-};
-
-/// Unbounded queues + counting semaphores; never blocks a produce.
-class FunctionalChannels : public ChannelIO {
-public:
-  bool tryProduce(int channel, uint32_t value) override {
-    queues_[channel].push_back(value);
-    return true;
-  }
-  bool tryConsume(int channel, uint32_t& value) override {
-    auto& q = queues_[channel];
-    if (q.empty()) return false;
-    value = q.front();
-    q.pop_front();
-    return true;
-  }
-  bool trySemRaise(int sem, uint32_t count) override {
-    sems_[sem] += count;
-    return true;
-  }
-  bool trySemLower(int sem, uint32_t count) override {
-    auto& s = sems_[sem];
-    if (s < count) return false;
-    s -= count;
-    return true;
-  }
-  const std::deque<uint32_t>& queue(int ch) { return queues_[ch]; }
-  size_t totalQueued() const {
-    size_t n = 0;
-    for (auto& [ch, q] : queues_) n += q.size();
-    return n;
-  }
-
-private:
-  std::unordered_map<int, std::deque<uint32_t>> queues_;
-  std::unordered_map<int, uint64_t> sems_;
-};
-
-/// Result of executing (or attempting) one instruction.
-enum class StepStatus : uint8_t {
-  Ran,       // instruction completed
-  Blocked,   // a queue/semaphore op could not proceed; retry later
-  Finished,  // outermost function returned
-  Trapped,   // runtime error (diagnostic in ExecState::trapMessage())
-};
-
-struct StepResult {
-  StepStatus status = StepStatus::Ran;
-  /// Opcode that ran (valid for Ran/Blocked) — cost models key off this.
-  Opcode op = Opcode::Add;
-  /// The instruction, for detailed cost models (access widths etc.).
-  const Instruction* inst = nullptr;
-};
-
-class ExecState {
-public:
-  ExecState(Module& m, const Layout& layout, Memory& mem, ChannelIO& chans, Function* f,
-            std::vector<uint32_t> args = {});
+  RefExecState(Module& m, const Layout& layout, Memory& mem, ChannelIO& chans, Function* f,
+               std::vector<uint32_t> args = {});
 
   /// Executes one instruction (or blocks). Cheap to call repeatedly.
   StepResult step();
@@ -139,7 +65,7 @@ private:
     Instruction* callSite = nullptr;  // instruction in caller awaiting result
   };
 
-  uint32_t valueOf(const Value* v, const Frame& fr) const;
+  uint32_t valueOf(const Value* v, const Frame& fr);
   void enterBlock(Frame& fr, BasicBlock* from, BasicBlock* to);
   StepResult trap(std::string msg);
 
@@ -151,6 +77,7 @@ private:
   uint32_t result_ = 0;
   bool trapped_ = false;
   std::string trapMessage_;
+  std::string pendingTrap_;  // set by valueOf on an unmapped global/alloca
   uint64_t retired_ = 0;
   std::string name_;
 };
@@ -175,6 +102,7 @@ private:
   Memory mem_;
   Memory* extMem_ = nullptr;
   Layout layout_;
+  std::unique_ptr<DecodedProgram> prog_;  // built lazily on first run
   uint64_t retired_ = 0;
 };
 
@@ -213,6 +141,7 @@ private:
   Memory mem_;
   Layout layout_;
   FunctionalChannels chans_;
+  std::unique_ptr<DecodedProgram> prog_;  // shared by all threads
   std::vector<std::unique_ptr<ExecState>> threads_;
 };
 

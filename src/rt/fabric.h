@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "src/ir/interp.h"
+#include "src/exec/core.h"
 #include "src/model/optables.h"
 
 namespace twill {
@@ -70,24 +70,74 @@ private:
   uint64_t messages_ = 0;
 };
 
+/// Threads blocked on a primitive park an opaque token here instead of
+/// polling every cycle; the event-driven scheduler (src/sim) drains the
+/// list when the matching operation completes, waking exactly the blocked
+/// waiters. Lists are tiny (bounded by the thread count), so linear dedup
+/// beats any set structure.
+class WaitList {
+public:
+  /// Returns true if the token was newly parked (false: already waiting).
+  bool park(uint32_t token) {
+    for (uint32_t t : tokens_) {
+      if (t == token) return false;
+    }
+    tokens_.push_back(token);
+    return true;
+  }
+  /// Invokes `wake(token)` for every parked token and clears the list.
+  template <typename F>
+  void drain(F&& wake) {
+    for (uint32_t t : tokens_) wake(t);
+    tokens_.clear();
+  }
+  /// Unparks a token (the thread unblocked through a timed wake instead of
+  /// a drain). No-op when absent.
+  void remove(uint32_t token) {
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i] == token) {
+        tokens_.erase(tokens_.begin() + static_cast<ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+  bool empty() const { return tokens_.empty(); }
+
+private:
+  std::vector<uint32_t> tokens_;
+};
+
 /// FIFO queue primitive (§4.3). Elements carry the cycle at which they
-/// become visible to the consumer.
+/// become visible to the consumer. Backed by a fixed ring (the hardware
+/// FIFO has a static capacity): a produce/consume handshake happens every
+/// couple of retired instructions in a pipelined kernel, and deque's
+/// segmented bookkeeping was measurable there.
 class HwQueue {
 public:
-  HwQueue(unsigned capacity, unsigned width) : capacity_(capacity), width_(width) {}
+  HwQueue(unsigned capacity, unsigned width)
+      : capacity_(capacity), width_(width), ring_(capacity + 1) {}
 
-  bool full() const { return data_.size() >= capacity_; }
-  bool empty() const { return data_.empty(); }
-  bool frontVisible(uint64_t now) const { return !data_.empty() && data_.front().visibleAt <= now; }
+  bool full() const { return size_ >= capacity_; }
+  bool empty() const { return size_ == 0; }
+  bool frontVisible(uint64_t now) const { return size_ != 0 && ring_[head_].visibleAt <= now; }
+  /// Cycle at which the head element becomes consumable (0 when empty).
+  uint64_t frontVisibleAt() const { return size_ == 0 ? 0 : ring_[head_].visibleAt; }
+
+  /// Blocked consumers/producers, for the event-driven scheduler.
+  WaitList& consumerWaiters() { return consumerWaiters_; }
+  WaitList& producerWaiters() { return producerWaiters_; }
 
   void push(uint32_t value, uint64_t visibleAt) {
-    data_.push_back({value, visibleAt});
+    ring_[tail_] = {value, visibleAt};
+    tail_ = tail_ + 1 == ring_.size() ? 0 : tail_ + 1;
+    ++size_;
     ++enqueues_;
-    if (data_.size() > maxOccupancy_) maxOccupancy_ = data_.size();
+    if (size_ > maxOccupancy_) maxOccupancy_ = size_;
   }
   uint32_t pop() {
-    uint32_t v = data_.front().value;
-    data_.pop_front();
+    uint32_t v = ring_[head_].value;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    --size_;
     ++dequeues_;
     return v;
   }
@@ -105,10 +155,15 @@ private:
   };
   unsigned capacity_;
   unsigned width_;
-  std::deque<Elem> data_;
+  std::vector<Elem> ring_;  // capacity_ + 1 slots; [head_, head_+size_)
+  size_t head_ = 0;
+  size_t tail_ = 0;
+  size_t size_ = 0;
   uint64_t enqueues_ = 0;
   uint64_t dequeues_ = 0;
   size_t maxOccupancy_ = 0;
+  WaitList consumerWaiters_;
+  WaitList producerWaiters_;
 };
 
 /// Counting semaphore primitive (§4.2).
@@ -128,10 +183,14 @@ public:
   uint64_t raises() const { return raises_; }
   uint64_t lowers() const { return lowers_; }
 
+  /// Threads blocked in a lower, for the event-driven scheduler.
+  WaitList& lowerWaiters() { return lowerWaiters_; }
+
 private:
   uint64_t count_;
   uint64_t raises_ = 0;
   uint64_t lowers_ = 0;
+  WaitList lowerWaiters_;
 };
 
 /// The assembled runtime fabric: buses + primitives + counters.
@@ -172,7 +231,9 @@ private:
 /// Per-thread endpoint implementing the interpreter's ChannelIO against the
 /// fabric with domain-appropriate costs. The executing wrapper sets `now`
 /// before each step and reads `lastCost` after a successful runtime op.
-class ThreadPort : public ChannelIO {
+/// `final` so the pre-decoded engine's fast path can call it directly,
+/// bypassing the virtual dispatch on every queue handshake.
+class ThreadPort final : public ChannelIO {
 public:
   ThreadPort(Fabric& fabric, bool isHW) : fabric_(fabric), isHW_(isHW) {}
 

@@ -2,73 +2,128 @@
 
 #include <algorithm>
 #include <cassert>
+#include <queue>
+#include <utility>
+
+#include "src/exec/decoded.h"
 
 namespace twill {
 namespace {
 
 /// One executing context (a hardware thread, or one software thread of the
-/// processor). Wraps the functional ExecState with a cost model.
+/// processor). Wraps the pre-decoded ExecState with a cost model; every
+/// per-instruction cost (Microblaze cycles, per-block FSM cycles, channel
+/// ids) is read from the DecodedInst record, so charging never touches the
+/// IR or hashes into a ScheduleMap.
 class SimThread {
 public:
-  SimThread(Module& m, const Layout& layout, Memory& mem, Fabric* fabric, Function* fn,
-            bool isHW, const ScheduleMap* schedules)
+  SimThread(DecodedProgram& prog, Memory& mem, Fabric* fabric, Function* fn, bool isHW,
+            uint32_t token)
       : port_(fabric ? std::make_unique<ThreadPort>(*fabric, isHW) : nullptr),
         nullChans_(),
-        state_(m, layout, mem, port_ ? static_cast<ChannelIO&>(*port_) : nullChans_, fn),
+        state_(prog, mem, port_ ? static_cast<ChannelIO&>(*port_) : nullChans_, fn),
         fabric_(fabric),
         isHW_(isHW),
-        schedules_(schedules) {}
+        token_(token) {}
 
   std::string describeLocation() const { return state_.describeLocation(); }
+  const DecodedInst* peekInst() const { return state_.peekInst(); }
   bool finished() const { return state_.finished(); }
   bool trapped() const { return state_.trapped(); }
   const std::string& trapMessage() const { return state_.trapMessage(); }
   uint32_t result() const { return state_.result(); }
   uint64_t retired() const { return state_.retired(); }
+  uint32_t token() const { return token_; }
   uint64_t busyUntil = 0;
   uint64_t busyCycles = 0;
   uint64_t queueOps = 0;
   bool lastBlocked = false;
+  /// Cached "finished or trapped" (the scheduler's loops test this often).
+  bool dead = false;
+  /// First cycle at which the blocked wait can be satisfied. Maintained
+  /// from the block site and the wake events (afterStep), so waitSatisfied
+  /// is a plain comparison instead of a fabric probe: satisfiability only
+  /// changes at a queue/semaphore operation or a known visibility time.
+  uint64_t waitReadyAt = UINT64_MAX;
+  /// Result of the most recent step attempt (the scheduler derives wake
+  /// events from it).
+  StepResult last;
 
-  /// Executes one instruction and charges its cost. Returns true if any
-  /// forward progress was made.
   /// When blocked: the channel/semaphore and operation we wait on, so the
   /// hardware scheduler can skip this thread until the wait is satisfied.
   int waitChannel = -1;
   Opcode waitOp = Opcode::Add;
+  /// The last blocked attempt registered a fresh wait-list entry (the
+  /// scheduler creates at most one timed wake per park).
+  bool justParked = false;
 
   /// True if the blocked thread's wait condition is now satisfiable.
-  bool waitSatisfied(uint64_t now) const {
-    if (!lastBlocked || waitChannel < 0 || !fabric_) return true;
-    switch (waitOp) {
-      case Opcode::Consume: {
-        HwQueue& q = fabric_->queue(waitChannel);
-        return q.frontVisible(now);
-      }
-      case Opcode::Produce:
-        return !fabric_->queue(waitChannel).full();
-      case Opcode::SemLower:
-        // Peek by attempting nothing: a zero-count semaphore stays blocked.
-        return fabric_->semaphore(waitChannel).raises() != semRaisesSeen_;
-      default:
-        return true;
-    }
-  }
+  bool waitSatisfied(uint64_t now) const { return !lastBlocked || now >= waitReadyAt; }
 
+  /// Executes one instruction and charges its cost. Returns true if any
+  /// forward progress was made. A blocked attempt parks this thread on the
+  /// primitive's wait list so the scheduler can sleep it instead of polling.
   bool step(uint64_t now) {
     if (port_) port_->now = now;
-    StepResult r = state_.step();
+    const bool wasBlocked = lastBlocked;
+    const int prevChannel = waitChannel;
+    const Opcode prevOp = waitOp;
+    last = state_.step();
+    const StepResult& r = last;
     lastBlocked = r.status == StepStatus::Blocked;
+    if (wasBlocked && !lastBlocked && fabric_ && prevChannel >= 0) {
+      // The wait was satisfied: unpark, so the next block on this channel
+      // registers (and gets woken) afresh.
+      switch (prevOp) {
+        case Opcode::Consume:
+          fabric_->queue(prevChannel).consumerWaiters().remove(token_);
+          break;
+        case Opcode::Produce:
+          fabric_->queue(prevChannel).producerWaiters().remove(token_);
+          break;
+        case Opcode::SemLower:
+          fabric_->semaphore(prevChannel).lowerWaiters().remove(token_);
+          break;
+        default:
+          break;
+      }
+    }
     if (r.status == StepStatus::Blocked) {
-      busyUntil = now + 1;  // poll again next cycle
-      waitChannel = r.inst ? r.inst->channel() : -1;
+      busyUntil = now + 1;  // retried at the next simulated cycle
+      waitChannel = r.dinst ? r.dinst->channel : -1;
       waitOp = r.op;
-      if (waitOp == Opcode::SemLower && fabric_)
-        semRaisesSeen_ = fabric_->semaphore(waitChannel).raises();
+      justParked = false;
+      waitReadyAt = 0;  // an untracked wait is treated as always satisfiable
+      if (fabric_ && waitChannel >= 0) {
+        switch (waitOp) {
+          case Opcode::Consume: {
+            HwQueue& q = fabric_->queue(waitChannel);
+            justParked = q.consumerWaiters().park(token_);
+            // Empty: wait for a produce event. Invisible front: the wait
+            // satisfies itself at the element's visibility cycle.
+            waitReadyAt = q.empty() ? UINT64_MAX : q.frontVisibleAt();
+            break;
+          }
+          case Opcode::Produce:
+            justParked = fabric_->queue(waitChannel).producerWaiters().park(token_);
+            waitReadyAt = UINT64_MAX;  // wait for a consume event
+            break;
+          case Opcode::SemLower:
+            justParked = fabric_->semaphore(waitChannel).lowerWaiters().park(token_);
+            waitReadyAt = UINT64_MAX;  // wait for a raise event
+            break;
+          default:
+            break;
+        }
+      }
       return false;
     }
     waitChannel = -1;
-    if (r.status != StepStatus::Ran && r.status != StepStatus::Finished) return false;
+    if (r.status != StepStatus::Ran && r.status != StepStatus::Finished) {
+      dead = r.status == StepStatus::Trapped;
+      return false;
+    }
+    if (r.status == StepStatus::Finished) dead = true;
     uint64_t cost = chargeFor(r, now);
     busyUntil = now + cost;
     busyCycles += cost;
@@ -77,8 +132,8 @@ public:
 
 private:
   uint64_t chargeFor(const StepResult& r, uint64_t now) {
-    const Instruction* inst = r.inst;
-    if (!inst) return 0;
+    const DecodedInst* d = r.dinst;
+    if (!d) return 0;
     switch (r.op) {
       case Opcode::Produce:
       case Opcode::Consume:
@@ -95,7 +150,7 @@ private:
       default:
         break;
     }
-    if (!isHW_) return swCycles(*inst);
+    if (!isHW_) return d->swCost;
 
     // Hardware: per-block FSM cost charged on the terminator; memory ops
     // dynamically against the memory bus; everything else is covered by the
@@ -120,30 +175,27 @@ private:
       case Opcode::Br:
       case Opcode::CondBr:
       case Opcode::Ret: {
-        const BasicBlock* bb = inst->parent();
-        const Function* fn = bb->parent();
-        auto it = schedules_->find(fn);
         // Steady state: this block ran within the last two control
         // transfers (covers self-loops and header/body two-block loops).
-        pipelinedMode_ = (bb == prevBlock1_ || bb == prevBlock2_);
+        pipelinedMode_ = (d->blockUid == prevBlock1_ || d->blockUid == prevBlock2_);
         prevBlock2_ = prevBlock1_;
-        prevBlock1_ = bb;
-        if (it == schedules_->end()) return 1;
-        return pipelinedMode_ ? it->second.pipelinedIIFor(bb) : it->second.staticCyclesFor(bb);
+        prevBlock1_ = d->blockUid;
+        if (!(d->flags & DecodedInst::kHasSchedule)) return 1;
+        return pipelinedMode_ ? d->hlsII : d->hlsStatic;
       }
       case Opcode::Call:
         pipelinedMode_ = false;
-        prevBlock1_ = prevBlock2_ = nullptr;
+        prevBlock1_ = prevBlock2_ = kNoBlock;
         return 1;
       default:
         return 0;  // absorbed into the block's static cycles
     }
   }
 
-  const BasicBlock* prevBlock1_ = nullptr;
-  const BasicBlock* prevBlock2_ = nullptr;
+  static constexpr uint32_t kNoBlock = 0xFFFFFFFFu;
+  uint32_t prevBlock1_ = kNoBlock;
+  uint32_t prevBlock2_ = kNoBlock;
   bool pipelinedMode_ = false;
-  uint64_t semRaisesSeen_ = 0;
   PortModel localMem_{2};  // dual-port BRAM for the pure-HW flow
 
   std::unique_ptr<ThreadPort> port_;
@@ -151,23 +203,31 @@ private:
   ExecState state_;
   Fabric* fabric_;
   bool isHW_;
-  const ScheduleMap* schedules_;
+  uint32_t token_;
 };
 
 }  // namespace
 
-ScheduleMap scheduleModule(Module& m, const HlsConstraints& c) {
-  ScheduleMap out;
-  for (auto& f : m.functions()) out.emplace(f.get(), scheduleFunction(*f, c));
-  return out;
+SimProgram::SimProgram(Module& m, const ScheduleMap& schedules) {
+  Memory scratch(Memory::kDefaultSize);
+  layout.build(m, scratch);
+  prog = std::make_unique<DecodedProgram>(m, layout, &schedules);
 }
+SimProgram::~SimProgram() = default;
 
 SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg,
-                         const ScheduleMap& schedules) {
+                         const ScheduleMap& schedules, SimProgram* shared) {
   SimOutcome out;
   Memory mem;
-  Layout layout;
+  // Layout::build is deterministic and idempotent for a fixed module: with a
+  // shared program it re-assigns the same addresses and (re)writes the
+  // global initializers into this run's fresh memory.
+  Layout ownLayout;
+  Layout& layout = shared ? shared->layout : ownLayout;
   layout.build(m, mem);
+  std::unique_ptr<DecodedProgram> ownProg;
+  if (!shared) ownProg = std::make_unique<DecodedProgram>(m, layout, &schedules);
+  DecodedProgram& prog = shared ? *shared->prog : *ownProg;
 
   FabricConfig fc;
   fc.queueCapacity = cfg.queueCapacity;
@@ -177,16 +237,32 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
   for (const auto& s : dswp.semaphores) fabric.addSemaphore(s.id, s.initialCount);
 
   // Threads: index 0 = main master (software); slaves per their domain.
+  // Tokens index the combined `all` vector (wait lists and the wake heap
+  // refer to threads by token).
   std::vector<std::unique_ptr<SimThread>> swThreads;
   std::vector<std::unique_ptr<SimThread>> hwThreads;
-  swThreads.push_back(std::make_unique<SimThread>(m, layout, mem, &fabric, dswp.mainMaster,
-                                                  /*isHW=*/false, &schedules));
-  SimThread* mainThread = swThreads[0].get();
+  std::vector<SimThread*> all;
+  struct PendingThread {
+    Function* fn;
+    bool isHW;
+  };
+  std::vector<PendingThread> order;
+  order.push_back({dswp.mainMaster, false});
   for (const auto& t : dswp.threads) {
     if (t.fn == dswp.mainMaster) continue;
-    auto st = std::make_unique<SimThread>(m, layout, mem, &fabric, t.fn, t.isHW, &schedules);
-    (t.isHW ? hwThreads : swThreads).push_back(std::move(st));
+    order.push_back({t.fn, t.isHW});
   }
+  for (const auto& pt : order) {
+    auto st = std::make_unique<SimThread>(prog, mem, &fabric, pt.fn, pt.isHW,
+                                          static_cast<uint32_t>(all.size()));
+    all.push_back(st.get());
+    (pt.isHW ? hwThreads : swThreads).push_back(std::move(st));
+  }
+  SimThread* mainThread = swThreads[0].get();
+  // Raw views for the per-cycle loops (skip the unique_ptr indirection).
+  std::vector<SimThread*> swRaw, hwRaw;
+  for (auto& t : swThreads) swRaw.push_back(t.get());
+  for (auto& t : hwThreads) hwRaw.push_back(t.get());
 
   // Processor state: each Microblaze runs its share of the SW threads under
   // the hardware round-robin scheduler (§4.4); the main master stays on
@@ -204,12 +280,96 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
   uint64_t cycle = 0;
   uint64_t lastProgress = 0;
 
+  // Wake min-heap: (cycle, token) entries for parked threads whose wait is
+  // (or becomes) satisfiable at a known future cycle. Entries are consumed
+  // lazily; stale ones (thread already running again) are dropped on pop.
+  using Wake = std::pair<uint64_t, uint32_t>;
+  std::priority_queue<Wake, std::vector<Wake>, std::greater<Wake>> wakeHeap;
+  bool sawTrap = false;
+
+  /// Earliest pending timed wake of a still-parked thread (UINT64_MAX: none).
+  auto validWakeTop = [&]() -> uint64_t {
+    while (!wakeHeap.empty()) {
+      const Wake top = wakeHeap.top();
+      SimThread* t = all[top.second];
+      if (t->dead || !t->lastBlocked) {
+        wakeHeap.pop();  // stale: the thread already ran again
+        continue;
+      }
+      return top.first;
+    }
+    return UINT64_MAX;
+  };
+
+  // Derives wake events from a thread's last step: a produce wakes exactly
+  // the consumers parked on that queue (at the element's visibility cycle),
+  // a consume wakes the parked producers, a raise wakes the parked
+  // lowerers, and a consumer blocked on an in-flight element gets a timed
+  // wake at the element's visibility.
+  auto afterStep = [&](SimThread* t) {
+    const StepResult& r = t->last;
+    if (r.status == StepStatus::Trapped) {
+      sawTrap = true;
+      return;
+    }
+    if (r.status == StepStatus::Blocked) {
+      if (r.op == Opcode::Consume && t->justParked && t->waitChannel >= 0) {
+        HwQueue& q = fabric.queue(t->waitChannel);
+        if (!q.empty()) wakeHeap.push({q.frontVisibleAt(), t->token()});
+      }
+      return;
+    }
+    if ((r.status != StepStatus::Ran && r.status != StepStatus::Finished) || !r.dinst) return;
+    switch (r.op) {
+      case Opcode::Produce: {
+        HwQueue& q = fabric.queue(r.dinst->channel);
+        const uint64_t vis = q.frontVisibleAt();
+        q.consumerWaiters().drain([&](uint32_t tok) {
+          all[tok]->waitReadyAt = vis;
+          wakeHeap.push({vis, tok});
+        });
+        break;
+      }
+      case Opcode::Consume: {
+        HwQueue& q = fabric.queue(r.dinst->channel);
+        q.producerWaiters().drain([&](uint32_t tok) {
+          all[tok]->waitReadyAt = cycle;
+          wakeHeap.push({cycle, tok});
+        });
+        break;
+      }
+      case Opcode::SemRaise: {
+        fabric.semaphore(r.dinst->channel).lowerWaiters().drain([&](uint32_t tok) {
+          all[tok]->waitReadyAt = cycle;
+          wakeHeap.push({cycle, tok});
+        });
+        break;
+      }
+      default:
+        break;
+    }
+  };
+
+  // Saturating cycle-limit bound (maxCycles == UINT64_MAX means unlimited).
+  const uint64_t cycleLimit =
+      cfg.maxCycles == UINT64_MAX ? UINT64_MAX : cfg.maxCycles + 1;
+
+  // First trapped thread's diagnostic, software threads first (matches the
+  // seed simulator's scan order).
+  auto trapMessage = [&]() -> std::string {
+    for (auto& t : swThreads)
+      if (t->trapped()) return "trap: " + t->trapMessage();
+    for (auto& t : hwThreads)
+      if (t->trapped()) return "trap: " + t->trapMessage();
+    return "trap";
+  };
+
   // "Runnable" as the hardware scheduler sees it: alive, and if blocked on
   // a primitive, that primitive can now make progress (the scheduler snoops
   // the message bus for this, §4.4).
   auto swRunnable = [&](size_t i) {
-    SimThread* t = swThreads[i].get();
-    return !t->finished() && !t->trapped() && t->waitSatisfied(cycle);
+    SimThread* t = swRaw[i];
+    return !t->dead && t->waitSatisfied(cycle);
   };
 
   while (!mainThread->finished()) {
@@ -231,16 +391,18 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
           if (localRunnable(cand)) {
             proc.cur = cand;
             ++out.contextSwitches;
-            SimThread* in = swThreads[proc.threads[proc.cur]].get();
+            SimThread* in = swRaw[proc.threads[proc.cur]];
             in->busyUntil = std::max(in->busyUntil, cycle + RuntimeTiming::kContextSwitch);
             proc.quantumEnd = cycle + cfg.schedQuantum;
             break;
           }
         }
       }
-      SimThread* cur = swThreads[proc.threads[proc.cur]].get();
+      SimThread* cur = swRaw[proc.threads[proc.cur]];
       if (localRunnable(proc.cur) && cycle >= cur->busyUntil) {
         if (cur->step(cycle)) progress = true;
+        if (cur->last.status != StepStatus::Ran || cur->last.dinst->channel >= 0)
+          afterStep(cur);
         // The hardware scheduler snoops the bus: it switches the processor
         // out when the active thread blocks, and on quantum expiry (§4.4).
         // The decision follows the step attempt so a blocked thread still
@@ -258,7 +420,7 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
           if (next != proc.cur) {
             proc.cur = next;
             ++out.contextSwitches;
-            SimThread* in = swThreads[proc.threads[proc.cur]].get();
+            SimThread* in = swRaw[proc.threads[proc.cur]];
             in->busyUntil = std::max(in->busyUntil, cycle + RuntimeTiming::kContextSwitch);
           }
           proc.quantumEnd = cycle + cfg.schedQuantum;
@@ -266,12 +428,38 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
       }
     }
 
-    // Hardware threads all tick concurrently.
-    for (auto& t : hwThreads) {
-      if (t->finished() || t->trapped()) continue;
-      if (cycle >= t->busyUntil) {
+    // Hardware threads all tick concurrently. A blocked thread whose wait
+    // cannot be satisfied is not re-attempted: the try would fail with no
+    // side effects (the seed simulator polled it every cycle to the same
+    // end), and its wait list / timed wake reschedules it exactly. The same
+    // pass gathers each thread's post-step scheduling data (busyUntil and
+    // activity are the thread's own state, so a later thread's step cannot
+    // invalidate them; same-cycle wakes from later threads reach the
+    // advance through the wake heap).
+    const uint64_t next = cycle + 1;
+    bool anyReady = false;
+    uint64_t minBusy = UINT64_MAX;
+    uint64_t act = UINT64_MAX;
+    SimThread* solo = nullptr;
+    int activeCount = 0;
+    for (SimThread* t : hwRaw) {
+      if (t->dead) continue;
+      if (cycle >= t->busyUntil && t->waitSatisfied(cycle)) {
         if (t->step(cycle)) progress = true;
+        if (t->last.status != StepStatus::Ran || t->last.dinst->channel >= 0) afterStep(t);
+        if (t->dead) continue;  // finished or trapped on this very step
       }
+      if (t->busyUntil <= next) anyReady = true;
+      minBusy = std::min(minBusy, t->busyUntil);
+      if (!t->lastBlocked) {
+        act = std::min(act, std::max(t->busyUntil, next));
+      } else if (!t->waitSatisfied(cycle)) {
+        continue;  // sleeps until a wake event (list/heap)
+      } else {
+        act = std::min(act, next);
+      }
+      ++activeCount;
+      solo = t;
     }
 
     if (progress) lastProgress = cycle;
@@ -292,35 +480,137 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
       }
       return out;
     }
-    for (auto& t : swThreads)
-      if (t->trapped()) {
-        out.message = "trap: " + t->trapMessage();
-        return out;
-      }
-    for (auto& t : hwThreads)
-      if (t->trapped()) {
-        out.message = "trap: " + t->trapMessage();
-        return out;
-      }
+    if (sawTrap) {
+      out.message = trapMessage();
+      return out;
+    }
 
-    // Advance: skip idle gaps when every engine is waiting.
-    uint64_t next = cycle + 1;
-    bool anyReady = false;
-    uint64_t minBusy = UINT64_MAX;
-    auto consider = [&](SimThread* t) {
-      if (t->busyUntil <= next) anyReady = true;
-      minBusy = std::min(minBusy, t->busyUntil);
-    };
-    for (Proc& proc : procs)
-      if (!proc.threads.empty() && swRunnable(proc.threads[proc.cur]))
-        consider(swThreads[proc.threads[proc.cur]].get());
-    for (auto& t : hwThreads)
-      if (!t->finished() && !t->trapped()) consider(t.get());
-    cycle = (anyReady || minBusy == UINT64_MAX) ? next : minBusy;
+    // --- Advance + burst candidate ------------------------------------------
+    // Completes the sweep the hardware phase started: (a) the seed
+    // simulator's anyReady/minBusy over the arbiter's considered set, kept
+    // bit-for-bit (including its indifference to unscheduled threads)
+    // because the checked-in bench reports are cycle-exact against it;
+    // (b) the earliest cycle `act` where any thread can really act — the
+    // seed crawled one no-op cycle at a time here because blocked threads
+    // polled with busyUntil = now + 1; and (c) whether exactly one context
+    // is active (burst candidate below). The software side is evaluated
+    // here, after every step of this cycle, because the arbiter's
+    // runnable-set semantics are time-of-advance; time-driven wake-ups of
+    // sleeping threads are covered by the min-heap, which also bounds the
+    // burst.
+    bool canBurst = !mainThread->finished() && activeCount <= 1;
+    for (Proc& proc : procs) {
+      bool curRun = false;
+      bool otherRun = false;
+      for (size_t li = 0; li < proc.threads.size(); ++li) {
+        if (!swRunnable(proc.threads[li])) continue;
+        if (li == proc.cur) {
+          curRun = true;
+          if (solo != nullptr) canBurst = false;
+          solo = swRaw[proc.threads[li]];
+        } else {
+          otherRun = true;
+          canBurst = false;  // a scheduler switch is (or will be) pending
+        }
+      }
+      if (curRun) {
+        SimThread* cur = swRaw[proc.threads[proc.cur]];
+        if (cur->busyUntil <= next) anyReady = true;
+        minBusy = std::min(minBusy, cur->busyUntil);
+        act = std::min(act, std::max(cur->busyUntil, next));
+      } else if (otherRun) {
+        act = std::min(act, next);  // switch happens next cycle
+      }
+    }
+
+    if (!anyReady && minBusy != UINT64_MAX) {
+      cycle = minBusy;  // every considered engine is mid-operation
+    } else {
+      const uint64_t wake = validWakeTop();
+      if (wake != UINT64_MAX) act = std::min(act, std::max(wake, next));
+      // No possible action: sleep to the no-progress deadline so the
+      // deadlock diagnostic fires at the same cycle the crawl would reach.
+      const uint64_t cap = lastProgress + cfg.deadlockWindow + 1;
+      if (act > cap) act = cap;
+      if (act > cycleLimit) act = cycleLimit;
+      cycle = act;
+    }
 
     if (cycle > cfg.maxCycles) {
       out.message = "cycle limit exceeded";
       return out;
+    }
+
+    // --- Solo burst fast path ------------------------------------------------
+    // Pipelined stages frequently hand off serially: exactly one context is
+    // runnable while every other thread sleeps on a primitive. Running that
+    // context back-to-back skips the full phase/advance scan per step. The
+    // burst breaks *before* any queue/semaphore operation (peeked), so every
+    // cross-thread interaction still goes through the exact phase machinery
+    // above, and stops at the earliest timed wake, so sleeping threads
+    // resume on their exact cycle.
+    {
+      if (canBurst && solo != nullptr) {
+        uint64_t burstEnd =
+            std::min({validWakeTop(), lastProgress + cfg.deadlockWindow + 1, cycleLimit});
+        while (cycle < burstEnd) {
+          if (cycle < solo->busyUntil) {
+            if (solo->busyUntil >= burstEnd) break;
+            cycle = solo->busyUntil;
+          }
+          const DecodedInst* pd = solo->peekInst();
+          const Opcode nextOp = pd ? pd->op : Opcode::Add;
+          if (nextOp == Opcode::Produce) {
+            // A produce's wake lands at bus-grant + latency, strictly in the
+            // future when the latency is nonzero, so no sleeping thread can
+            // act this cycle; run it in-burst and shrink the burst to the
+            // woken thread's cycle. A full queue (block) or a zero-latency
+            // fabric takes the exact slow path.
+            HwQueue& q = fabric.queue(pd->channel);
+            if (cfg.queueLatency < 1 || q.full()) break;
+            const bool hadWaiters = !q.consumerWaiters().empty();
+            if (solo->step(cycle)) lastProgress = cycle;
+            if (hadWaiters) {
+              afterStep(solo);
+              const uint64_t w = validWakeTop();
+              if (w < burstEnd) burstEnd = w;
+            }
+          } else if (nextOp == Opcode::Consume) {
+            // A consume with no parked producer wakes nobody and frees no
+            // capacity anyone is waiting for; a visible front cannot block.
+            HwQueue& q = fabric.queue(pd->channel);
+            if (!q.frontVisible(cycle) || !q.producerWaiters().empty()) break;
+            if (solo->step(cycle)) lastProgress = cycle;
+          } else if (nextOp == Opcode::SemRaise || nextOp == Opcode::SemLower) {
+            // Safe only when nobody is parked on the semaphore (a raise
+            // would wake parked lowerers this very cycle).
+            if (!fabric.semaphore(pd->channel).lowerWaiters().empty()) break;
+            if (solo->step(cycle)) lastProgress = cycle;
+            if (solo->lastBlocked) break;  // lower failed: solo now sleeps
+          } else {
+            if (solo->step(cycle)) lastProgress = cycle;
+            if (solo->dead) {
+              afterStep(solo);
+              break;
+            }
+          }
+          cycle = std::max(cycle + 1, solo->busyUntil);  // one step per cycle
+          if (cycle > burstEnd) {
+            // Never overshoot a parked thread's wake: resume the exact
+            // scheduler at the wake cycle (the solo is still mid-operation).
+            cycle = burstEnd;
+            break;
+          }
+        }
+        if (sawTrap) {
+          out.message = trapMessage();
+          return out;
+        }
+        if (cycle > cfg.maxCycles) {
+          out.message = "cycle limit exceeded";
+          return out;
+        }
+      }
     }
   }
 
@@ -352,7 +642,8 @@ SimOutcome simulatePureSW(Module& m, const SimConfig& cfg) {
   Memory mem;
   Layout layout;
   layout.build(m, mem);
-  SimThread t(m, layout, mem, nullptr, main, /*isHW=*/false, nullptr);
+  DecodedProgram prog(m, layout);
+  SimThread t(prog, mem, nullptr, main, /*isHW=*/false, /*token=*/0);
   uint64_t cycle = 0;
   while (!t.finished() && !t.trapped()) {
     if (cycle >= t.busyUntil) t.step(cycle);
@@ -384,7 +675,8 @@ SimOutcome simulatePureHW(Module& m, const ScheduleMap& schedules, const SimConf
   Memory mem;
   Layout layout;
   layout.build(m, mem);
-  SimThread t(m, layout, mem, nullptr, main, /*isHW=*/true, &schedules);
+  DecodedProgram prog(m, layout, &schedules);
+  SimThread t(prog, mem, nullptr, main, /*isHW=*/true, /*token=*/0);
   uint64_t cycle = 0;
   while (!t.finished() && !t.trapped()) {
     if (cycle >= t.busyUntil) t.step(cycle);

@@ -54,15 +54,23 @@ struct SimOutcome {
   uint64_t hwBusy = 0;
 };
 
-/// Map from every function that may execute in hardware to its FSM schedule.
-using ScheduleMap = std::unordered_map<const Function*, FunctionSchedule>;
+class DecodedProgram;
 
-/// Builds schedules for every function in the module.
-ScheduleMap scheduleModule(Module& m, const HlsConstraints& c = {});
+/// Pre-decoded module shared across repeated simulations (parameter sweeps
+/// re-simulate the same extracted module dozens of times; decoding it once
+/// per sweep point is pure waste). The layout is deterministic for a fixed
+/// module, so every run sees identical addresses.
+struct SimProgram {
+  SimProgram(Module& m, const ScheduleMap& schedules);
+  ~SimProgram();
+  Layout layout;
+  std::unique_ptr<DecodedProgram> prog;
+};
 
-/// Runs the full Twill system for an extracted module.
+/// Runs the full Twill system for an extracted module. `shared` (optional)
+/// reuses a pre-decoded program across runs.
 SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg,
-                         const ScheduleMap& schedules);
+                         const ScheduleMap& schedules, SimProgram* shared = nullptr);
 
 /// Pure-software baseline: the original (un-extracted) module on the
 /// Microblaze model alone.

@@ -3,14 +3,49 @@
 #include <cstdio>
 #include <cstdlib>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define TWILL_MEMORY_USE_MMAP 1
+#endif
+
 namespace twill {
+
+// Anonymous mappings hand back lazily-faulted zero pages, so constructing a
+// fresh 4 MiB space costs microseconds regardless of size. The calloc
+// fallback exists for non-POSIX hosts (glibc would recycle freed arena
+// chunks and eagerly memset them, which is exactly the cost being avoided).
+uint8_t* Memory::allocate(uint32_t size, bool& mmapped) {
+  mmapped = false;
+#ifdef TWILL_MEMORY_USE_MMAP
+  if (size >= 1u << 16) {
+    void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+      mmapped = true;
+      return static_cast<uint8_t*>(p);
+    }
+  }
+#endif
+  return static_cast<uint8_t*>(std::calloc(size ? size : 1, 1));
+}
+
+void Memory::release(uint8_t* p, uint32_t size, bool mmapped) {
+#ifdef TWILL_MEMORY_USE_MMAP
+  if (mmapped) {
+    ::munmap(p, size);
+    return;
+  }
+#endif
+  (void)size;
+  (void)mmapped;
+  std::free(p);
+}
 
 void Memory::check(uint32_t addr, uint32_t len) const {
   // Out-of-range access indicates a compiler or benchmark bug; abort loudly
   // rather than silently corrupting the simulation.
-  if (addr > bytes_.size() || len > bytes_.size() - addr) {
-    std::fprintf(stderr, "twill: simulated memory access out of range: addr=0x%x len=%u size=0x%zx\n",
-                 addr, len, bytes_.size());
+  if (addr > size_ || len > size_ - addr) {
+    std::fprintf(stderr, "twill: simulated memory access out of range: addr=0x%x len=%u size=0x%x\n",
+                 addr, len, size_);
     std::abort();
   }
 }
@@ -31,12 +66,12 @@ void Memory::store(uint32_t addr, uint32_t bytes, uint32_t value) {
 
 void Memory::write(uint32_t addr, const void* src, uint32_t len) {
   check(addr, len);
-  std::memcpy(bytes_.data() + addr, src, len);
+  std::memcpy(bytes_ + addr, src, len);
 }
 
 void Memory::read(uint32_t addr, void* dst, uint32_t len) const {
   check(addr, len);
-  std::memcpy(dst, bytes_.data() + addr, len);
+  std::memcpy(dst, bytes_ + addr, len);
 }
 
 }  // namespace twill

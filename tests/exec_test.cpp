@@ -1,0 +1,233 @@
+// Cross-engine equivalence suite for the pre-decoded execution engine.
+//
+// The decoded ExecState (src/exec/decoded.h) replaced the tree-walking
+// interpreter on every engine; RefExecState (src/ir/interp.h) is kept as the
+// independent golden reference. These tests pin the two together — results
+// and retired-instruction counts must match on every CHStone kernel and on
+// a frontend torture battery — and pin simulateTwill's cycle-level counters
+// to golden values recorded before the event-driven scheduler landed, so
+// scheduler rewrites cannot silently shift timing.
+#include <gtest/gtest.h>
+
+#include "src/chstone/kernels.h"
+#include "src/driver/driver.h"
+#include "src/frontend/lower.h"
+#include "src/ir/builder.h"
+#include "src/ir/interp.h"
+#include "src/ir/verifier.h"
+
+namespace twill {
+namespace {
+
+struct RefRun {
+  uint32_t result = 0;
+  uint64_t retired = 0;
+};
+
+/// Runs `main` on the reference tree-walking interpreter.
+RefRun runReference(Module& m) {
+  Memory mem;
+  Layout lay;
+  lay.build(m, mem);
+  FunctionalChannels chans;
+  RefExecState st(m, lay, mem, chans, m.findFunction("main"));
+  StepResult r{};
+  for (uint64_t guard = 0; guard < (1ull << 32); ++guard) {
+    r = st.step();
+    if (r.status != StepStatus::Ran) break;
+  }
+  EXPECT_EQ(r.status, StepStatus::Finished) << st.trapMessage();
+  return {st.result(), st.retired()};
+}
+
+/// Runs `main` on the pre-decoded engine.
+RefRun runDecoded(Module& m) {
+  Memory mem;
+  Layout lay;
+  lay.build(m, mem);
+  DecodedProgram prog(m, lay);
+  FunctionalChannels chans;
+  ExecState st(prog, mem, chans, m.findFunction("main"));
+  StepResult r{};
+  for (uint64_t guard = 0; guard < (1ull << 32); ++guard) {
+    r = st.step();
+    if (r.status != StepStatus::Ran) break;
+  }
+  EXPECT_EQ(r.status, StepStatus::Finished) << st.trapMessage();
+  return {st.result(), st.retired()};
+}
+
+void expectEnginesAgree(const std::string& source, const char* label) {
+  Module mr;
+  DiagEngine d1;
+  ASSERT_TRUE(compileC(source, mr, d1)) << label << "\n" << d1.str();
+  runDefaultPipeline(mr);
+  RefRun ref = runReference(mr);
+
+  Module md;
+  DiagEngine d2;
+  ASSERT_TRUE(compileC(source, md, d2)) << label;
+  runDefaultPipeline(md);
+  RefRun dec = runDecoded(md);
+
+  EXPECT_EQ(dec.result, ref.result) << label;
+  EXPECT_EQ(dec.retired, ref.retired) << label;
+}
+
+TEST(ExecEquivalenceTest, ChstoneKernelsMatchReference) {
+  for (const auto& k : chstoneKernels()) expectEnginesAgree(k.source, k.name);
+}
+
+// Frontend torture battery: precedence, signedness, width narrowing,
+// short-circuiting, recursion-free calls, switch dispatch, memory.
+TEST(ExecEquivalenceTest, TorturePrograms) {
+  const char* programs[] = {
+      "int main(void) { return 2 + 3 * 4 - 5; }",
+      "int main(void) { return (1 | 2 ^ 3 & 4) + (5 + 3 << 2) + (16 >> 1 + 1); }",
+      "int main(void) { return -7 / 2 + -7 % 2 + (-1 >> 1) + (int)(0x80000000u >> 4); }",
+      "int main(void) { return (char)200 + (unsigned char)200 + (short)0x8000; }",
+      "int main(void) { unsigned a = (unsigned)-1; return (int)(a / 7u + a % 7u); }",
+      "int main(void) { int x = 0; for (int i = 0; i < 100; i++) x += i * i; return x; }",
+      "int main(void) { int a = 1, b = 2, c; c = a = b += 3; return c * 100 + a * 10 + b; }",
+      "int main(void) { return 1 ? 2 : 3 ? 4 : 5; }",
+      "int s(int n) { int t = 0; while (n) { t += n % 10; n /= 10; } return t; }\n"
+      "int main(void) { return s(987654); }",
+      "int f(int x) { return x * 3 + 1; }\n"
+      "int g(int x) { return f(x) - f(x / 2); }\n"
+      "int main(void) { int a = 0; for (int i = 0; i < 20; ++i) a += g(i); return a; }",
+      "int main(void) { int v[16]; for (int i = 0; i < 16; i++) v[i] = i * 7;\n"
+      "  int s = 0; for (int i = 15; i >= 0; i--) s = s * 3 + v[i]; return s; }",
+      "short h(short a, char b) { return (short)(a * b); }\n"
+      "int main(void) { short s = 0; for (char c = 1; c < 20; c++) s = h(s, c) + c;\n"
+      "  return s; }",
+      "int main(void) { int r = 0, i = 0;\n"
+      "  do { switch (i % 5) { case 0: r += 1; break; case 1: r += 10; break;\n"
+      "  case 2: r += 100; break; case 3: r -= 7; break; default: r *= 2; } } \n"
+      "  while (++i < 23); return r; }",
+      "int main(void) { int x = 5; int* p = &x; *p = 9; return x + *p; }",
+  };
+  int idx = 0;
+  for (const char* src : programs) {
+    expectEnginesAgree(src, ("torture#" + std::to_string(idx++)).c_str());
+  }
+}
+
+// Retired counts must agree with the Interp wrapper too (it is the value the
+// benches report).
+TEST(ExecEquivalenceTest, InterpMatchesReferenceRetired) {
+  const KernelInfo& k = chstoneKernels()[0];
+  Module m;
+  DiagEngine d;
+  ASSERT_TRUE(compileC(k.source, m, d));
+  runDefaultPipeline(m);
+  RefRun ref = runReference(m);
+  Interp in(m);
+  EXPECT_EQ(in.run("main"), ref.result);
+  EXPECT_EQ(in.retired(), ref.retired);
+}
+
+// An unmapped global (module modified after Layout::build) must trap with a
+// diagnostic instead of crashing — on both engines.
+TEST(ExecTrapTest, UnmappedGlobalTrapsOnBothEngines) {
+  Module m;
+  IRBuilder b(m);
+  Memory mem;
+  Layout lay;
+  lay.build(m, mem);  // built before the global exists
+  GlobalVar* g = m.createGlobal("late", 32, 1, false);
+  Function* f = m.createFunction("main", m.types().i32());
+  b.setInsertPoint(f->createBlock("entry"));
+  Instruction* v = b.load(g);
+  b.ret(v);
+
+  {
+    FunctionalChannels chans;
+    RefExecState st(m, lay, mem, chans, f);
+    StepResult r{};
+    for (int i = 0; i < 16 && (r = st.step()).status == StepStatus::Ran; ++i) {
+    }
+    EXPECT_EQ(r.status, StepStatus::Trapped);
+    EXPECT_NE(st.trapMessage().find("no address"), std::string::npos) << st.trapMessage();
+  }
+  {
+    DecodedProgram prog(m, lay);
+    FunctionalChannels chans;
+    ExecState st(prog, mem, chans, f);
+    StepResult r{};
+    for (int i = 0; i < 16 && (r = st.step()).status == StepStatus::Ran; ++i) {
+    }
+    EXPECT_EQ(r.status, StepStatus::Trapped);
+    EXPECT_NE(st.trapMessage().find("no address"), std::string::npos) << st.trapMessage();
+  }
+}
+
+// Layout::addrOf on an unmapped key reports the sentinel (it used to abort
+// through std::unordered_map::at).
+TEST(ExecTrapTest, LayoutAddrOfUnmappedReturnsSentinel) {
+  Module m;
+  Memory mem;
+  Layout lay;
+  lay.build(m, mem);
+  GlobalVar* g = m.createGlobal("g", 32, 1, false);
+  EXPECT_EQ(lay.addrOf(g), Layout::kUnmapped);
+}
+
+// ---------------------------------------------------------------------------
+// Cycle-level golden counters.
+//
+// Recorded from the seed (pre-decoded, poll-every-cycle) simulator on the
+// default SimConfig; the pre-decoded engine + event-driven scheduler must
+// reproduce every field bit for bit. If an intentional timing-model change
+// ever lands, regenerate these from the bench artifact.
+// ---------------------------------------------------------------------------
+
+struct TwillGolden {
+  const char* name;
+  uint32_t result;
+  uint64_t cycles, retiredSW, retiredHW, busMessages, memBusMessages;
+  uint64_t contextSwitches, queueOps, cpuBusy, hwBusy;
+};
+
+constexpr TwillGolden kTwillGoldens[] = {
+    {"mips", 531892058u, 163286, 32, 166713, 74592, 6516, 2, 74592, 149, 309395},
+    {"adpcm", 454751737u, 55826, 977, 52267, 17172, 5840, 0, 17172, 3995, 87058},
+    {"aes", 1703749786u, 61589, 321, 77191, 18756, 6982, 0, 18756, 2636, 52556},
+    {"blowfish", 2101464826u, 294594, 366, 368564, 48574, 49070, 53, 48574, 2288, 117309},
+    {"gsm", 401153065u, 94128, 25, 112565, 28256, 10991, 0, 28256, 115, 73225},
+    {"jpeg", 489179844u, 20360, 28, 26536, 7120, 2204, 0, 7120, 129, 24714},
+    {"mpeg2", 111004674u, 76862, 370, 75770, 28786, 5819, 0, 28786, 1723, 115097},
+    {"sha", 1847330246u, 47954, 25, 75670, 21592, 4696, 2, 21592, 105, 57207},
+};
+
+TEST(TwillSimGoldenTest, CountersMatchPreSchedulerSimulator) {
+  for (const TwillGolden& g : kTwillGoldens) {
+    const KernelInfo* k = findKernel(g.name);
+    ASSERT_NE(k, nullptr) << g.name;
+    Module m;
+    DiagEngine diag;
+    ASSERT_TRUE(compileC(k->source, m, diag)) << g.name;
+    runDefaultPipeline(m, 100);
+    DswpResult dswp = runDswp(m, {});
+    ScheduleMap sched = scheduleModule(m);
+    SimOutcome o = simulateTwill(m, dswp, {}, sched);
+    ASSERT_TRUE(o.ok) << g.name << ": " << o.message;
+    EXPECT_EQ(o.result, g.result) << g.name;
+    EXPECT_EQ(o.cycles, g.cycles) << g.name;
+    EXPECT_EQ(o.retiredSW, g.retiredSW) << g.name;
+    EXPECT_EQ(o.retiredHW, g.retiredHW) << g.name;
+    EXPECT_EQ(o.busMessages, g.busMessages) << g.name;
+    EXPECT_EQ(o.memBusMessages, g.memBusMessages) << g.name;
+    EXPECT_EQ(o.contextSwitches, g.contextSwitches) << g.name;
+    EXPECT_EQ(o.queueOps, g.queueOps) << g.name;
+    EXPECT_EQ(o.cpuBusy, g.cpuBusy) << g.name;
+    EXPECT_EQ(o.hwBusy, g.hwBusy) << g.name;
+    // A shared pre-decoded program (sweep path) must not change anything.
+    SimProgram shared(m, sched);
+    SimOutcome o2 = simulateTwill(m, dswp, {}, sched, &shared);
+    EXPECT_EQ(o2.cycles, o.cycles) << g.name;
+    EXPECT_EQ(o2.result, o.result) << g.name;
+  }
+}
+
+}  // namespace
+}  // namespace twill

@@ -83,8 +83,9 @@ int main(int argc, char** argv) {
   w.beginObject();
   w.field("bench", "dswp");
   // Which simulator generation produced the wall times (perf attribution
-  // across PRs): the pre-decoded execution engine + event-driven scheduler.
-  w.field("engine", "decoded-event");
+  // across PRs): the superblock trace runner on the pre-decoded records,
+  // under the event-driven scheduler.
+  w.field("engine", "superblock-event");
   w.field("quick", cli.quick);
   w.field("repeat", cli.repeat);
   w.key("kernels");

@@ -6,6 +6,7 @@
 
 #include "src/chstone/kernels.h"
 #include "src/dswp/extract.h"
+#include "src/exec/superblock.h"
 #include "src/frontend/lower.h"
 #include "src/ir/interp.h"
 #include "src/rt/fabric.h"
@@ -61,9 +62,45 @@ void BM_BusArbitration(benchmark::State& state) {
 }
 BENCHMARK(BM_BusArbitration);
 
-// ExecState::step() throughput: the pre-decoded engine (the production
-// path) vs. the reference tree-walking interpreter (the legacy path). The
-// items/s counter is retired instructions per second.
+// Execution-engine step throughput, three tiers: the superblock trace
+// runner (the production fast path), per-inst ExecState::step() on the
+// pre-decoded records (the interaction slow path), and the reference
+// tree-walking interpreter (the legacy path). The items/s counter is
+// retired instructions per second.
+// Both production tiers share one decode across iterations (the sweep
+// pattern: Layout::build is deterministic and idempotent, re-initializing
+// each iteration's fresh memory) so the counter measures stepping, not
+// decoding.
+void BM_ExecStepSuperblock(benchmark::State& state) {
+  const KernelInfo& k = chstoneKernels()[static_cast<size_t>(state.range(0))];
+  state.SetLabel(k.name);
+  Module m;
+  DiagEngine diag;
+  compileC(k.source, m, diag);
+  runDefaultPipeline(m);
+  Layout lay;
+  {
+    Memory scratch;
+    lay.build(m, scratch);
+  }
+  DecodedProgram prog(m, lay);
+  uint64_t retired = 0;
+  for (auto _ : state) {
+    Memory mem;
+    lay.build(m, mem);
+    FunctionalChannels chans;
+    ExecState st(prog, mem, chans, m.findFunction("main"));
+    FunctionalSuperModel model{UINT64_MAX};
+    while (st.runSuper(model) == SuperRunStatus::kNeedStep) {
+      if (st.step().status != StepStatus::Ran) break;
+    }
+    retired += st.retired();
+    benchmark::DoNotOptimize(st.result());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(retired));
+}
+BENCHMARK(BM_ExecStepSuperblock)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
 void BM_ExecStepDecoded(benchmark::State& state) {
   const KernelInfo& k = chstoneKernels()[static_cast<size_t>(state.range(0))];
   state.SetLabel(k.name);
@@ -71,12 +108,16 @@ void BM_ExecStepDecoded(benchmark::State& state) {
   DiagEngine diag;
   compileC(k.source, m, diag);
   runDefaultPipeline(m);
+  Layout lay;
+  {
+    Memory scratch;
+    lay.build(m, scratch);
+  }
+  DecodedProgram prog(m, lay);
   uint64_t retired = 0;
   for (auto _ : state) {
     Memory mem;
-    Layout lay;
     lay.build(m, mem);
-    DecodedProgram prog(m, lay);
     FunctionalChannels chans;
     ExecState st(prog, mem, chans, m.findFunction("main"));
     while (st.step().status == StepStatus::Ran) {

@@ -124,7 +124,11 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
   for (const auto& t : dswp.threads)
     if (!t.isHW) ++rep.swThreads;
 
-  ScheduleMap twillSchedules = scheduleModule(*tm, opts.hls);
+  // Schedule cache: the baseline module was already scheduled above, and
+  // DSWP only adds master/slave functions and redirects call sites in the
+  // survivors — their schedules are reused the way SimProgram shares
+  // decodes, so each function is scheduled once per report, not per flow.
+  ScheduleMap twillSchedules = scheduleModule(*tm, opts.hls, baseSchedules);
   rep.twill = simulateTwill(*tm, dswp, opts.sim, twillSchedules);
   if (!rep.twill.ok) {
     rep.error = "twill simulation failed: " + rep.twill.message;

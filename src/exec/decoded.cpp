@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/exec/superblock.h"
 #include "src/ir/eval.h"
 #include "src/ir/printer.h"
 #include "src/model/optables.h"
@@ -80,7 +81,13 @@ void DecodedProgram::decode(Function* f, DecodedFunction& df) {
 
   // Resolves a data operand to a slot index. Unmapped globals/allocas poison
   // the instruction with a trap diagnostic instead of aborting
-  // (Layout::addrOf used to call unordered_map::at here).
+  // (Layout::addrOf used to call unordered_map::at here). `curBlock` tracks
+  // the block being decoded so every poison diagnostic names the faulting
+  // instruction's source block.
+  const BasicBlock* curBlock = nullptr;
+  auto atBlock = [&]() -> std::string {
+    return " in @" + f->name() + (curBlock ? "/%" + curBlock->name() : std::string());
+  };
   auto refOf = [&](Value* v, DecodedInst& d) -> uint32_t {
     if (const auto* cst = dyn_cast<Constant>(v))
       return poolSlot(static_cast<uint32_t>(cst->zext()));
@@ -88,13 +95,12 @@ void DecodedProgram::decode(Function* f, DecodedFunction& df) {
       uint32_t addr = layout_.addrOf(g);
       if (addr == Layout::kUnmapped && d.trapMsg < 0)
         d.trapMsg = addTrap(df, "global @" + g->name() + " has no address in this layout " +
-                                    "(module changed after Layout::build?)");
+                                    "(module changed after Layout::build?)" + atBlock());
       return poolSlot(addr);
     }
     int slot = Function::valueSlot(v);
     if (slot < 0) {
-      if (d.trapMsg < 0)
-        d.trapMsg = addTrap(df, "operand without a value slot in @" + f->name());
+      if (d.trapMsg < 0) d.trapMsg = addTrap(df, "operand without a value slot" + atBlock());
       return poolSlot(0);
     }
     return static_cast<uint32_t>(slot);
@@ -140,6 +146,7 @@ void DecodedProgram::decode(Function* f, DecodedFunction& df) {
 
   // Pass 2: emit the packed records.
   for (auto& bb : f->blocks()) {
+    curBlock = bb.get();
     for (auto& instPtr : *bb) {
       Instruction* inst = instPtr.get();
       if (inst->isPhi()) continue;
@@ -182,9 +189,9 @@ void DecodedProgram::decode(Function* f, DecodedFunction& df) {
           case Opcode::Alloca: {
             uint32_t addr = layout_.addrOf(inst);
             if (addr == Layout::kUnmapped)
-              d.trapMsg = addTrap(df, "alloca %" + inst->name() + " in @" + f->name() +
+              d.trapMsg = addTrap(df, "alloca %" + inst->name() +
                                           " has no address in this layout " +
-                                          "(module changed after Layout::build?)");
+                                          "(module changed after Layout::build?)" + atBlock());
             d.a = poolSlot(addr);
             break;
           }
@@ -256,7 +263,7 @@ void DecodedProgram::decode(Function* f, DecodedFunction& df) {
           case Opcode::Phi:
             break;  // elided; unreachable
           default:
-            d.trapMsg = addTrap(df, std::string("unhandled opcode ") + opcodeName(op));
+            d.trapMsg = addTrap(df, std::string("unhandled opcode ") + opcodeName(op) + atBlock());
             break;
         }
       }
@@ -276,6 +283,7 @@ void DecodedProgram::decode(Function* f, DecodedFunction& df) {
     }
   }
   df.frameSlots = df.numSlots + static_cast<uint32_t>(df.constPool.size());
+  buildSuperOps(df);  // superblock tier (src/exec/superblock.h)
 }
 
 // ---------------------------------------------------------------------------

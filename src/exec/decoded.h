@@ -59,6 +59,59 @@ struct DecodedCase {
 
 struct DecodedFunction;
 
+/// Superinstruction record: the superblock tier's compact (32-byte) mirror
+/// of one DecodedInst. Built 1:1 with DecodedFunction::insts, so any pc is
+/// a valid dispatch point; the trace runner (ExecState::runSuper,
+/// src/exec/superblock.h) streams these instead of the 96-byte DecodedInst
+/// records, executing a whole basic block — and, through fused `kJump`
+/// records, whole chains of fall-through blocks — per dispatch. Only the
+/// operand slots and widths the straight-line arms read are carried;
+/// everything colder (switch case pools, call argument pools, HLS block
+/// costs, trap messages) stays on the DecodedInst and is fetched through
+/// the pc on the rare exits.
+struct SuperOp {
+  /// Dispatch code: values below kJump are the Opcode ordinal of a
+  /// straight-line op ("execute and fall through to pc+1"); the named codes
+  /// are block exits. The runner's direct-threaded dispatch indexes its
+  /// label table with this byte, so straight-line ops jump straight to
+  /// their specialized handler.
+  enum Kind : uint8_t {
+    kJump = 48,   // unconditional Br: phi copies + jump, trace continues
+    kJump0,       // copy-free Br: aux is the target pc, pure goto
+    kCond,        // CondBr: evaluate and follow an edge in-trace
+    kCond0,       // copy-free CondBr: b/c are the true/false target pcs
+    kSwitch,      // Switch: linear case scan (cold data via the DecodedInst)
+    kSwitchDense, // Switch: O(1) jump table in superSwitchPool (b=min, c=len)
+    kRet,         // return: pop a frame (or finish the program)
+    kCall,        // call: push a frame, trace continues in the callee
+    kSlow,        // channel op or poisoned record: per-inst step() only
+  };
+  static_assert(kJump > static_cast<uint8_t>(Opcode::SemLower),
+                "dispatch codes must not collide with Opcode ordinals");
+
+  Opcode op = Opcode::Add;
+  uint8_t kind = kSlow;
+  uint8_t evalBits = 32;    // operand-0 width (binary/compare/cast-from)
+  uint8_t auxBits = 32;     // cast to-width / gep index width
+  uint8_t accessBytes = 4;  // load/store byte size
+  uint8_t flags = 0;        // DecodedInst::kHasResult / kRetHasValue
+  uint16_t swCost = 0;      // pre-computed swCycles()
+  uint32_t a = 0, b = 0, c = 0;    // operand slots (kCond0: b/c target pcs;
+                                   // kSwitchDense: b = min value, c = table len)
+  uint32_t resSlot = 0;
+  uint32_t resMask = 0xFFFFFFFFu;
+  uint32_t aux = 1;  // gep element byte scale; kJump: edge index; kJump0:
+                     // target pc; kSwitchDense: superSwitchPool offset
+};
+
+/// Status of one ExecState::runSuper invocation (src/exec/superblock.h).
+enum class SuperRunStatus : uint8_t {
+  kFinished,  // outermost function returned (result() is valid)
+  kTrapped,   // runtime error (trapMessage() is set)
+  kNeedStep,  // next instruction needs the per-inst slow path (step())
+  kBudget,    // the cost model stopped the run; resume with runSuper/step
+};
+
 /// Packed execution record for one instruction. Fixed operand fields a/b/c
 /// cover every opcode with up to three operands; calls and switches spill
 /// into the per-function side pools. All operands are frame slot indices —
@@ -108,6 +161,11 @@ struct DecodedFunction {
   std::vector<uint32_t> callArgs;        // argument source slots
   std::vector<uint32_t> constPool;
   std::vector<std::string> trapMessages;
+  /// Superblock tier: one compact record per DecodedInst (same indexing),
+  /// built by buildSuperOps (src/exec/superblock.h) at decode time.
+  std::vector<SuperOp> sops;
+  /// Dense switch jump tables (edge indices) for kSwitchDense records.
+  std::vector<uint32_t> superSwitchPool;
 };
 
 /// Decode cache for one module snapshot. Functions are decoded on first use
@@ -152,6 +210,24 @@ public:
 
   /// Executes one instruction (or blocks). Cheap to call repeatedly.
   StepResult step();
+
+  /// Superblock tier: executes straight-line runs, fused branches, calls
+  /// and returns back-to-back under a caller-supplied cost model, returning
+  /// only at a channel operation, a poisoned record, a trap, completion, or
+  /// when the model stops the run. Semantics (including retired counts and
+  /// the order of every state mutation) are identical to repeated step()
+  /// calls. Defined in src/exec/superblock.h; include it to instantiate.
+  template <class Model>
+  SuperRunStatus runSuper(Model& model);
+
+  /// True when the next instruction is one runSuper can execute (i.e. not a
+  /// channel operation or poisoned record). Schedulers use this to choose
+  /// between the trace runner and the per-inst interaction path.
+  bool peekSuperRunnable() const {
+    if (frames_.empty()) return false;
+    const Frame& fr = frames_.back();
+    return fr.fn->sops[fr.pc].kind != SuperOp::kSlow;
+  }
 
   /// The next instruction to execute (null when finished). The scheduler
   /// peeks to see whether the next step can interact with other threads

@@ -33,6 +33,8 @@ bool isDivOp(Opcode op) {
 FunctionSchedule scheduleFunction(Function& f, const HlsConstraints& c) {
   FunctionSchedule out;
   out.fn = &f;
+  out.fnName = f.name();
+  out.instCount = f.instructionCount();
   f.renumber();
 
   // Per-function FU binding: track the maximum concurrent use of each
@@ -204,6 +206,30 @@ FunctionSchedule scheduleFunction(Function& f, const HlsConstraints& c) {
 ScheduleMap scheduleModule(Module& m, const HlsConstraints& c) {
   ScheduleMap out;
   for (auto& f : m.functions()) out.emplace(f.get(), scheduleFunction(*f, c));
+  return out;
+}
+
+ScheduleMap scheduleModule(Module& m, const HlsConstraints& c, const ScheduleMap& prior) {
+  ScheduleMap out;
+  for (auto& fptr : m.functions()) {
+    Function* f = fptr.get();
+    auto it = prior.find(f);
+    bool reusable = it != prior.end() && it->second.fnName == f->name() &&
+                    it->second.instCount == f->instructionCount() &&
+                    it->second.blocks.size() == f->numBlocks();
+    if (reusable) {
+      // The block set must be exactly the current one: a function rebuilt
+      // at a recycled address (or reshaped by a later cleanup) has blocks
+      // the cached schedule has never seen.
+      for (auto& bb : f->blocks()) {
+        if (it->second.blocks.find(bb.get()) == it->second.blocks.end()) {
+          reusable = false;
+          break;
+        }
+      }
+    }
+    out.emplace(f, reusable ? it->second : scheduleFunction(*f, c));
+  }
   return out;
 }
 

@@ -57,6 +57,13 @@ struct AreaEstimate {
 
 struct FunctionSchedule {
   Function* fn = nullptr;
+  /// Name and instruction count at scheduling time: reuse guards for the
+  /// driver's schedule cache (a recycled Function address after DSWP gets a
+  /// fresh "_dswp_" name, and a pass that inserts/removes instructions in a
+  /// surviving function changes the count, so either mismatch exposes a
+  /// stale entry).
+  std::string fnName;
+  size_t instCount = 0;
   std::unordered_map<const BasicBlock*, BlockSchedule> blocks;
   unsigned totalStates = 0;
   AreaEstimate area;
@@ -81,6 +88,17 @@ using ScheduleMap = std::unordered_map<const Function*, FunctionSchedule>;
 
 /// Builds schedules for every function in the module.
 ScheduleMap scheduleModule(Module& m, const HlsConstraints& c = {});
+
+/// Like scheduleModule, but reuses entries from `prior` (the baseline
+/// module's schedules) for functions the later passes left untouched —
+/// DSWP only redirects call sites in surviving functions, which scheduling
+/// is invariant to, so the driver schedules each function once per report
+/// instead of once per flow. An entry is reused only when the function
+/// pointer, its name and its exact block set still match (erased functions
+/// leave dangling keys in `prior`; those are never dereferenced, and a
+/// recycled address fails the name/block guard). Scheduling is
+/// deterministic, so a reused entry is bit-identical to a recomputation.
+ScheduleMap scheduleModule(Module& m, const HlsConstraints& c, const ScheduleMap& prior);
 
 /// Area of the memory blocks a pure-hardware (LegUp) translation would
 /// instantiate for the module's globals (Twill instead keeps data in the

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/exec/superblock.h"
 #include "src/ir/eval.h"
 #include "src/ir/printer.h"
 
@@ -252,8 +253,31 @@ uint32_t Interp::run(Function* f, std::vector<uint32_t> args, uint64_t maxSteps)
   if (!prog_) prog_ = std::make_unique<DecodedProgram>(module_, layout_);
   FunctionalChannels chans;
   ExecState st(*prog_, memory(), chans, f, std::move(args));
-  for (uint64_t i = 0; i < maxSteps; ++i) {
+  // Superblock tier: runSuper streams whole traces and only hands back for
+  // channel operations (stepped singly below) or the step-budget guard,
+  // which keeps the historical maxSteps semantics attempt for attempt.
+  FunctionalSuperModel model{maxSteps};
+  for (;;) {
+    switch (st.runSuper(model)) {
+      case SuperRunStatus::kFinished:
+        retired_ += st.retired();
+        return st.result();
+      case SuperRunStatus::kTrapped:
+        std::fprintf(stderr, "twill interp trap in @%s: %s\n", f->name().c_str(),
+                     st.trapMessage().c_str());
+        std::abort();
+      case SuperRunStatus::kBudget:
+        std::fprintf(stderr, "twill interp: step limit exceeded in @%s\n", f->name().c_str());
+        std::abort();
+      case SuperRunStatus::kNeedStep:
+        break;
+    }
+    if (model.budget == 0) {
+      std::fprintf(stderr, "twill interp: step limit exceeded in @%s\n", f->name().c_str());
+      std::abort();
+    }
     StepResult r = st.step();
+    --model.budget;
     if (r.status == StepStatus::Finished) {
       retired_ += st.retired();
       return st.result();
@@ -269,8 +293,6 @@ uint32_t Interp::run(Function* f, std::vector<uint32_t> args, uint64_t maxSteps)
       std::abort();
     }
   }
-  std::fprintf(stderr, "twill interp: step limit exceeded in @%s\n", f->name().c_str());
-  std::abort();
 }
 
 uint32_t Interp::run(const std::string& fname, std::vector<uint32_t> args) {
@@ -294,28 +316,52 @@ PipelineInterp::RunOutcome PipelineInterp::run(uint64_t maxSteps) {
   if (threads_.empty()) return out;
   uint64_t steps = 0;
   // Round-robin with a large per-thread burst: decoupled pipelines make most
-  // progress when each stage runs until it blocks.
+  // progress when each stage runs until it blocks. The superblock runner
+  // executes each burst's straight-line traces; only the queue/semaphore
+  // operations go through the per-inst step() path, so blocked attempts are
+  // detected exactly as before (a burst slot is one step attempt).
   while (steps < maxSteps) {
     bool progress = false;
     for (auto& t : threads_) {
       if (t->finished() || t->trapped()) continue;
-      for (int burst = 0; burst < 4096; ++burst) {
-        StepResult r = t->step();
-        ++steps;
-        if (r.status == StepStatus::Ran) {
-          progress = true;
-          continue;
-        }
-        if (r.status == StepStatus::Finished) {
+      FunctionalSuperModel model{4096};
+      bool burstDone = false;
+      while (!burstDone) {
+        const uint64_t budgetBefore = model.budget;
+        const SuperRunStatus rs = t->runSuper(model);
+        const uint64_t used = budgetBefore - model.budget;
+        steps += used;
+        if (used > 0) progress = true;
+        if (rs == SuperRunStatus::kFinished) {
           progress = true;
           break;
         }
-        if (r.status == StepStatus::Trapped) {
+        if (rs == SuperRunStatus::kTrapped) {
           out.trapped = true;
           out.message = t->name() + ": " + t->trapMessage();
           return out;
         }
-        break;  // Blocked
+        if (rs == SuperRunStatus::kBudget || model.budget == 0) break;
+        // kNeedStep: a channel operation — one attempt, like the old loop.
+        StepResult r = t->step();
+        ++steps;
+        --model.budget;
+        switch (r.status) {
+          case StepStatus::Ran:
+            progress = true;
+            break;
+          case StepStatus::Finished:
+            progress = true;
+            burstDone = true;
+            break;
+          case StepStatus::Trapped:
+            out.trapped = true;
+            out.message = t->name() + ": " + t->trapMessage();
+            return out;
+          case StepStatus::Blocked:
+            burstDone = true;
+            break;
+        }
       }
       if (threads_[0]->finished()) {
         out.ok = true;

@@ -5,10 +5,121 @@
 #include <queue>
 #include <utility>
 
-#include "src/exec/decoded.h"
+#include "src/exec/superblock.h"
 
 namespace twill {
 namespace {
+
+/// Cost models driving ExecState::runSuper for the cycle-level simulators.
+/// Each replicates, bit for bit, the accounting the per-inst scheduler loop
+/// performs around SimThread::step(): charge the op (busyUntil/busyCycles),
+/// record progress, advance the clock one step (`cycle = max(cycle + 1,
+/// busyUntil)`), and stop at the budget boundary. Two boundary flavours
+/// exist because the solo-burst loop clamps (`cycle > end` -> cycle = end)
+/// while the pure-SW/HW loops fail outright (`cycle > maxCycles` -> "cycle
+/// limit exceeded"), i.e. they stop the moment the clock *reaches*
+/// end = maxCycles + 1.
+struct BurstClock {
+  uint64_t cycle;
+  uint64_t end;
+  uint64_t lastProgress;
+  uint64_t busyUntil;
+  uint64_t busyCycles = 0;
+  bool clampAtEnd;  // true: solo-burst semantics; false: pure-loop semantics
+
+  bool begin() const { return cycle < end; }
+  bool advance(uint64_t cost) {
+    busyUntil = cycle + cost;
+    busyCycles += cost;
+    lastProgress = cycle;
+    cycle = cycle + 1 > busyUntil ? cycle + 1 : busyUntil;
+    if (clampAtEnd) {
+      if (cycle > end) {
+        cycle = end;
+        return false;
+      }
+      return true;
+    }
+    return cycle < end;
+  }
+  /// The finishing Ret is charged but the clock is not advanced past it
+  /// (the per-inst loops `break` before their advance on a dead thread).
+  void finish(uint64_t cost) {
+    busyUntil = cycle + cost;
+    busyCycles += cost;
+    lastProgress = cycle;
+  }
+};
+
+/// Software thread (Microblaze model): every op costs its pre-computed
+/// Microblaze cycles.
+struct SwBurstModel {
+  BurstClock clk;
+  const DecodedInst* finishInst = nullptr;
+
+  bool begin() const { return clk.begin(); }
+  bool end(const SuperOp& so) { return clk.advance(so.swCost); }
+  bool endTerm(const DecodedInst& d) { return clk.advance(d.swCost); }
+  void endFinish(const DecodedInst& d) {
+    finishInst = &d;
+    clk.finish(d.swCost);
+  }
+};
+
+/// Hardware thread (HLS FSM executor): straight-line ops are absorbed into
+/// the block's static cycles, memory ops charge the (stateful) bus or
+/// dual-port BRAM, and terminators charge the block's FSM cost with the
+/// modulo-scheduled steady-state tracking. Mirrors SimThread::chargeFor.
+struct HwBurstModel {
+  BurstClock clk;
+  BusModel* memBus;      // Twill: the shared memory bus
+  PortModel* localMem;   // pure hardware: dual-port block memories
+  uint32_t prevBlock1;
+  uint32_t prevBlock2;
+  bool pipelinedMode;
+  const DecodedInst* finishInst = nullptr;
+
+  static constexpr uint32_t kNoBlock = 0xFFFFFFFFu;
+
+  bool begin() const { return clk.begin(); }
+  bool end(const SuperOp& so) {
+    if (so.op == Opcode::Load || so.op == Opcode::Store) {
+      unsigned handshake =
+          so.op == Opcode::Load ? RuntimeTiming::kMemRead : RuntimeTiming::kMemWrite;
+      if (pipelinedMode) handshake = 0;  // overlapped with compute
+      const uint64_t grant =
+          memBus ? memBus->acquire(clk.cycle) : localMem->acquire(clk.cycle);
+      return clk.advance((grant - clk.cycle) + handshake);
+    }
+    return clk.advance(0);  // absorbed into the block's static cycles
+  }
+  uint64_t termCost(const DecodedInst& d) {
+    switch (d.op) {
+      case Opcode::Br:
+      case Opcode::CondBr:
+      case Opcode::Ret: {
+        // Steady state: this block ran within the last two control
+        // transfers (covers self-loops and header/body two-block loops).
+        pipelinedMode = (d.blockUid == prevBlock1 || d.blockUid == prevBlock2);
+        prevBlock2 = prevBlock1;
+        prevBlock1 = d.blockUid;
+        if (!(d.flags & DecodedInst::kHasSchedule)) return 1;
+        return pipelinedMode ? d.hlsII : d.hlsStatic;
+      }
+      case Opcode::Call:
+        pipelinedMode = false;
+        prevBlock1 = prevBlock2 = kNoBlock;
+        return 1;
+      default:
+        return 0;  // Switch et al: absorbed, like the per-inst engine
+    }
+  }
+  bool endTerm(const DecodedInst& d) { return clk.advance(termCost(d)); }
+  void endFinish(const DecodedInst& d) {
+    finishInst = &d;
+    clk.finish(termCost(d));
+  }
+};
 
 /// One executing context (a hardware thread, or one software thread of the
 /// processor). Wraps the pre-decoded ExecState with a cost model; every
@@ -130,6 +241,56 @@ public:
     return true;
   }
 
+  /// True when the next instruction can run on the superblock tier (not a
+  /// channel operation or poisoned record).
+  bool superRunnable() const { return state_.peekSuperRunnable(); }
+
+  /// Superblock fast path: executes straight-line traces, fused branches
+  /// and calls back-to-back with the exact per-op cost accounting of the
+  /// per-inst loops (see the burst models above). Returns at the next
+  /// channel operation (kNeedStep), on completion/trap, or when the clock
+  /// reaches `end` (kBudget). `clampAtEnd` selects the solo-burst boundary
+  /// semantics (clamp the clock to `end`); the pure flows pass false with
+  /// end = maxCycles + 1 so the limit diagnostic fires on the same cycle.
+  SuperRunStatus runSuper(uint64_t& cycle, uint64_t end, uint64_t& lastProgress,
+                          bool clampAtEnd) {
+    SuperRunStatus rs;
+    const DecodedInst* finishInst = nullptr;
+    if (isHW_) {
+      HwBurstModel m{{cycle, end, lastProgress, busyUntil, 0, clampAtEnd},
+                     fabric_ ? &fabric_->memoryBus() : nullptr,
+                     &localMem_,
+                     prevBlock1_,
+                     prevBlock2_,
+                     pipelinedMode_};
+      rs = state_.runSuper(m);
+      prevBlock1_ = m.prevBlock1;
+      prevBlock2_ = m.prevBlock2;
+      pipelinedMode_ = m.pipelinedMode;
+      cycle = m.clk.cycle;
+      lastProgress = m.clk.lastProgress;
+      busyUntil = m.clk.busyUntil;
+      busyCycles += m.clk.busyCycles;
+      finishInst = m.finishInst;
+    } else {
+      SwBurstModel m{{cycle, end, lastProgress, busyUntil, 0, clampAtEnd}};
+      rs = state_.runSuper(m);
+      cycle = m.clk.cycle;
+      lastProgress = m.clk.lastProgress;
+      busyUntil = m.clk.busyUntil;
+      busyCycles += m.clk.busyCycles;
+      finishInst = m.finishInst;
+    }
+    if (rs == SuperRunStatus::kFinished) {
+      dead = true;
+      last = {StepStatus::Finished, finishInst->op, finishInst};
+    } else if (rs == SuperRunStatus::kTrapped) {
+      dead = true;
+      last = {StepStatus::Trapped, Opcode::Add, nullptr};
+    }
+    return rs;
+  }
+
 private:
   uint64_t chargeFor(const StepResult& r, uint64_t now) {
     const DecodedInst* d = r.dinst;
@@ -205,6 +366,30 @@ private:
   bool isHW_;
   uint32_t token_;
 };
+
+/// Single-thread loop of the pure-SW/HW baselines on the superblock tier.
+/// Timing-identical to the historical per-inst loop (`step; cycle =
+/// max(cycle + 1, busyUntil); fail when cycle > maxCycles`). Returns false
+/// when the cycle limit was exceeded.
+bool runPureLoop(SimThread& t, const SimConfig& cfg) {
+  uint64_t cycle = 0;
+  uint64_t lastProgress = 0;  // unused by the baselines
+  const uint64_t limit = cfg.maxCycles == UINT64_MAX ? UINT64_MAX : cfg.maxCycles + 1;
+  while (!t.finished() && !t.trapped()) {
+    const SuperRunStatus rs = t.runSuper(cycle, limit, lastProgress, /*clampAtEnd=*/false);
+    if (rs == SuperRunStatus::kBudget) return false;
+    if (rs == SuperRunStatus::kNeedStep) {
+      // Channel op (absorbed by FunctionalChannels in a baseline) or a
+      // poisoned record: one per-inst iteration, old loop semantics.
+      if (cycle >= t.busyUntil) t.step(cycle);
+    }
+    // The historical loop advanced the clock and checked the limit after
+    // every iteration — including the finishing/trapping one.
+    cycle = std::max(cycle + 1, t.busyUntil);
+    if (cycle > cfg.maxCycles) return false;
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -587,6 +772,19 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
             if (!fabric.semaphore(pd->channel).lowerWaiters().empty()) break;
             if (solo->step(cycle)) lastProgress = cycle;
             if (solo->lastBlocked) break;  // lower failed: solo now sleeps
+          } else if (solo->superRunnable()) {
+            // Superblock fast path: streams straight-line traces, fused
+            // branches and calls with the per-step accounting inlined (see
+            // the burst models), returning only at the next channel
+            // interaction, completion, or the burst boundary.
+            const SuperRunStatus rs =
+                solo->runSuper(cycle, burstEnd, lastProgress, /*clampAtEnd=*/true);
+            if (rs == SuperRunStatus::kFinished || rs == SuperRunStatus::kTrapped) {
+              afterStep(solo);
+              break;
+            }
+            if (rs == SuperRunStatus::kBudget) break;  // cycle clamped to burstEnd
+            continue;  // kNeedStep: re-peek; a channel arm takes over
           } else {
             if (solo->step(cycle)) lastProgress = cycle;
             if (solo->dead) {
@@ -644,14 +842,9 @@ SimOutcome simulatePureSW(Module& m, const SimConfig& cfg) {
   layout.build(m, mem);
   DecodedProgram prog(m, layout);
   SimThread t(prog, mem, nullptr, main, /*isHW=*/false, /*token=*/0);
-  uint64_t cycle = 0;
-  while (!t.finished() && !t.trapped()) {
-    if (cycle >= t.busyUntil) t.step(cycle);
-    cycle = std::max(cycle + 1, t.busyUntil);
-    if (cycle > cfg.maxCycles) {
-      out.message = "cycle limit exceeded";
-      return out;
-    }
+  if (!runPureLoop(t, cfg)) {
+    out.message = "cycle limit exceeded";
+    return out;
   }
   if (t.trapped()) {
     out.message = "trap: " + t.trapMessage();
@@ -677,14 +870,9 @@ SimOutcome simulatePureHW(Module& m, const ScheduleMap& schedules, const SimConf
   layout.build(m, mem);
   DecodedProgram prog(m, layout, &schedules);
   SimThread t(prog, mem, nullptr, main, /*isHW=*/true, /*token=*/0);
-  uint64_t cycle = 0;
-  while (!t.finished() && !t.trapped()) {
-    if (cycle >= t.busyUntil) t.step(cycle);
-    cycle = std::max(cycle + 1, t.busyUntil);
-    if (cycle > cfg.maxCycles) {
-      out.message = "cycle limit exceeded";
-      return out;
-    }
+  if (!runPureLoop(t, cfg)) {
+    out.message = "cycle limit exceeded";
+    return out;
   }
   if (t.trapped()) {
     out.message = "trap: " + t.trapMessage();

@@ -40,28 +40,10 @@ void Memory::release(uint8_t* p, uint32_t size, bool mmapped) {
   std::free(p);
 }
 
-void Memory::check(uint32_t addr, uint32_t len) const {
-  // Out-of-range access indicates a compiler or benchmark bug; abort loudly
-  // rather than silently corrupting the simulation.
-  if (addr > size_ || len > size_ - addr) {
-    std::fprintf(stderr, "twill: simulated memory access out of range: addr=0x%x len=%u size=0x%x\n",
-                 addr, len, size_);
-    std::abort();
-  }
-}
-
-uint32_t Memory::load(uint32_t addr, uint32_t bytes) const {
-  check(addr, bytes);
-  ++loads_;
-  uint32_t v = 0;
-  for (uint32_t i = 0; i < bytes; ++i) v |= static_cast<uint32_t>(bytes_[addr + i]) << (8 * i);
-  return v;
-}
-
-void Memory::store(uint32_t addr, uint32_t bytes, uint32_t value) {
-  check(addr, bytes);
-  ++stores_;
-  for (uint32_t i = 0; i < bytes; ++i) bytes_[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+void Memory::outOfRange(uint32_t addr, uint32_t len, uint32_t size) {
+  std::fprintf(stderr, "twill: simulated memory access out of range: addr=0x%x len=%u size=0x%x\n",
+               addr, len, size);
+  std::abort();
 }
 
 void Memory::write(uint32_t addr, const void* src, uint32_t len) {

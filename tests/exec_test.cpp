@@ -1,16 +1,20 @@
-// Cross-engine equivalence suite for the pre-decoded execution engine.
+// Cross-engine equivalence suite for the execution tiers.
 //
-// The decoded ExecState (src/exec/decoded.h) replaced the tree-walking
-// interpreter on every engine; RefExecState (src/ir/interp.h) is kept as the
-// independent golden reference. These tests pin the two together — results
-// and retired-instruction counts must match on every CHStone kernel and on
-// a frontend torture battery — and pin simulateTwill's cycle-level counters
-// to golden values recorded before the event-driven scheduler landed, so
-// scheduler rewrites cannot silently shift timing.
+// The superblock trace runner (src/exec/superblock.h) and the per-inst
+// decoded ExecState (src/exec/decoded.h) both replaced the tree-walking
+// interpreter; RefExecState (src/ir/interp.h) is kept as the independent
+// golden reference. These tests pin all three together — results and
+// retired-instruction counts must match on every CHStone kernel and on a
+// frontend torture battery, whole-trace and under budget-stop/resume — pin
+// the superblock pipeline (channel ops mid-trace) against a RefExecState
+// replica of the burst scheduler, and pin the cycle-level counters of every
+// simulator flow to golden values recorded before the event-driven
+// scheduler landed, so engine rewrites cannot silently shift timing.
 #include <gtest/gtest.h>
 
 #include "src/chstone/kernels.h"
 #include "src/driver/driver.h"
+#include "src/exec/superblock.h"
 #include "src/frontend/lower.h"
 #include "src/ir/builder.h"
 #include "src/ir/interp.h"
@@ -57,6 +61,41 @@ RefRun runDecoded(Module& m) {
   return {st.result(), st.retired()};
 }
 
+/// Runs `main` on the superblock trace runner. A small `budgetPerCall`
+/// forces a budget stop/resume at every op boundary, exercising the
+/// kBudget write-back paths the schedulers rely on.
+RefRun runSuperblock(Module& m, uint64_t budgetPerCall = UINT64_MAX) {
+  Memory mem;
+  Layout lay;
+  lay.build(m, mem);
+  DecodedProgram prog(m, lay);
+  FunctionalChannels chans;
+  ExecState st(prog, mem, chans, m.findFunction("main"));
+  for (uint64_t guard = 0; guard < (1ull << 32); ++guard) {
+    FunctionalSuperModel model{budgetPerCall};
+    switch (st.runSuper(model)) {
+      case SuperRunStatus::kFinished:
+        return {st.result(), st.retired()};
+      case SuperRunStatus::kTrapped:
+        ADD_FAILURE() << "superblock trap: " << st.trapMessage();
+        return {};
+      case SuperRunStatus::kNeedStep: {
+        StepResult r = st.step();
+        if (r.status == StepStatus::Finished) return {st.result(), st.retired()};
+        if (r.status != StepStatus::Ran) {
+          ADD_FAILURE() << "superblock slow-path status " << static_cast<int>(r.status);
+          return {};
+        }
+        break;
+      }
+      case SuperRunStatus::kBudget:
+        break;  // resume
+    }
+  }
+  ADD_FAILURE() << "superblock run did not finish";
+  return {};
+}
+
 void expectEnginesAgree(const std::string& source, const char* label) {
   Module mr;
   DiagEngine d1;
@@ -72,6 +111,15 @@ void expectEnginesAgree(const std::string& source, const char* label) {
 
   EXPECT_EQ(dec.result, ref.result) << label;
   EXPECT_EQ(dec.retired, ref.retired) << label;
+
+  // The superblock tier must agree in one whole-program trace...
+  RefRun sup = runSuperblock(md);
+  EXPECT_EQ(sup.result, ref.result) << label;
+  EXPECT_EQ(sup.retired, ref.retired) << label;
+  // ...and when the cost model stops the run every three attempts.
+  RefRun res = runSuperblock(md, 3);
+  EXPECT_EQ(res.result, ref.result) << label;
+  EXPECT_EQ(res.retired, ref.retired) << label;
 }
 
 TEST(ExecEquivalenceTest, ChstoneKernelsMatchReference) {
@@ -109,6 +157,171 @@ TEST(ExecEquivalenceTest, TorturePrograms) {
   int idx = 0;
   for (const char* src : programs) {
     expectEnginesAgree(src, ("torture#" + std::to_string(idx++)).c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block-exit interactions: channel operations break the trace and go through
+// the per-inst path. The oracle is a RefExecState replica of
+// PipelineInterp's burst scheduler (round-robin, 4096-attempt bursts,
+// main-finished check after each thread) — result AND total retired must
+// match, which pins the superblock port's burst accounting attempt for
+// attempt.
+// ---------------------------------------------------------------------------
+
+struct RefPipelineRun {
+  bool ok = false;
+  bool deadlocked = false;
+  uint32_t result = 0;
+  uint64_t totalRetired = 0;
+};
+
+RefPipelineRun runRefPipeline(Module& m, const std::vector<Function*>& fns) {
+  RefPipelineRun out;
+  Memory mem(Memory::kDefaultSize);
+  Layout lay;
+  lay.build(m, mem);
+  FunctionalChannels chans;
+  std::vector<std::unique_ptr<RefExecState>> threads;
+  for (Function* f : fns) threads.emplace_back(new RefExecState(m, lay, mem, chans, f));
+  for (uint64_t round = 0; round < (1ull << 20); ++round) {
+    bool progress = false;
+    for (auto& t : threads) {
+      if (t->finished() || t->trapped()) continue;
+      for (int burst = 0; burst < 4096; ++burst) {
+        StepResult r = t->step();
+        if (r.status == StepStatus::Ran) {
+          progress = true;
+          continue;
+        }
+        if (r.status == StepStatus::Finished) progress = true;
+        if (r.status == StepStatus::Trapped) ADD_FAILURE() << t->trapMessage();
+        break;
+      }
+      if (threads[0]->finished()) {
+        out.ok = true;
+        out.result = threads[0]->result();
+        for (auto& th : threads) out.totalRetired += th->retired();
+        return out;
+      }
+    }
+    if (!progress) {
+      out.deadlocked = true;
+      return out;
+    }
+  }
+  ADD_FAILURE() << "reference pipeline did not finish";
+  return out;
+}
+
+// Hand-built pipeline with produce/consume/semaphore operations in the
+// middle of straight-line runs: the trace must break at each one, take the
+// per-inst path, and resume mid-block.
+TEST(SuperblockInteractionTest, ChannelOpsMidTrace) {
+  Module m;
+  IRBuilder b(m);
+  TypeContext& ty = m.types();
+  // prod: for i in [0,50): produce(0, i*i); produce(1, i*i + i); then
+  // raises sem 9 once and returns. Channel ops sit between arithmetic so
+  // every trace breaks and resumes inside the block.
+  Function* prod = m.createFunction("prod", ty.voidTy());
+  {
+    BasicBlock* entry = prod->createBlock("entry");
+    BasicBlock* loop = prod->createBlock("loop");
+    BasicBlock* exit = prod->createBlock("exit");
+    b.setInsertPoint(entry);
+    b.br(loop);
+    b.setInsertPoint(loop);
+    Instruction* i = b.phi(ty.i32());
+    b.setInsertPoint(loop);
+    Instruction* sq = b.mul(i, i);
+    b.produce(0, sq);
+    Instruction* mix = b.add(sq, i);
+    b.produce(1, mix);
+    Instruction* i2 = b.add(i, m.i32Const(1));
+    Instruction* c = b.cmp(Opcode::CmpULT, i2, m.i32Const(50));
+    b.condBr(c, loop, exit);
+    i->addIncoming(m.i32Const(0), entry);
+    i->addIncoming(i2, loop);
+    b.setInsertPoint(exit);
+    b.semRaise(9, m.i32Const(1));
+    b.retVoid();
+  }
+  // main: consumes both channels, folds them, then waits on the semaphore
+  // before returning.
+  Function* main = m.createFunction("main", ty.i32());
+  {
+    BasicBlock* entry = main->createBlock("entry");
+    BasicBlock* loop = main->createBlock("loop");
+    BasicBlock* exit = main->createBlock("exit");
+    b.setInsertPoint(entry);
+    b.br(loop);
+    b.setInsertPoint(loop);
+    Instruction* i = b.phi(ty.i32());
+    Instruction* acc = b.phi(ty.i32());
+    b.setInsertPoint(loop);
+    Instruction* a = b.consume(0, ty.i32());
+    Instruction* shifted = b.binary(Opcode::Shl, a, m.i32Const(1));
+    Instruction* bb2 = b.consume(1, ty.i32());
+    Instruction* acc2 = b.add(acc, b.binary(Opcode::Xor, shifted, bb2));
+    Instruction* i2 = b.add(i, m.i32Const(1));
+    Instruction* c = b.cmp(Opcode::CmpULT, i2, m.i32Const(50));
+    b.condBr(c, loop, exit);
+    i->addIncoming(m.i32Const(0), entry);
+    i->addIncoming(i2, loop);
+    acc->addIncoming(m.i32Const(0), entry);
+    acc->addIncoming(acc2, loop);
+    b.setInsertPoint(exit);
+    b.semLower(9, m.i32Const(1));
+    b.ret(acc2);
+  }
+  {
+    DiagEngine vd;
+    ASSERT_TRUE(verifyModule(m, vd)) << vd.str();
+  }
+
+  RefPipelineRun ref = runRefPipeline(m, {main, prod});
+  ASSERT_TRUE(ref.ok);
+
+  PipelineInterp pi(m);
+  pi.addThread(main);
+  pi.addThread(prod);
+  auto out = pi.run();
+  ASSERT_TRUE(out.ok) << out.message;
+  EXPECT_EQ(out.result, ref.result);
+  EXPECT_EQ(out.totalRetired, ref.totalRetired);
+}
+
+// DSWP-extracted kernels are the real stress: produce/consume pairs, memory
+// token queues and overlap-guard semaphores, all mid-trace in persistent
+// slave dispatch loops. Outcomes must agree with the reference replica in
+// full — including extracted sha, whose functional pipeline deadlocks under
+// the burst schedule (a pre-existing property of the overlap-guard protocol
+// that the cycle-level scheduler sidesteps; both engines must agree on it).
+TEST(SuperblockInteractionTest, DswpPipelinesMatchReferenceScheduler) {
+  for (const char* name : {"adpcm", "jpeg", "sha"}) {
+    const KernelInfo* k = findKernel(name);
+    ASSERT_NE(k, nullptr) << name;
+    Module m;
+    DiagEngine diag;
+    ASSERT_TRUE(compileC(k->source, m, diag)) << name;
+    runDefaultPipeline(m, 100);
+    DswpResult dswp = runDswp(m, {});
+    std::vector<Function*> fns;
+    for (const auto& t : dswp.threads) fns.push_back(t.fn);
+    ASSERT_FALSE(fns.empty()) << name;
+
+    RefPipelineRun ref = runRefPipeline(m, fns);
+
+    PipelineInterp pi(m);
+    for (Function* f : fns) pi.addThread(f);
+    auto out = pi.run();
+    EXPECT_EQ(out.ok, ref.ok) << name << ": " << out.message;
+    EXPECT_EQ(out.deadlocked, ref.deadlocked) << name;
+    if (ref.ok && out.ok) {
+      EXPECT_EQ(out.result, ref.result) << name;
+      EXPECT_EQ(out.totalRetired, ref.totalRetired) << name;
+    }
   }
 }
 
@@ -158,7 +371,39 @@ TEST(ExecTrapTest, UnmappedGlobalTrapsOnBothEngines) {
     }
     EXPECT_EQ(r.status, StepStatus::Trapped);
     EXPECT_NE(st.trapMessage().find("no address"), std::string::npos) << st.trapMessage();
+    // The poisoned-record diagnostic names the faulting instruction's
+    // source block, not just the function.
+    EXPECT_NE(st.trapMessage().find("@main/%entry"), std::string::npos) << st.trapMessage();
   }
+}
+
+// Poison diagnostics carry the source block wherever the faulting
+// instruction sits — here an unmapped alloca in a non-entry block.
+TEST(ExecTrapTest, PoisonedRecordNamesSourceBlock) {
+  Module m;
+  IRBuilder b(m);
+  Memory mem;
+  Layout lay;
+  Function* f = m.createFunction("main", m.types().i32());
+  BasicBlock* entry = f->createBlock("entry");
+  BasicBlock* body = f->createBlock("body");
+  b.setInsertPoint(entry);
+  b.br(body);
+  lay.build(m, mem);  // built before the alloca exists
+  b.setInsertPoint(body);
+  Instruction* slot = b.alloca_(32, 1, "late");
+  Instruction* v = b.load(slot);
+  b.ret(v);
+
+  DecodedProgram prog(m, lay);
+  FunctionalChannels chans;
+  ExecState st(prog, mem, chans, f);
+  StepResult r{};
+  for (int i = 0; i < 16 && (r = st.step()).status == StepStatus::Ran; ++i) {
+  }
+  EXPECT_EQ(r.status, StepStatus::Trapped);
+  EXPECT_NE(st.trapMessage().find("alloca %late"), std::string::npos) << st.trapMessage();
+  EXPECT_NE(st.trapMessage().find("@main/%body"), std::string::npos) << st.trapMessage();
 }
 
 // Layout::addrOf on an unmapped key reports the sentinel (it used to abort
@@ -226,6 +471,46 @@ TEST(TwillSimGoldenTest, CountersMatchPreSchedulerSimulator) {
     SimOutcome o2 = simulateTwill(m, dswp, {}, sched, &shared);
     EXPECT_EQ(o2.cycles, o.cycles) << g.name;
     EXPECT_EQ(o2.result, o.result) << g.name;
+  }
+}
+
+// Pure-SW / pure-HW baseline cycles, pinned on the superblock tier (both
+// executors now run whole traces through it; values recorded from the
+// per-inst engine, which they must reproduce bit for bit).
+struct PureGolden {
+  const char* name;
+  uint32_t result;
+  uint64_t swCycles, hwCycles;
+};
+
+constexpr PureGolden kPureGoldens[] = {
+    {"mips", 531892058u, 222525, 78639},
+    {"adpcm", 454751737u, 104047, 53000},
+    {"aes", 1703749786u, 173485, 53885},
+    {"blowfish", 2101464826u, 1089609, 287335},
+    {"gsm", 401153065u, 499236, 91871},
+    {"jpeg", 489179844u, 92752, 21758},
+    {"mpeg2", 111004674u, 156707, 51142},
+    {"sha", 1847330246u, 177413, 41323},
+};
+
+TEST(PureSimGoldenTest, BaselineCyclesMatchPerInstEngine) {
+  for (const PureGolden& g : kPureGoldens) {
+    const KernelInfo* k = findKernel(g.name);
+    ASSERT_NE(k, nullptr) << g.name;
+    Module m;
+    DiagEngine diag;
+    ASSERT_TRUE(compileC(k->source, m, diag)) << g.name;
+    runDefaultPipeline(m, 100);
+    SimOutcome sw = simulatePureSW(m);
+    ASSERT_TRUE(sw.ok) << g.name << ": " << sw.message;
+    EXPECT_EQ(sw.result, g.result) << g.name;
+    EXPECT_EQ(sw.cycles, g.swCycles) << g.name;
+    ScheduleMap sched = scheduleModule(m);
+    SimOutcome hw = simulatePureHW(m, sched);
+    ASSERT_TRUE(hw.ok) << g.name << ": " << hw.message;
+    EXPECT_EQ(hw.result, g.result) << g.name;
+    EXPECT_EQ(hw.cycles, g.hwCycles) << g.name;
   }
 }
 

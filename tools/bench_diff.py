@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare two bench_main artifacts (BENCH_dswp.json) for the CI bench gate.
+
+Every report field must match the committed baseline exactly — cycle counts,
+retired-instruction counters, bus messages, areas, power, speedups, DSWP
+structure counts, sweep points. The simulators are deterministic, so any
+drift is a behaviour change and fails the gate; if the change is intentional
+(a timing-model or engine change), regenerate the baseline in the same PR:
+
+    ./build/bench_main --repeat 3 --out bench/baseline/BENCH_dswp.json
+
+Wall-clock fields (*_wall_ms) are machine-dependent and never fail the gate;
+a >10% regression (configurable) prints a warning so perf erosion is visible
+in the job log.
+
+Usage: bench_diff.py BASELINE NEW [--wall-tolerance 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def is_wall_key(key):
+    return isinstance(key, str) and key.endswith("_wall_ms")
+
+
+def compare(base, new, path, drifts, walls):
+    """Recursively records exact-value drifts and wall-clock pairs."""
+    if isinstance(base, dict) and isinstance(new, dict):
+        for key in sorted(set(base) | set(new)):
+            sub = f"{path}.{key}" if path else key
+            if key not in base:
+                drifts.append(f"{sub}: missing from baseline")
+            elif key not in new:
+                drifts.append(f"{sub}: missing from new run")
+            elif is_wall_key(key):
+                walls.append((sub, base[key], new[key]))
+            else:
+                compare(base[key], new[key], sub, drifts, walls)
+        return
+    if isinstance(base, list) and isinstance(new, list):
+        if len(base) != len(new):
+            drifts.append(f"{path}: length {len(base)} -> {len(new)}")
+            return
+        for i, (b, n) in enumerate(zip(base, new)):
+            compare(b, n, f"{path}[{i}]", drifts, walls)
+        return
+    if base != new:
+        drifts.append(f"{path}: {base!r} -> {new!r}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--wall-tolerance", type=float, default=0.10,
+                    help="relative wall-clock regression that triggers a warning")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.new) as f:
+        new = json.load(f)
+
+    drifts, walls = [], []
+    compare(base, new, "", drifts, walls)
+
+    warned = 0
+    for path, b, n in walls:
+        if isinstance(b, (int, float)) and isinstance(n, (int, float)) and b > 0:
+            ratio = n / b
+            if ratio > 1.0 + args.wall_tolerance:
+                warned += 1
+                print(f"WARNING: {path}: {b:.2f} ms -> {n:.2f} ms ({ratio:.2f}x)")
+
+    if drifts:
+        print(f"FAIL: {len(drifts)} report field(s) drifted from the baseline:")
+        for d in drifts[:50]:
+            print(f"  {d}")
+        if len(drifts) > 50:
+            print(f"  ... and {len(drifts) - 50} more")
+        print("If intentional, regenerate bench/baseline/BENCH_dswp.json in this PR.")
+        return 1
+
+    total = next((f"{b:.0f} -> {n:.0f} ms" for p, b, n in walls if p == "summary.total_wall_ms"),
+                 "n/a")
+    print(f"OK: all report fields match the baseline "
+          f"({warned} wall-clock warning(s); total wall {total})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

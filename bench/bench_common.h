@@ -32,11 +32,15 @@ inline const std::vector<unsigned> kQueueCapacitySweep = {2, 4, 8, 16, 32};
 ///   --out FILE     write the machine-readable JSON artifact to FILE
 ///   --kernel NAME  restrict to one kernel (repeatable)
 ///   --repeat N     run each stage N times, report the median wall time
+///   --jobs N       evaluate kernels on N worker threads (bench_main; the
+///                  artifact is byte-identical to the serial run modulo
+///                  machine-dependent *_wall_ms values)
 struct BenchCli {
   bool quick = false;
   std::string out;
   std::vector<std::string> kernels;
   unsigned repeat = 1;
+  unsigned jobs = 1;
 };
 
 inline BenchCli parseBenchCli(int argc, char** argv, const char* defaultOut = "") {
@@ -64,8 +68,16 @@ inline BenchCli parseBenchCli(int argc, char** argv, const char* defaultOut = ""
         std::exit(2);
       }
       cli.repeat = static_cast<unsigned>(n);
+    } else if (arg == "--jobs") {
+      int n = std::atoi(needValue("--jobs"));
+      if (n < 1) {
+        std::fprintf(stderr, "%s: --jobs wants a positive count\n", argv[0]);
+        std::exit(2);
+      }
+      cli.jobs = static_cast<unsigned>(n);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--quick] [--out FILE] [--kernel NAME ...] [--repeat N]\n", argv[0]);
+      std::printf("usage: %s [--quick] [--out FILE] [--kernel NAME ...] [--repeat N] [--jobs N]\n",
+                  argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0], arg.c_str());

@@ -8,40 +8,44 @@
 //   $ bench_main --quick --out BENCH_dswp.json
 //   $ bench_main --out BENCH_dswp.json            # full run, all 8 kernels
 //   $ bench_main --repeat 5 --out BENCH_dswp.json # median-of-5 wall times
+//   $ bench_main --jobs 4 --out BENCH_dswp.json   # kernels on 4 workers
 //
 // The JSON records, per kernel, the driver report (cycles, areas, power,
-// speedups) and the wall-clock cost of each pipeline stage — the former
-// tracks fidelity to the thesis, the latter tracks the toolchain's own
-// speed. `--repeat N` reruns each stage N times and reports the median
-// wall time, so perf deltas across PRs are measurable above noise; the
-// top-level `engine` field attributes them to the simulator generation.
+// speedups, per-stage compile cost) and the wall-clock cost of each
+// pipeline stage — the former tracks fidelity to the thesis, the latter
+// tracks the toolchain's own speed. `--repeat N` reruns each stage N times
+// and reports the median wall time, so perf deltas across PRs are
+// measurable above noise; the top-level `engine` field attributes them to
+// the simulator generation.
+//
+// Kernels are computed first (serially by default; on a worker pool under
+// --jobs N) and emitted afterwards in kernel order from the stored results,
+// so the artifact is byte-identical for every job count modulo the
+// machine-dependent *_wall_ms values the bench gate already ignores.
 #include <algorithm>
-#include <chrono>
 
 #include "bench/bench_common.h"
+#include "src/explore/pool.h"
 #include "src/support/json.h"
+#include "src/support/stopwatch.h"
 
 using namespace twill;
 using namespace twill::bench;
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double msSince(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-}
+using Clock = StopwatchClock;
 
 double median(std::vector<double> v) {
   std::sort(v.begin(), v.end());
   return v[v.size() / 2];
 }
 
-/// One sweep over `values`: simulates each point, optionally emitting the
-/// per-point JSON (null writer = pure timing pass; the `--repeat` reruns
-/// must measure exactly the workload the emitted sweep measured).
+/// One sweep over `values`: simulates each point, collecting cycles when
+/// `out` is given (null = pure timing pass; the `--repeat` reruns must
+/// measure exactly the workload the recorded sweep measured).
 void runSweep(PreparedKernel& pk, SimProgram& prog, const std::vector<unsigned>& values,
-              bool isLatency, JsonWriter* w) {
+              bool isLatency, std::vector<uint64_t>* out) {
   for (unsigned v : values) {
     SimConfig sc;
     if (isLatency)
@@ -49,27 +53,80 @@ void runSweep(PreparedKernel& pk, SimProgram& prog, const std::vector<unsigned>&
     else
       sc.queueCapacity = v;
     uint64_t cycles = runTwillCycles(pk, sc, &prog);
-    if (w != nullptr) {
-      w->beginObject();
-      w->field(isLatency ? "latency" : "capacity", v);
-      w->field("cycles", cycles);
-      w->endObject();
-    }
+    if (out != nullptr) out->push_back(cycles);
   }
 }
 
-void emitSweep(JsonWriter& w, PreparedKernel& pk, SimProgram& prog, const char* key,
-               const std::vector<unsigned>& values, bool isLatency) {
-  w.key(key);
-  w.beginArray();
-  runSweep(pk, prog, values, isLatency, &w);
-  w.endArray();
+/// Everything one kernel contributes to the artifact, computed up front so
+/// emission is a pure serialization pass over stored results.
+struct KernelRun {
+  BenchmarkReport report;
+  double reportMs = 0;
+  bool hasSweeps = false;
+  std::vector<uint64_t> latencyCycles;   // per kQueueLatencySweep point
+  std::vector<uint64_t> capacityCycles;  // per kQueueCapacitySweep point
+  double sweepMs = 0;
+};
+
+KernelRun computeKernel(const KernelInfo& k, const BenchCli& cli) {
+  KernelRun kr;
+  std::vector<double> reportTimes;
+  for (unsigned rep = 0; rep < cli.repeat; ++rep) {
+    auto tr = Clock::now();
+    DriverOptions dopts;
+    dopts.keepTwillArtifacts = !cli.quick;  // sweeps reuse the extracted module
+    BenchmarkReport ri = runBenchmark(k.name, k.source, dopts);
+    reportTimes.push_back(msSince(tr));
+    if (rep == 0) kr.report = std::move(ri);
+  }
+  kr.reportMs = median(reportTimes);
+
+  if (!cli.quick && kr.report.ok && kr.report.twillArtifacts) {
+    // Fig. 6.5 / 6.6: re-simulate across queue latencies and capacities,
+    // reusing the module runBenchmark already extracted and scheduled.
+    PreparedKernel pk;
+    pk.name = k.name;
+    pk.expected = kr.report.expected;
+    pk.twillMod = std::move(kr.report.twillArtifacts->module);
+    pk.dswp = std::move(kr.report.twillArtifacts->dswp);
+    pk.twillSchedules = std::move(kr.report.twillArtifacts->schedules);
+    pk.ok = true;
+    kr.hasSweeps = true;
+    std::vector<double> sweepTimes;
+    SimProgram prog(*pk.twillMod, pk.twillSchedules);  // one decode, all runs
+    auto t0 = Clock::now();
+    runSweep(pk, prog, kQueueLatencySweep, /*isLatency=*/true, &kr.latencyCycles);
+    runSweep(pk, prog, kQueueCapacitySweep, /*isLatency=*/false, &kr.capacityCycles);
+    const double recordingPassMs = msSince(t0);
+    if (cli.repeat == 1) {
+      sweepTimes.push_back(recordingPassMs);
+    } else {
+      // Median over N uniform samples: the recording pass above fills the
+      // result vectors (a different workload), so it is excluded.
+      for (unsigned rep = 0; rep < cli.repeat; ++rep) {
+        t0 = Clock::now();
+        runSweep(pk, prog, kQueueLatencySweep, /*isLatency=*/true, nullptr);
+        runSweep(pk, prog, kQueueCapacitySweep, /*isLatency=*/false, nullptr);
+        sweepTimes.push_back(msSince(t0));
+      }
+    }
+    kr.sweepMs = median(sweepTimes);
+  }
+  kr.report.twillArtifacts.reset();
+  return kr;
 }
 
-/// Re-runs both sweeps without emitting JSON (`--repeat` timing passes).
-void rerunSweeps(PreparedKernel& pk, SimProgram& prog) {
-  runSweep(pk, prog, kQueueLatencySweep, /*isLatency=*/true, nullptr);
-  runSweep(pk, prog, kQueueCapacitySweep, /*isLatency=*/false, nullptr);
+void emitSweep(JsonWriter& w, const char* key, const std::vector<unsigned>& values,
+               bool isLatency, const std::vector<uint64_t>& cycles) {
+  w.key(key);
+  w.beginArray();
+  for (size_t i = 0; i < values.size(); ++i) {
+    w.beginObject();
+    w.field(isLatency ? "latency" : "capacity", values[i]);
+    w.field("cycles", cycles[i]);
+    w.endObject();
+  }
+  w.endArray();
 }
 
 }  // namespace
@@ -79,6 +136,16 @@ int main(int argc, char** argv) {
   std::vector<KernelInfo> kernels = selectKernels(cli);
 
   const auto runStart = Clock::now();
+
+  // Compute every kernel's results. The pool claims kernels from a shared
+  // counter; each task writes only its own slot, so any job count produces
+  // the same stored results (the ROADMAP's kernel fan-out item).
+  std::vector<KernelRun> runs(kernels.size());
+  runIndexedTasks(cli.jobs, kernels.size(), [&](size_t i) {
+    std::fprintf(stderr, "[bench_main] %s...\n", kernels[i].name);
+    runs[i] = computeKernel(kernels[i], cli);
+  });
+
   JsonWriter w;
   w.beginObject();
   w.field("bench", "dswp");
@@ -93,59 +160,22 @@ int main(int argc, char** argv) {
 
   unsigned okCount = 0;
   double speedupTwillSum = 0, powerTwillSum = 0;
-  for (const auto& k : kernels) {
-    std::fprintf(stderr, "[bench_main] %s...\n", k.name);
-    BenchmarkReport r;
-    std::vector<double> reportTimes;
-    for (unsigned rep = 0; rep < cli.repeat; ++rep) {
-      auto tr = Clock::now();
-      DriverOptions dopts;
-      dopts.keepTwillArtifacts = !cli.quick;  // sweeps reuse the extracted module
-      BenchmarkReport ri = runBenchmark(k.name, k.source, dopts);
-      reportTimes.push_back(msSince(tr));
-      if (rep == 0) r = std::move(ri);
-    }
-    double reportMs = median(reportTimes);
-    auto t0 = Clock::now();
-
+  for (const KernelRun& kr : runs) {
     w.beginObject();
     w.key("report");
-    emitReport(w, r);
-    w.field("report_wall_ms", reportMs);
-    if (r.ok) {
+    emitReport(w, kr.report);
+    w.field("report_wall_ms", kr.reportMs);
+    if (kr.report.ok) {
       ++okCount;
-      speedupTwillSum += r.speedupTwillvsSW();
-      powerTwillSum += r.powerTwill;
+      speedupTwillSum += kr.report.speedupTwillvsSW();
+      powerTwillSum += kr.report.powerTwill;
     }
-
-    if (!cli.quick && r.ok && r.twillArtifacts) {
-      // Fig. 6.5 / 6.6: re-simulate across queue latencies and capacities,
-      // reusing the module runBenchmark already extracted and scheduled.
-      PreparedKernel pk;
-      pk.name = k.name;
-      pk.expected = r.expected;
-      pk.twillMod = std::move(r.twillArtifacts->module);
-      pk.dswp = std::move(r.twillArtifacts->dswp);
-      pk.twillSchedules = std::move(r.twillArtifacts->schedules);
-      pk.ok = true;
-      std::vector<double> sweepTimes;
-      SimProgram prog(*pk.twillMod, pk.twillSchedules);  // one decode, all runs
-      t0 = Clock::now();
-      emitSweep(w, pk, prog, "queue_latency_sweep", kQueueLatencySweep, /*isLatency=*/true);
-      emitSweep(w, pk, prog, "queue_capacity_sweep", kQueueCapacitySweep, /*isLatency=*/false);
-      const double emittingPassMs = msSince(t0);
-      if (cli.repeat == 1) {
-        sweepTimes.push_back(emittingPassMs);
-      } else {
-        // Median over N uniform samples: the JSON-emitting pass above
-        // measures a different workload, so it is excluded from the timing.
-        for (unsigned rep = 0; rep < cli.repeat; ++rep) {
-          t0 = Clock::now();
-          rerunSweeps(pk, prog);
-          sweepTimes.push_back(msSince(t0));
-        }
-      }
-      w.field("sweep_wall_ms", median(sweepTimes));
+    if (kr.hasSweeps) {
+      emitSweep(w, "queue_latency_sweep", kQueueLatencySweep, /*isLatency=*/true,
+                kr.latencyCycles);
+      emitSweep(w, "queue_capacity_sweep", kQueueCapacitySweep, /*isLatency=*/false,
+                kr.capacityCycles);
+      w.field("sweep_wall_ms", kr.sweepMs);
     }
     w.endObject();
   }

@@ -2,6 +2,11 @@
 // turns — the HW/SW split point, the partition count and the queue sizing —
 // for one workload, and print the cycles/area frontier.
 //
+// This is the hand-rolled miniature; the real subsystem is `src/explore`
+// (grid enumeration, parallel evaluation, Pareto pruning) behind the
+// `twill-explore` CLI — see README "twill-explore: design-space
+// exploration".
+//
 //   $ ./examples/design_space
 #include <cstdio>
 

@@ -7,19 +7,25 @@
 #include "src/ir/interp.h"
 #include "src/ir/verifier.h"
 #include "src/support/json.h"
+#include "src/support/stopwatch.h"
 
 namespace twill {
 namespace {
 
 std::unique_ptr<Module> compileAndOptimize(const std::string& source, unsigned inlineThreshold,
-                                           std::string& error) {
+                                           std::string& error, StageTimes& stages) {
   auto m = std::make_unique<Module>();
   DiagEngine diag;
-  if (!compileC(source, *m, diag)) {
+  CompileTimes ct;
+  if (!compileC(source, *m, diag, &ct)) {
     error = "compile failed:\n" + diag.str();
     return nullptr;
   }
+  stages.parseMs = ct.parseMs;
+  stages.lowerMs = ct.lowerMs;
+  const auto t0 = stopwatchNow();
   runDefaultPipeline(*m, inlineThreshold);
+  stages.passesMs = msSince(t0);
   DiagEngine vd;
   if (!verifyModule(*m, vd)) {
     error = "verification failed after optimization:\n" + vd.str();
@@ -67,7 +73,8 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
   rep.ranTwill = opts.runTwill;
 
   // --- Baseline module (pure SW, pure HW, golden reference) -----------------
-  std::unique_ptr<Module> base = compileAndOptimize(source, opts.inlineThreshold, rep.error);
+  std::unique_ptr<Module> base =
+      compileAndOptimize(source, opts.inlineThreshold, rep.error, rep.stages);
   if (!base) return rep;
   {
     Interp in(*base);
@@ -84,7 +91,9 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
       return rep;
     }
   }
+  auto tSched = stopwatchNow();
   ScheduleMap baseSchedules = scheduleModule(*base, opts.hls);
+  rep.stages.scheduleMs += msSince(tSched);
   if (opts.runPureHW) {
     rep.hw = simulatePureHW(*base, baseSchedules, opts.sim);
     if (!rep.hw.ok) {
@@ -110,7 +119,10 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
   // it is identical to recompiling the same source — at half the compile
   // cost per report.
   std::unique_ptr<Module> tm = std::move(base);
+  const auto tDswp = stopwatchNow();
   DswpResult dswp = runDswp(*tm, opts.dswp);
+  rep.stages.pdgMs = dswp.pdgWallMs;
+  rep.stages.dswpMs = msSince(tDswp) - dswp.pdgWallMs;
   {
     DiagEngine vd;
     if (!verifyModule(*tm, vd)) {
@@ -128,16 +140,11 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
   // DSWP only adds master/slave functions and redirects call sites in the
   // survivors — their schedules are reused the way SimProgram shares
   // decodes, so each function is scheduled once per report, not per flow.
+  tSched = stopwatchNow();
   ScheduleMap twillSchedules = scheduleModule(*tm, opts.hls, baseSchedules);
+  rep.stages.scheduleMs += msSince(tSched);
   rep.twill = simulateTwill(*tm, dswp, opts.sim, twillSchedules);
-  if (!rep.twill.ok) {
-    rep.error = "twill simulation failed: " + rep.twill.message;
-    return rep;
-  }
-  if (rep.twill.result != rep.expected) {
-    rep.error = "twill result mismatch";
-    return rep;
-  }
+  if (!acceptTwillOutcome(rep)) return rep;
 
   // Areas (Table 6.2 columns).
   auto hwFns = hwFunctions(dswp);
@@ -152,39 +159,7 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
   rep.areas.twillPlusMicroblaze.brams += PrimitiveAreas::kMicroblazeBrams;
 
   // Power (Fig. 6.1): normalized to pure SW.
-  if (opts.runPureSW && opts.runPureHW) {
-    PowerInputs swIn;
-    swIn.luts = PrimitiveAreas::kMicroblazeLuts;
-    swIn.brams = PrimitiveAreas::kMicroblazeBrams;
-    swIn.hasMicroblaze = true;
-    swIn.totalCycles = rep.sw.cycles;
-    swIn.cpuBusyCycles = rep.sw.cpuBusy;
-    double pSW = estimatePower(swIn);
-
-    PowerInputs hwIn;
-    hwIn.luts = rep.areas.legup.luts;
-    hwIn.dsps = rep.areas.legup.dsps;
-    hwIn.brams = rep.areas.legup.brams;
-    hwIn.totalCycles = rep.hw.cycles;
-    hwIn.hwBusyCycles = rep.hw.hwBusy;
-    double pHW = estimatePower(hwIn);
-
-    PowerInputs twIn;
-    twIn.luts = rep.areas.twillPlusMicroblaze.luts;
-    twIn.dsps = rep.areas.twillPlusMicroblaze.dsps;
-    twIn.brams = rep.areas.twillPlusMicroblaze.brams;
-    twIn.hasMicroblaze = true;
-    twIn.totalCycles = rep.twill.cycles;
-    twIn.cpuBusyCycles = rep.twill.cpuBusy;
-    twIn.hwBusyCycles = rep.twill.hwBusy;
-    twIn.hwThreads = rep.hwThreads ? rep.hwThreads : 1;
-    twIn.busMessages = rep.twill.busMessages + rep.twill.memBusMessages;
-    double pTwill = estimatePower(twIn);
-
-    rep.powerSW = 1.0;
-    rep.powerHW = pSW > 0 ? pHW / pSW : 0;
-    rep.powerTwill = pSW > 0 ? pTwill / pSW : 0;
-  }
+  if (opts.runPureSW && opts.runPureHW) computePower(rep);
 
   if (opts.keepTwillArtifacts) {
     auto art = std::make_shared<TwillArtifacts>();
@@ -196,6 +171,57 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
 
   rep.ok = true;
   return rep;
+}
+
+bool acceptTwillOutcome(BenchmarkReport& rep) {
+  if (!rep.twill.ok) {
+    rep.ok = false;
+    rep.twillSimFailure = true;
+    rep.error = "twill simulation failed: " + rep.twill.message;
+    return false;
+  }
+  if (rep.twill.result != rep.expected) {
+    rep.ok = false;
+    rep.twillSimFailure = true;
+    rep.error = "twill result mismatch";
+    return false;
+  }
+  rep.twillSimFailure = false;
+  return true;
+}
+
+void computePower(BenchmarkReport& rep) {
+  PowerInputs swIn;
+  swIn.luts = PrimitiveAreas::kMicroblazeLuts;
+  swIn.brams = PrimitiveAreas::kMicroblazeBrams;
+  swIn.hasMicroblaze = true;
+  swIn.totalCycles = rep.sw.cycles;
+  swIn.cpuBusyCycles = rep.sw.cpuBusy;
+  double pSW = estimatePower(swIn);
+
+  PowerInputs hwIn;
+  hwIn.luts = rep.areas.legup.luts;
+  hwIn.dsps = rep.areas.legup.dsps;
+  hwIn.brams = rep.areas.legup.brams;
+  hwIn.totalCycles = rep.hw.cycles;
+  hwIn.hwBusyCycles = rep.hw.hwBusy;
+  double pHW = estimatePower(hwIn);
+
+  PowerInputs twIn;
+  twIn.luts = rep.areas.twillPlusMicroblaze.luts;
+  twIn.dsps = rep.areas.twillPlusMicroblaze.dsps;
+  twIn.brams = rep.areas.twillPlusMicroblaze.brams;
+  twIn.hasMicroblaze = true;
+  twIn.totalCycles = rep.twill.cycles;
+  twIn.cpuBusyCycles = rep.twill.cpuBusy;
+  twIn.hwBusyCycles = rep.twill.hwBusy;
+  twIn.hwThreads = rep.hwThreads ? rep.hwThreads : 1;
+  twIn.busMessages = rep.twill.busMessages + rep.twill.memBusMessages;
+  double pTwill = estimatePower(twIn);
+
+  rep.powerSW = 1.0;
+  rep.powerHW = pSW > 0 ? pHW / pSW : 0;
+  rep.powerTwill = pSW > 0 ? pTwill / pSW : 0;
 }
 
 namespace {
@@ -266,6 +292,17 @@ void emitReport(JsonWriter& w, const BenchmarkReport& rep) {
   w.field("hw_vs_sw", rep.speedupHWvsSW());
   w.field("twill_vs_sw", rep.speedupTwillvsSW());
   w.field("twill_vs_hw", rep.speedupTwillvsHW());
+  w.endObject();
+  // Compile-pipeline stage costs. The *_wall_ms suffix keeps the bench gate
+  // value-agnostic about them (machine-dependent), like report_wall_ms.
+  w.key("stages");
+  w.beginObject();
+  w.field("parse_wall_ms", rep.stages.parseMs);
+  w.field("lower_wall_ms", rep.stages.lowerMs);
+  w.field("passes_wall_ms", rep.stages.passesMs);
+  w.field("pdg_wall_ms", rep.stages.pdgMs);
+  w.field("dswp_wall_ms", rep.stages.dswpMs);
+  w.field("schedule_wall_ms", rep.stages.scheduleMs);
   w.endObject();
   w.endObject();
 }

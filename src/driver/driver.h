@@ -51,10 +51,30 @@ struct FlowAreas {
   AreaEstimate twillPlusMicroblaze;
 };
 
+/// Wall clock per compile-pipeline stage for one report (ms). parse/lower
+/// come from the frontend, passes is runDefaultPipeline, pdg is the PDG
+/// construction inside runDswp, dswp is the rest of extraction, schedule is
+/// both scheduleModule calls — the six are disjoint, so they sum to the
+/// report's compile-side cost (simulation excluded).
+struct StageTimes {
+  double parseMs = 0;
+  double lowerMs = 0;
+  double passesMs = 0;
+  double pdgMs = 0;
+  double dswpMs = 0;
+  double scheduleMs = 0;
+};
+
 struct BenchmarkReport {
   std::string name;
   bool ok = false;
   std::string error;
+  /// Set by acceptTwillOutcome when the failure came from the Twill co-sim
+  /// (and so depends on the sim knobs), as opposed to compile/verification/
+  /// pure-flow failures, which depend only on the source and compile knobs.
+  /// The explorer uses this to decide whether a failed configuration says
+  /// anything about its compile-group neighbours.
+  bool twillSimFailure = false;
 
   uint32_t expected = 0;  // golden interpreter result
   SimOutcome sw;
@@ -83,6 +103,8 @@ struct BenchmarkReport {
   double powerHW = 0.0;
   double powerTwill = 0.0;
 
+  StageTimes stages;
+
   // Convenience speedups (Fig. 6.2).
   double speedupHWvsSW() const {
     return hw.cycles ? static_cast<double>(sw.cycles) / static_cast<double>(hw.cycles) : 0;
@@ -99,6 +121,19 @@ struct BenchmarkReport {
 /// simulation failure is reported in `error` with ok=false.
 BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
                              const DriverOptions& opts = {});
+
+/// Recomputes the Fig. 6.1 power fields (powerSW/HW/Twill) from the flow
+/// outcomes, areas and thread counts already on the report. runBenchmark
+/// calls this once all three flows ran; the explorer reuses it when it
+/// re-simulates the Twill flow of a prepared report under a different
+/// SimConfig (the outcomes change, the formula does not).
+void computePower(BenchmarkReport& rep);
+
+/// Validates rep.twill against the golden checksum: on a failed simulation
+/// or a result mismatch, sets ok=false with the canonical error string and
+/// returns false. Shared by runBenchmark and the explorer's artifact-reuse
+/// path so both classify a failing configuration identically.
+bool acceptTwillOutcome(BenchmarkReport& rep);
 
 class JsonWriter;
 

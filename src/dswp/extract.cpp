@@ -7,7 +7,9 @@
 #include <unordered_set>
 
 #include "src/analysis/cfg.h"
+#include "src/exec/core.h"
 #include "src/ir/builder.h"
+#include "src/support/stopwatch.h"
 #include "src/transforms/passes.h"
 
 namespace twill {
@@ -462,7 +464,11 @@ DswpResult runDswp(Module& m, const DswpConfig& config) {
     stats.name = f->name();
 
     PDG pdg;
-    pdg.build(*f);
+    {
+      const auto t0 = stopwatchNow();
+      pdg.build(*f);
+      result.pdgWallMs += msSince(t0);
+    }
 
     PartitionConfig pc;
     pc.swFraction = config.swFraction;
@@ -537,6 +543,11 @@ DswpResult runDswp(Module& m, const DswpConfig& config) {
   // (those have side effects and are never dead).
   runCleanupPipeline(m);
   return result;
+}
+
+void seedSemaphores(const DswpResult& dswp, ChannelIO& chans) {
+  for (const auto& s : dswp.semaphores)
+    if (s.initialCount) chans.trySemRaise(s.id, s.initialCount);
 }
 
 }  // namespace twill

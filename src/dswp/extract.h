@@ -69,6 +69,9 @@ struct DswpResult {
   Function* mainMaster = nullptr;
   bool mainMasterIsHW = false;
   std::vector<FunctionStats> stats;
+  /// Wall clock spent building PDGs (summed over functions); lets the
+  /// driver split the dswp stage into pdg vs extraction in its report.
+  double pdgWallMs = 0;
 
   unsigned totalQueues() const { return static_cast<unsigned>(channels.size()); }
   unsigned totalSemaphores() const { return static_cast<unsigned>(semaphores.size()); }
@@ -88,6 +91,15 @@ struct DswpConfig {
   unsigned minInstructions = 12;
   double swFraction = 0.1;
 };
+
+class ChannelIO;
+
+/// Applies the semaphores' initial counts to a channel implementation. The
+/// cycle-level fabric does this when it is constructed (sim/system.cpp);
+/// functional harnesses (PipelineInterp and test replicas) must do it
+/// explicitly before running an extracted pipeline, or the first overlap
+/// guard `sem.lower` blocks forever and the pipeline reads as deadlocked.
+void seedSemaphores(const DswpResult& dswp, ChannelIO& chans);
 
 /// Runs DSWP over the whole module (bottom-up over the call graph),
 /// replacing each partitioned function with its master + slave functions and

@@ -1,0 +1,21 @@
+#include "src/explore/pareto.h"
+
+namespace twill {
+
+bool dominates(const Objectives& a, const Objectives& b) {
+  if (a.cycles > b.cycles || a.area > b.area || a.power > b.power) return false;
+  return a.cycles < b.cycles || a.area < b.area || a.power < b.power;
+}
+
+std::vector<size_t> paretoFrontier(const std::vector<Objectives>& pts) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < pts.size() && !dominated; ++j)
+      if (j != i && dominates(pts[j], pts[i])) dominated = true;
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace twill

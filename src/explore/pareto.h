@@ -1,0 +1,26 @@
+// Pareto-frontier extraction over the three objectives the thesis trades
+// off (Ch. 6): execution time, configured area, and power. All minimized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace twill {
+
+/// One configuration's objective vector.
+struct Objectives {
+  uint64_t cycles = 0;  // Twill co-simulation cycles
+  uint64_t area = 0;    // LUT + DSP + BRAM of the Twill system (runtime incl.)
+  double power = 0;     // normalized to pure SW (Fig. 6.1 units)
+};
+
+/// True when `a` is at least as good as `b` on every objective and strictly
+/// better on at least one (so equal vectors never dominate each other).
+bool dominates(const Objectives& a, const Objectives& b);
+
+/// Indices of the non-dominated entries, ascending. O(n^2) pairwise
+/// pruning — exploration grids are hundreds of points, not millions.
+std::vector<size_t> paretoFrontier(const std::vector<Objectives>& pts);
+
+}  // namespace twill

@@ -1,0 +1,31 @@
+#include "src/explore/pool.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace twill {
+
+void runIndexedTasks(unsigned jobs, size_t count, const std::function<void(size_t)>& task) {
+  if (count == 0) return;
+  if (jobs <= 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  const size_t workers = std::min<size_t>(jobs, count);
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      task(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) threads.emplace_back(worker);
+  worker();  // the calling thread pulls its weight too
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace twill

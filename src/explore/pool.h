@@ -1,0 +1,22 @@
+// Deterministic fan-out primitive shared by the explorer and bench_main's
+// --jobs mode: a one-shot pool that runs indexed tasks on worker threads.
+//
+// Determinism contract: the pool guarantees only that every index runs
+// exactly once. Callers get run-to-run (and jobs-count-to-jobs-count)
+// determinism by making each task write results solely into its own
+// per-index slot and merging in index order after run() returns — which is
+// how every caller in this repo uses it.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace twill {
+
+/// Runs task(0) .. task(count-1), claiming indices from a shared counter on
+/// min(jobs, count) worker threads. jobs <= 1 runs everything serially in
+/// the calling thread (no threads spawned — the default bench path stays
+/// single-threaded). Tasks must not throw; report failures in-band.
+void runIndexedTasks(unsigned jobs, size_t count, const std::function<void(size_t)>& task);
+
+}  // namespace twill

@@ -1,0 +1,123 @@
+#include "src/explore/space.h"
+
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+
+namespace twill {
+
+std::vector<ConfigPoint> ParamSpace::enumerate() const {
+  std::vector<ConfigPoint> out;
+  out.reserve(size());
+  size_t index = 0;
+  for (unsigned parts : partitions) {
+    for (double frac : swFractions) {
+      for (unsigned cap : queueCapacities) {
+        for (unsigned lat : queueLatencies) {
+          for (unsigned procs : processorCounts) {
+            ConfigPoint p;
+            p.index = index++;
+            p.dswp.numPartitions = parts;
+            p.dswp.swFraction = frac;
+            p.sim.queueCapacity = cap;
+            p.sim.queueLatency = lat;
+            p.sim.numProcessors = procs;
+            out.push_back(p);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool ParamSpace::validate(std::string& error) const {
+  if (partitions.empty() || swFractions.empty() || queueCapacities.empty() ||
+      queueLatencies.empty() || processorCounts.empty()) {
+    error = "every axis needs at least one value";
+    return false;
+  }
+  for (double f : swFractions)
+    if (!std::isfinite(f) || f < 0.0 || f > 1.0) {
+      error = "sw-fraction values must lie in [0,1]";
+      return false;
+    }
+  for (unsigned c : queueCapacities)
+    if (c == 0) {
+      error = "queue-capacity values must be >= 1";
+      return false;
+    }
+  for (unsigned p : processorCounts)
+    if (p == 0) {
+      error = "processor counts must be >= 1";
+      return false;
+    }
+  return true;
+}
+
+namespace {
+
+/// Splits on commas; empty text or empty entries are errors.
+bool splitList(const std::string& text, std::vector<std::string>& out, std::string& error) {
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end == start) {
+      error = "empty entry in list '" + text + "'";
+      return false;
+    }
+    out.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) {
+    error = "empty list";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parseUnsignedAxis(const std::string& text, bool allowZero, std::vector<unsigned>& out,
+                       std::string& error) {
+  std::vector<std::string> items;
+  if (!splitList(text, items, error)) return false;
+  out.clear();
+  for (const auto& item : items) {
+    errno = 0;
+    char* end = nullptr;
+    unsigned long n = std::strtoul(item.c_str(), &end, 10);
+    if (end == item.c_str() || *end != '\0' || item[0] == '-' || errno == ERANGE ||
+        n > UINT_MAX) {
+      error = "'" + item + "' is not an unsigned integer";
+      return false;
+    }
+    if (n == 0 && !allowZero) {
+      error = "'" + item + "' must be >= 1";
+      return false;
+    }
+    out.push_back(static_cast<unsigned>(n));
+  }
+  return true;
+}
+
+bool parseFractionAxis(const std::string& text, std::vector<double>& out, std::string& error) {
+  std::vector<std::string> items;
+  if (!splitList(text, items, error)) return false;
+  out.clear();
+  for (const auto& item : items) {
+    char* end = nullptr;
+    double f = std::strtod(item.c_str(), &end);
+    if (end == item.c_str() || *end != '\0' || !std::isfinite(f) || f < 0.0 || f > 1.0) {
+      error = "'" + item + "' is not a fraction in [0,1]";
+      return false;
+    }
+    out.push_back(f);
+  }
+  return true;
+}
+
+}  // namespace twill

@@ -1,0 +1,64 @@
+// The explorable parameter space: every pipeline knob the thesis's
+// evaluation sweeps by hand (Fig. 6.5 queue latency, Fig. 6.6 queue
+// capacity) plus the ones it fixes (partition count, SW fraction, processor
+// count), as first-class enumerable axes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/dswp/extract.h"
+#include "src/sim/system.h"
+
+namespace twill {
+
+/// One configuration to evaluate: the DSWP + simulation knobs it stands
+/// for, and its position in the space's row-major enumeration (the stable
+/// identity results are merged and reported by).
+struct ConfigPoint {
+  size_t index = 0;
+  DswpConfig dswp;
+  SimConfig sim;
+};
+
+/// The swept axes, each defaulting to the driver's default value so an
+/// unrestricted CLI invocation explores a single sensible point per axis.
+///
+/// Compile axes (partitions, swFractions) change the extracted module;
+/// sim axes (queueCapacities, queueLatencies, processorCounts) only change
+/// the co-simulation. enumerate() is row-major with the compile axes
+/// outermost, so all points sharing a compile configuration are contiguous
+/// — one "compile group" the explorer evaluates per worker task, compiling
+/// once and re-simulating per sim point.
+struct ParamSpace {
+  std::vector<unsigned> partitions = {0};       // DswpConfig::numPartitions (0 = auto)
+  std::vector<double> swFractions = {0.1};      // DswpConfig::swFraction
+  std::vector<unsigned> queueCapacities = {8};  // SimConfig::queueCapacity
+  std::vector<unsigned> queueLatencies = {RuntimeTiming::kQueueOp};
+  std::vector<unsigned> processorCounts = {1};  // SimConfig::numProcessors
+
+  size_t pointsPerGroup() const {
+    return queueCapacities.size() * queueLatencies.size() * processorCounts.size();
+  }
+  size_t groupCount() const { return partitions.size() * swFractions.size(); }
+  size_t size() const { return groupCount() * pointsPerGroup(); }
+
+  /// All points in enumeration order, with index filled in.
+  std::vector<ConfigPoint> enumerate() const;
+
+  /// Empty axes and out-of-range values (capacity/processors 0, fraction
+  /// outside [0,1]) are rejected with a message.
+  bool validate(std::string& error) const;
+};
+
+/// Parses a comma-separated unsigned axis list ("2,8,32"). Rejects empty
+/// entries, junk, and values above UINT_MAX; allowZero gates 0 (valid for
+/// --partitions, invalid for --queue-capacity/--processors).
+bool parseUnsignedAxis(const std::string& text, bool allowZero, std::vector<unsigned>& out,
+                       std::string& error);
+
+/// Parses a comma-separated fraction list ("0.05,0.25,0.5"); each value
+/// must lie in [0,1].
+bool parseFractionAxis(const std::string& text, std::vector<double>& out, std::string& error);
+
+}  // namespace twill

@@ -5,6 +5,7 @@
 
 #include "src/frontend/lexer.h"
 #include "src/frontend/parser.h"
+#include "src/support/stopwatch.h"
 
 namespace twill {
 namespace {
@@ -874,15 +875,20 @@ bool Lowerer::run(const TranslationUnit& tu) {
   return !diag_.hasErrors();
 }
 
-bool compileC(const std::string& source, Module& m, DiagEngine& diag) {
+bool compileC(const std::string& source, Module& m, DiagEngine& diag, CompileTimes* times) {
+  const auto t0 = stopwatchNow();
   Lexer lexer(source, diag);
   std::vector<Token> toks = lexer.tokenize();
   if (diag.hasErrors()) return false;
   Parser parser(std::move(toks), diag);
   TranslationUnit tu = parser.parse();
+  if (times) times->parseMs = msSince(t0);
   if (diag.hasErrors()) return false;
+  const auto t1 = stopwatchNow();
   Lowerer lower(m, diag);
-  return lower.run(tu);
+  bool ok = lower.run(tu);
+  if (times) times->lowerMs = msSince(t1);
+  return ok;
 }
 
 }  // namespace twill

@@ -107,7 +107,15 @@ private:
   int blockCounter_ = 0;
 };
 
+/// Wall-clock cost of the frontend stages, filled by compileC on request
+/// (the driver reports it per benchmark; see BenchmarkReport::stages).
+struct CompileTimes {
+  double parseMs = 0;  // lex + parse
+  double lowerMs = 0;  // AST -> IR lowering
+};
+
 /// Convenience front door: source text -> populated module.
-bool compileC(const std::string& source, Module& m, DiagEngine& diag);
+bool compileC(const std::string& source, Module& m, DiagEngine& diag,
+              CompileTimes* times = nullptr);
 
 }  // namespace twill

@@ -1,0 +1,19 @@
+// Shared wall-clock helper for the per-stage pipeline instrumentation
+// (frontend, DSWP, driver) and the bench harness: one steady_clock
+// convention, milliseconds as double.
+#pragma once
+
+#include <chrono>
+
+namespace twill {
+
+using StopwatchClock = std::chrono::steady_clock;
+
+inline StopwatchClock::time_point stopwatchNow() { return StopwatchClock::now(); }
+
+/// Milliseconds elapsed since `start`.
+inline double msSince(StopwatchClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(StopwatchClock::now() - start).count();
+}
+
+}  // namespace twill

@@ -37,7 +37,7 @@ Prepared prepare(const std::string& src) {
 uint32_t runPipeline(Module& m, const DswpResult& r, bool* ok = nullptr) {
   PipelineInterp pi(m);
   EXPECT_NE(r.mainMaster, nullptr);
-  for (const auto& s : r.semaphores) pi.channels().trySemRaise(s.id, s.initialCount);
+  seedSemaphores(r, pi.channels());
   pi.addThread(r.mainMaster);
   for (const auto& t : r.threads)
     if (t.fn != r.mainMaster) pi.addThread(t.fn);

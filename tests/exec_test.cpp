@@ -176,12 +176,14 @@ struct RefPipelineRun {
   uint64_t totalRetired = 0;
 };
 
-RefPipelineRun runRefPipeline(Module& m, const std::vector<Function*>& fns) {
+RefPipelineRun runRefPipeline(Module& m, const std::vector<Function*>& fns,
+                              const DswpResult* dswp = nullptr) {
   RefPipelineRun out;
   Memory mem(Memory::kDefaultSize);
   Layout lay;
   lay.build(m, mem);
   FunctionalChannels chans;
+  if (dswp) seedSemaphores(*dswp, chans);
   std::vector<std::unique_ptr<RefExecState>> threads;
   for (Function* f : fns) threads.emplace_back(new RefExecState(m, lay, mem, chans, f));
   for (uint64_t round = 0; round < (1ull << 20); ++round) {
@@ -295,9 +297,10 @@ TEST(SuperblockInteractionTest, ChannelOpsMidTrace) {
 // DSWP-extracted kernels are the real stress: produce/consume pairs, memory
 // token queues and overlap-guard semaphores, all mid-trace in persistent
 // slave dispatch loops. Outcomes must agree with the reference replica in
-// full — including extracted sha, whose functional pipeline deadlocks under
-// the burst schedule (a pre-existing property of the overlap-guard protocol
-// that the cycle-level scheduler sidesteps; both engines must agree on it).
+// full. Both harnesses seed the semaphores' initial counts the way the
+// cycle-level fabric does — sha's overlap guard starts at 1, and skipping
+// the seeding (as this suite did before) reads as a pipeline deadlock on
+// the guard's very first sem.lower.
 TEST(SuperblockInteractionTest, DswpPipelinesMatchReferenceScheduler) {
   for (const char* name : {"adpcm", "jpeg", "sha"}) {
     const KernelInfo* k = findKernel(name);
@@ -311,11 +314,13 @@ TEST(SuperblockInteractionTest, DswpPipelinesMatchReferenceScheduler) {
     for (const auto& t : dswp.threads) fns.push_back(t.fn);
     ASSERT_FALSE(fns.empty()) << name;
 
-    RefPipelineRun ref = runRefPipeline(m, fns);
+    RefPipelineRun ref = runRefPipeline(m, fns, &dswp);
 
     PipelineInterp pi(m);
+    seedSemaphores(dswp, pi.channels());
     for (Function* f : fns) pi.addThread(f);
     auto out = pi.run();
+    EXPECT_TRUE(ref.ok) << name;
     EXPECT_EQ(out.ok, ref.ok) << name << ": " << out.message;
     EXPECT_EQ(out.deadlocked, ref.deadlocked) << name;
     if (ref.ok && out.ok) {
@@ -323,6 +328,57 @@ TEST(SuperblockInteractionTest, DswpPipelinesMatchReferenceScheduler) {
       EXPECT_EQ(out.totalRetired, ref.totalRetired) << name;
     }
   }
+}
+
+// Focused regression for the seeding rule itself: a function with two
+// static call sites gets an overlap-guard semaphore with initial count 1.
+// Unseeded functional channels leave the guard at 0, so the pipeline
+// deadlocks on its first sem.lower; seeded, it completes with the golden
+// checksum. Pins both halves so the rule cannot silently regress.
+TEST(SuperblockInteractionTest, OverlapGuardNeedsSeededInitialCount) {
+  // f is large enough to partition (>= 12 instructions) and called twice.
+  const char* src =
+      "int acc[8];\n"
+      "int f(int s) {\n"
+      "  int t = 0;\n"
+      "  for (int i = 0; i < 8; i++) { acc[i] = acc[i] * 3 + s + i; t += acc[i]; }\n"
+      "  for (int i = 0; i < 8; i++) { t ^= acc[i] << (i & 3); }\n"
+      "  return t;\n"
+      "}\n"
+      "int main(void) { int a = f(3); int b = f(a & 15); return a + b; }\n";
+  Module m;
+  DiagEngine diag;
+  ASSERT_TRUE(compileC(src, m, diag)) << diag.str();
+  runDefaultPipeline(m, /*inlineThreshold=*/0);  // keep f out-of-line
+  uint32_t expected;
+  {
+    Interp in(m);
+    expected = in.run("main");
+  }
+  DswpConfig cfg;
+  cfg.numPartitions = 2;
+  DswpResult dswp = runDswp(m, cfg);
+  ASSERT_FALSE(dswp.semaphores.empty()) << "expected an overlap guard";
+  EXPECT_EQ(dswp.semaphores[0].initialCount, 1u);
+  std::vector<Function*> fns;
+  for (const auto& t : dswp.threads) fns.push_back(t.fn);
+
+  RefPipelineRun unseeded = runRefPipeline(m, fns);
+  EXPECT_FALSE(unseeded.ok);
+  EXPECT_TRUE(unseeded.deadlocked);
+
+  RefPipelineRun seeded = runRefPipeline(m, fns, &dswp);
+  EXPECT_TRUE(seeded.ok);
+  EXPECT_FALSE(seeded.deadlocked);
+  EXPECT_EQ(seeded.result, expected);
+
+  PipelineInterp pi(m);
+  seedSemaphores(dswp, pi.channels());
+  for (Function* f : fns) pi.addThread(f);
+  auto out = pi.run();
+  ASSERT_TRUE(out.ok) << out.message;
+  EXPECT_EQ(out.result, expected);
+  EXPECT_EQ(out.totalRetired, seeded.totalRetired);
 }
 
 // Retired counts must agree with the Interp wrapper too (it is the value the

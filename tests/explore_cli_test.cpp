@@ -1,0 +1,124 @@
+// End-to-end tests for the twill-explore CLI and bench_main's --jobs
+// fan-out: spawns the real binaries (paths injected by CMake) and checks
+// that parallel runs reproduce serial output byte for byte.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+#ifndef TWILL_EXPLORE_PATH
+#error "TWILL_EXPLORE_PATH must be defined to the twill-explore binary location"
+#endif
+#ifndef BENCH_MAIN_PATH
+#error "BENCH_MAIN_PATH must be defined to the bench_main binary location"
+#endif
+
+struct RunResult {
+  int exitCode = -1;
+  std::string out;
+};
+
+RunResult run(const std::string& cmd) {
+  RunResult r;
+  std::FILE* p = popen((cmd + " 2>&1").c_str(), "r");
+  if (!p) return r;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), p)) > 0) r.out.append(buf, n);
+  int status = pclose(p);
+  r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string tempPath(const std::string& suffix) {
+  const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+  return testing::TempDir() + "explore_cli_" + info->name() + suffix;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+}
+
+/// Zeroes every *_wall_ms value: the only fields whose bytes legitimately
+/// differ between two runs of the same workload. (Hand-rolled: gcc 12's
+/// <regex> trips -Wmaybe-uninitialized under the sanitizer build.)
+std::string normalizeWalls(const std::string& json) {
+  const std::string marker = "_wall_ms\": ";
+  std::string out;
+  size_t pos = 0;
+  for (;;) {
+    size_t hit = json.find(marker, pos);
+    if (hit == std::string::npos) {
+      out.append(json, pos, std::string::npos);
+      return out;
+    }
+    size_t valueStart = hit + marker.size();
+    out.append(json, pos, valueStart - pos);
+    out.push_back('0');
+    pos = valueStart;
+    while (pos < json.size() && std::string("+-.eE0123456789").find(json[pos]) != std::string::npos)
+      ++pos;
+  }
+}
+
+const char* kTinyGrid = " --kernel mips --partitions 0,2 --queue-capacity 2,8";
+
+TEST(TwillExploreCliTest, JobsTwoMatchesSerialByteForByte) {
+  std::string out1 = tempPath("_j1.json");
+  std::string out2 = tempPath("_j2.json");
+  RunResult r1 = run(std::string(TWILL_EXPLORE_PATH) + kTinyGrid + " --jobs 1 --out " + out1);
+  ASSERT_EQ(r1.exitCode, 0) << r1.out;
+  RunResult r2 = run(std::string(TWILL_EXPLORE_PATH) + kTinyGrid + " --jobs 2 --out " + out2);
+  ASSERT_EQ(r2.exitCode, 0) << r2.out;
+  std::string a = slurp(out1), b = slurp(out2);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "twill-explore output must not depend on --jobs";
+  // And the grid actually ran: 4 points, a non-empty frontier.
+  EXPECT_NE(a.find("\"points\""), std::string::npos);
+  EXPECT_NE(a.find("\"frontier\""), std::string::npos);
+  EXPECT_NE(a.find("\"points_ok\": 4"), std::string::npos) << a;
+}
+
+TEST(TwillExploreCliTest, WritesCsv) {
+  std::string csv = tempPath(".csv");
+  RunResult r = run(std::string(TWILL_EXPLORE_PATH) +
+                    " --kernel mips --queue-capacity 2,8 --out /dev/null --csv " + csv);
+  ASSERT_EQ(r.exitCode, 0) << r.out;
+  std::string contents = slurp(csv);
+  EXPECT_EQ(contents.compare(0, 6, "kernel"), 0) << contents;
+  size_t lines = 0;
+  for (char c : contents) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 3u) << contents;  // header + 2 points
+  EXPECT_NE(contents.find("mips,0,"), std::string::npos);
+}
+
+TEST(TwillExploreCliTest, BadUsageExitsWithTwo) {
+  EXPECT_EQ(run(std::string(TWILL_EXPLORE_PATH) + " --kernel no_such_kernel").exitCode, 2);
+  EXPECT_EQ(run(std::string(TWILL_EXPLORE_PATH) + " --queue-capacity 0").exitCode, 2);
+  EXPECT_EQ(run(std::string(TWILL_EXPLORE_PATH) + " --sw-fraction 7").exitCode, 2);
+  EXPECT_EQ(run(std::string(TWILL_EXPLORE_PATH) + " --jobs x").exitCode, 2);
+  EXPECT_EQ(run(std::string(TWILL_EXPLORE_PATH) + " --definitely-not-a-flag").exitCode, 2);
+}
+
+TEST(BenchMainCliTest, JobsTwoMatchesSerialModuloWallClock) {
+  std::string out1 = tempPath("_serial.json");
+  std::string out2 = tempPath("_j2.json");
+  RunResult r1 = run(std::string(BENCH_MAIN_PATH) + " --quick --out " + out1);
+  ASSERT_EQ(r1.exitCode, 0) << r1.out;
+  RunResult r2 = run(std::string(BENCH_MAIN_PATH) + " --quick --jobs 2 --out " + out2);
+  ASSERT_EQ(r2.exitCode, 0) << r2.out;
+  std::string a = slurp(out1), b = slurp(out2);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(normalizeWalls(a), normalizeWalls(b))
+      << "bench_main reports must not depend on --jobs";
+  // Wall fields exist (the normalization had something to do).
+  EXPECT_NE(a.find("_wall_ms"), std::string::npos);
+}
+
+}  // namespace

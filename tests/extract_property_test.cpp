@@ -132,7 +132,7 @@ TEST_P(RandomExtraction, PipelineEqualsReferenceAndDrainsQueues) {
     ASSERT_TRUE(verifyModule(m2, vd)) << vd.str();
 
     PipelineInterp pi(m2);
-    for (const auto& s : r.semaphores) pi.channels().trySemRaise(s.id, s.initialCount);
+    seedSemaphores(r, pi.channels());
     pi.addThread(r.mainMaster);
     for (const auto& t : r.threads)
       if (t.fn != r.mainMaster) pi.addThread(t.fn);

@@ -83,7 +83,7 @@ TEST_P(KernelParam, DswpPipelineChecksum) {
   DiagEngine vd;
   ASSERT_TRUE(verifyModule(m, vd)) << vd.str();
   PipelineInterp pi(m);
-  for (const auto& s : r.semaphores) pi.channels().trySemRaise(s.id, s.initialCount);
+  seedSemaphores(r, pi.channels());
   pi.addThread(r.mainMaster);
   for (const auto& t : r.threads)
     if (t.fn != r.mainMaster) pi.addThread(t.fn);

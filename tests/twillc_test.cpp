@@ -3,10 +3,13 @@
 // human-readable report, and the shape of the --json output.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include <sys/wait.h>
 
@@ -212,9 +215,24 @@ TEST(TwillcTest, HelpAndListKernels) {
   RunResult help = runTwillc("--help");
   EXPECT_EQ(help.exitCode, 0);
   EXPECT_NE(help.out.find("usage: twillc"), std::string::npos);
+}
+
+TEST(TwillcTest, ListKernelsPrintsAllEightOnePerLine) {
   RunResult list = runTwillc("--list-kernels");
-  EXPECT_EQ(list.exitCode, 0);
-  EXPECT_NE(list.out.find("mips"), std::string::npos) << list.out;
+  ASSERT_EQ(list.exitCode, 0);
+  // One line per kernel, the name as the first token, thesis table order.
+  const char* expected[] = {"adpcm", "aes", "blowfish", "gsm", "jpeg", "mips", "mpeg2", "sha"};
+  std::vector<std::string> firstTokens;
+  std::istringstream lines(list.out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    firstTokens.push_back(line.substr(0, line.find_first_of(" \t")));
+  }
+  ASSERT_EQ(firstTokens.size(), 8u) << list.out;
+  std::vector<std::string> sorted = firstTokens;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(sorted[i], expected[i]) << list.out;
 }
 
 }  // namespace

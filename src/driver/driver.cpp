@@ -8,17 +8,20 @@
 #include "src/ir/verifier.h"
 #include "src/support/json.h"
 #include "src/support/stopwatch.h"
+#include "src/verify/partition_verifier.h"
 
 namespace twill {
 namespace {
 
 std::unique_ptr<Module> compileAndOptimize(const std::string& source, unsigned inlineThreshold,
-                                           std::string& error, StageTimes& stages) {
+                                           std::string& error, StageTimes& stages,
+                                           FailureKind& kind) {
   auto m = std::make_unique<Module>();
   DiagEngine diag;
   CompileTimes ct;
   if (!compileC(source, *m, diag, &ct)) {
     error = "compile failed:\n" + diag.str();
+    kind = FailureKind::Compile;
     return nullptr;
   }
   stages.parseMs = ct.parseMs;
@@ -29,6 +32,7 @@ std::unique_ptr<Module> compileAndOptimize(const std::string& source, unsigned i
   DiagEngine vd;
   if (!verifyModule(*m, vd)) {
     error = "verification failed after optimization:\n" + vd.str();
+    kind = FailureKind::Verify;
     return nullptr;
   }
   return m;
@@ -68,47 +72,56 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
                              const DriverOptions& opts) {
   BenchmarkReport rep;
   rep.name = name;
-  rep.ranSW = opts.runPureSW;
-  rep.ranHW = opts.runPureHW;
-  rep.ranTwill = opts.runTwill;
+  // --verify-only stops after extraction + verification; no flow runs.
+  const bool verifyOnly = opts.verifyOnly;
+  rep.ranSW = opts.runPureSW && !verifyOnly;
+  rep.ranHW = opts.runPureHW && !verifyOnly;
+  rep.ranTwill = opts.runTwill && !verifyOnly;
 
   // --- Baseline module (pure SW, pure HW, golden reference) -----------------
   std::unique_ptr<Module> base =
-      compileAndOptimize(source, opts.inlineThreshold, rep.error, rep.stages);
+      compileAndOptimize(source, opts.inlineThreshold, rep.error, rep.stages, rep.failureKind);
   if (!base) return rep;
-  {
+  if (!verifyOnly) {
     Interp in(*base);
     rep.expected = in.run("main");
   }
-  if (opts.runPureSW) {
+  if (rep.ranSW) {
     rep.sw = simulatePureSW(*base, opts.sim);
     if (!rep.sw.ok) {
       rep.error = "pure-SW simulation failed: " + rep.sw.message;
+      rep.failureKind = FailureKind::Sim;
       return rep;
     }
     if (rep.sw.result != rep.expected) {
       rep.error = "pure-SW result mismatch";
+      rep.failureKind = FailureKind::Sim;
       return rep;
     }
   }
-  auto tSched = stopwatchNow();
-  ScheduleMap baseSchedules = scheduleModule(*base, opts.hls);
-  rep.stages.scheduleMs += msSince(tSched);
-  if (opts.runPureHW) {
+  ScheduleMap baseSchedules;
+  if (!verifyOnly) {
+    auto tSched = stopwatchNow();
+    baseSchedules = scheduleModule(*base, opts.hls);
+    rep.stages.scheduleMs += msSince(tSched);
+  }
+  if (rep.ranHW) {
     rep.hw = simulatePureHW(*base, baseSchedules, opts.sim);
     if (!rep.hw.ok) {
       rep.error = "pure-HW simulation failed: " + rep.hw.message;
+      rep.failureKind = FailureKind::Sim;
       return rep;
     }
     if (rep.hw.result != rep.expected) {
       rep.error = "pure-HW result mismatch";
+      rep.failureKind = FailureKind::Sim;
       return rep;
     }
     for (auto& [fn, sched] : baseSchedules) rep.areas.legup += sched.area;
     rep.areas.legup.brams += bramBlocksForGlobals(*base);
   }
 
-  if (!opts.runTwill) {
+  if (!opts.runTwill && !verifyOnly) {
     rep.ok = true;  // SW/HW-only run: nothing failed
     return rep;
   }
@@ -127,6 +140,23 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
     DiagEngine vd;
     if (!verifyModule(*tm, vd)) {
       rep.error = "verification failed after DSWP:\n" + vd.str();
+      rep.failureKind = FailureKind::Verify;
+      return rep;
+    }
+  }
+  if (opts.unseedSemaphores)
+    for (auto& sem : dswp.semaphores) sem.initialCount = 0;
+  if (opts.verifyPartition || verifyOnly) {
+    DiagEngine vd;
+    if (!verifyPartition(*tm, dswp, vd)) {
+      rep.error = "partition verification failed:\n" + vd.str();
+      rep.failureKind = FailureKind::Verify;
+      for (const auto& d : vd.all()) {
+        const char* kind = d.kind == DiagKind::Error     ? "error"
+                           : d.kind == DiagKind::Warning ? "warning"
+                                                         : "note";
+        rep.verifyDiagnostics.push_back(std::string(kind) + ": " + d.message);
+      }
       return rep;
     }
   }
@@ -136,11 +166,16 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
   for (const auto& t : dswp.threads)
     if (!t.isHW) ++rep.swThreads;
 
+  if (verifyOnly) {
+    rep.ok = true;  // compile + extraction + verification all clean
+    return rep;
+  }
+
   // Schedule cache: the baseline module was already scheduled above, and
   // DSWP only adds master/slave functions and redirects call sites in the
   // survivors — their schedules are reused the way SimProgram shares
   // decodes, so each function is scheduled once per report, not per flow.
-  tSched = stopwatchNow();
+  const auto tSched = stopwatchNow();
   ScheduleMap twillSchedules = scheduleModule(*tm, opts.hls, baseSchedules);
   rep.stages.scheduleMs += msSince(tSched);
   rep.twill = simulateTwill(*tm, dswp, opts.sim, twillSchedules);
@@ -177,17 +212,30 @@ bool acceptTwillOutcome(BenchmarkReport& rep) {
   if (!rep.twill.ok) {
     rep.ok = false;
     rep.twillSimFailure = true;
+    rep.failureKind = FailureKind::Sim;
     rep.error = "twill simulation failed: " + rep.twill.message;
     return false;
   }
   if (rep.twill.result != rep.expected) {
     rep.ok = false;
     rep.twillSimFailure = true;
+    rep.failureKind = FailureKind::Sim;
     rep.error = "twill result mismatch";
     return false;
   }
   rep.twillSimFailure = false;
+  rep.failureKind = FailureKind::None;
   return true;
+}
+
+const char* failureKindName(FailureKind k) {
+  switch (k) {
+    case FailureKind::Compile: return "compile";
+    case FailureKind::Verify: return "verify";
+    case FailureKind::Sim: return "sim";
+    case FailureKind::None: break;
+  }
+  return "none";
 }
 
 void computePower(BenchmarkReport& rep) {
@@ -260,6 +308,17 @@ void emitReport(JsonWriter& w, const BenchmarkReport& rep) {
   w.field("name", rep.name);
   w.field("ok", rep.ok);
   if (!rep.error.empty()) w.field("error", rep.error);
+  // Failure classification and verifier findings appear only on failed
+  // reports, so passing documents (the bench baseline) are byte-identical
+  // to the pre-verifier format.
+  if (rep.failureKind != FailureKind::None)
+    w.field("failure_kind", failureKindName(rep.failureKind));
+  if (!rep.verifyDiagnostics.empty()) {
+    w.key("verify_diagnostics");
+    w.beginArray();
+    for (const auto& line : rep.verifyDiagnostics) w.value(line);
+    w.endArray();
+  }
   w.field("result", static_cast<uint64_t>(rep.expected));
   w.key("flows");
   w.beginObject();

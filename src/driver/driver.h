@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/dswp/extract.h"
 #include "src/model/power.h"
@@ -35,7 +36,29 @@ struct DriverOptions {
   /// Keep the extracted module, DSWP result and schedules on the report so
   /// callers (bench sweeps) can re-simulate without re-compiling.
   bool keepTwillArtifacts = false;
+  /// Run the static partition verifier (src/verify) over the extracted
+  /// module before spending any cycles simulating it. Failures are
+  /// classified FailureKind::Verify, like compile failures a property of the
+  /// source + compile knobs, never of the sim knobs.
+  bool verifyPartition = true;
+  /// Stop after extraction + partition verification: no scheduling, no
+  /// simulation, no pure flows (twillc --verify-only).
+  bool verifyOnly = false;
+  /// Debug hook: zero every semaphore's initial count after extraction,
+  /// re-introducing the historical unseeded-initial-count bug shape that
+  /// seedSemaphores() fixed, so the verification failure path can be
+  /// exercised end to end from the CLI and tests.
+  bool unseedSemaphores = false;
 };
+
+/// Coarse classification of a failed run. Pinned to the twillc/twill-explore
+/// exit codes so twilld and CI can dispatch on them: success exits 0,
+/// Compile exits 1, Verify (IR or partition protocol) exits 3, Sim exits 4
+/// (2 is reserved for CLI usage errors).
+enum class FailureKind : uint8_t { None, Compile, Verify, Sim };
+
+/// Stable lower-case name ("compile", "verify", "sim") for reports.
+const char* failureKindName(FailureKind k);
 
 /// The compiled products of the Twill flow, retained on request.
 struct TwillArtifacts {
@@ -75,6 +98,12 @@ struct BenchmarkReport {
   /// The explorer uses this to decide whether a failed configuration says
   /// anything about its compile-group neighbours.
   bool twillSimFailure = false;
+  /// What class of step failed (None while ok); see the enum for the exit
+  /// code contract.
+  FailureKind failureKind = FailureKind::None;
+  /// Rendered partition-verifier diagnostics ("error: ...", "note: ..."),
+  /// filled only when verification fails so passing reports are unchanged.
+  std::vector<std::string> verifyDiagnostics;
 
   uint32_t expected = 0;  // golden interpreter result
   SimOutcome sw;

@@ -9,6 +9,7 @@
 #include "src/analysis/cfg.h"
 #include "src/exec/core.h"
 #include "src/ir/builder.h"
+#include "src/ir/verifier.h"
 #include "src/support/stopwatch.h"
 #include "src/transforms/passes.h"
 
@@ -542,6 +543,7 @@ DswpResult runDswp(Module& m, const DswpConfig& config) {
   // simplifycfg/constfold/dce remove without touching produce/consume pairs
   // (those have side effects and are never dead).
   runCleanupPipeline(m);
+  verifyAfterPass(m, "dswp-extract");
   return result;
 }
 

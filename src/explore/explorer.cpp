@@ -25,6 +25,7 @@ DriverOptions optionsFor(const ExploreRequest& req, const ConfigPoint& point) {
   opts.hls = req.hls;
   opts.dswp = point.dswp;
   opts.sim = point.sim;
+  opts.unseedSemaphores = req.unseedSemaphores;
   return opts;
 }
 

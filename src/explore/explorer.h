@@ -36,6 +36,9 @@ struct ExploreRequest {
   ParamSpace space;
   unsigned inlineThreshold = 100;
   HlsConstraints hls;
+  /// Debug hook forwarded to DriverOptions: re-introduce the unseeded
+  /// initial-count bug shape so verification-failure pruning is testable.
+  bool unseedSemaphores = false;
 };
 
 /// One evaluated configuration.

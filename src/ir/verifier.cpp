@@ -1,6 +1,10 @@
 #include "src/ir/verifier.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -307,6 +311,50 @@ std::string verifyToString(Module& m) {
   DiagEngine diag;
   verifyModule(m, diag);
   return diag.str();
+}
+
+namespace {
+
+/// -1 = follow the environment, 0/1 = forced. Relaxed atomics suffice: the
+/// explorer's workers only ever read a value set before the pool started.
+std::atomic<int> gVerifyAfterPasses{-1};
+
+bool envEnablesVerify() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("TWILL_VERIFY_IR");
+    return v && *v && std::strcmp(v, "0") != 0;
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool verifyAfterPassesEnabled() {
+  const int forced = gVerifyAfterPasses.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  return envEnablesVerify();
+}
+
+void setVerifyAfterPasses(int enabled) {
+  gVerifyAfterPasses.store(enabled < 0 ? -1 : (enabled ? 1 : 0), std::memory_order_relaxed);
+}
+
+void verifyAfterPass(Module& m, const char* passName) {
+  if (!verifyAfterPassesEnabled()) return;
+  DiagEngine diag;
+  if (verifyModule(m, diag)) return;
+  std::fprintf(stderr, "TWILL_VERIFY_IR: IR broken after pass '%s':\n%s", passName,
+               diag.str().c_str());
+  std::abort();
+}
+
+void verifyAfterPass(Function& f, const char* passName) {
+  if (!verifyAfterPassesEnabled()) return;
+  DiagEngine diag;
+  if (verifyFunction(f, diag)) return;
+  std::fprintf(stderr, "TWILL_VERIFY_IR: IR broken in [%s] after pass '%s':\n%s",
+               f.name().c_str(), passName, diag.str().c_str());
+  std::abort();
 }
 
 }  // namespace twill

@@ -9,6 +9,7 @@
 #include "src/analysis/loopinfo.h"
 #include "src/ir/builder.h"
 #include "src/ir/eval.h"
+#include "src/ir/verifier.h"
 #include "src/transforms/passes.h"
 
 namespace twill {
@@ -465,31 +466,47 @@ bool loopSimplify(Function& f, Module& m) {
 void runDefaultPipeline(Module& m, unsigned inlineThreshold) {
   // §5.1 order: simplifycfg / mem2reg / mergereturn / lowerswitch / inline /
   // simplifycfg / gvn-ish folding / adce / loop-simplify, then the custom
-  // globals pass and cleanups (§5.2).
+  // globals pass and cleanups (§5.2). Under TWILL_VERIFY_IR every pass is
+  // followed by a full structural/SSA verification of what it touched.
   for (auto& f : m.functions()) {
     simplifyCFG(*f);
+    verifyAfterPass(*f, "simplifycfg");
     mem2reg(*f);
+    verifyAfterPass(*f, "mem2reg");
     mergeReturns(*f, m);
+    verifyAfterPass(*f, "mergereturn");
     lowerSwitch(*f, m);
+    verifyAfterPass(*f, "lowerswitch");
   }
   inlineFunctions(m, inlineThreshold);
+  verifyAfterPass(m, "inline");
   removeDeadFunctions(m);
+  verifyAfterPass(m, "remove-dead-functions");
   for (auto& f : m.functions()) {
     simplifyCFG(*f);
+    verifyAfterPass(*f, "simplifycfg");
     mem2reg(*f);  // inlining exposes new promotable allocas
+    verifyAfterPass(*f, "mem2reg");
     constantFold(*f, m);
+    verifyAfterPass(*f, "constant-fold");
     dce(*f);
+    verifyAfterPass(*f, "dce");
     simplifyCFG(*f);
     constantFold(*f, m);
     dce(*f);
+    verifyAfterPass(*f, "simplifycfg+fold+dce");
   }
   globalsToArgs(m);
+  verifyAfterPass(m, "globals-to-args");
   for (auto& f : m.functions()) {
     constantFold(*f, m);
     dce(*f);
     simplifyCFG(*f);
+    verifyAfterPass(*f, "fold+dce+simplifycfg");
     loopSimplify(*f, m);
+    verifyAfterPass(*f, "loop-simplify");
     mergeReturns(*f, m);  // loop-simplify cannot add returns, but stay safe
+    verifyAfterPass(*f, "mergereturn");
   }
 }
 
@@ -499,6 +516,7 @@ void runCleanupPipeline(Module& m) {
     constantFold(*f, m);
     dce(*f);
     simplifyCFG(*f);
+    verifyAfterPass(*f, "cleanup");
   }
 }
 

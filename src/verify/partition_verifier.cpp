@@ -1,0 +1,828 @@
+#include "src/verify/partition_verifier.h"
+
+#include <algorithm>
+#include <cctype>
+#include <climits>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/domtree.h"
+#include "src/analysis/loopinfo.h"
+
+namespace twill {
+namespace {
+
+struct Site {
+  Function* fn = nullptr;
+  Instruction* inst = nullptr;
+};
+
+/// "[fn] block 'name'" provenance prefix shared by all diagnostics, matching
+/// the IR verifier's "[fn]" convention.
+std::string at(const Instruction* inst) {
+  return "[" + inst->parent()->parent()->name() + "] block '" + inst->parent()->name() + "'";
+}
+
+std::string channelDesc(const ChannelInfo* ch, int id) {
+  std::string s = "channel " + std::to_string(id);
+  if (ch && !ch->note.empty()) s += " (" + ch->note + ")";
+  return s;
+}
+
+std::string semDesc(const SemaphoreInfo* sem, int id) {
+  std::string s = "semaphore " + std::to_string(id);
+  if (sem && !sem->note.empty()) s += " (" + sem->note + ")";
+  return s;
+}
+
+/// Everything the three analyses need, gathered in one scan of the module:
+/// produce/consume/raise/lower sites keyed by id, the info tables keyed by
+/// id, and the thread structure.
+struct ModuleIndex {
+  std::map<int, std::vector<Site>> produces, consumes, raises, lowers;
+  std::unordered_map<int, const ChannelInfo*> channelById;
+  std::unordered_map<int, const SemaphoreInfo*> semById;
+  std::unordered_set<Function*> slaveFns;
+  std::unordered_map<Function*, std::string> threadName;  // thread root -> origin
+};
+
+ModuleIndex buildIndex(Module& m, const DswpResult& dswp, DiagEngine& diag) {
+  ModuleIndex idx;
+  for (const auto& ch : dswp.channels) idx.channelById[ch.id] = &ch;
+  for (const auto& sem : dswp.semaphores) idx.semById[sem.id] = &sem;
+  for (const auto& t : dswp.threads) {
+    idx.threadName[t.fn] = t.origin;
+    if (t.isSlave) idx.slaveFns.insert(t.fn);
+  }
+  for (auto& f : m.functions()) {
+    for (auto& bb : f->blocks()) {
+      for (auto& inst : *bb) {
+        const int id = inst->channel();
+        switch (inst->op()) {
+          case Opcode::Produce:
+          case Opcode::Consume: {
+            auto& sites = inst->op() == Opcode::Produce ? idx.produces : idx.consumes;
+            sites[id].push_back({f.get(), inst.get()});
+            if (!idx.channelById.count(id))
+              diag.error({}, at(inst.get()) + ": " + opcodeName(inst->op()) +
+                                 " references unknown channel " + std::to_string(id));
+            break;
+          }
+          case Opcode::SemRaise:
+          case Opcode::SemLower: {
+            auto& sites = inst->op() == Opcode::SemRaise ? idx.raises : idx.lowers;
+            sites[id].push_back({f.get(), inst.get()});
+            if (!idx.semById.count(id))
+              diag.error({}, at(inst.get()) + ": " + opcodeName(inst->op()) +
+                                 " references unknown semaphore " + std::to_string(id));
+            break;
+          }
+          default: break;
+        }
+      }
+    }
+  }
+  return idx;
+}
+
+// ---------------------------------------------------------------------------
+// (a) Endpoint discipline.
+//
+// Channels are point-to-point queues: exactly one function produces, exactly
+// one consumes, and they differ. The check runs at function (not thread)
+// granularity because a callee master executes inline in every calling
+// thread — its produce sites legitimately run under several threads, but
+// always from the same static function.
+// ---------------------------------------------------------------------------
+
+std::set<Function*> siteFns(const std::vector<Site>& sites) {
+  std::set<Function*> fns;
+  for (const Site& s : sites) fns.insert(s.fn);
+  return fns;
+}
+
+std::string fnList(const std::set<Function*>& fns) {
+  std::string out;
+  for (Function* f : fns) {
+    if (!out.empty()) out += ", ";
+    out += "[" + f->name() + "]";
+  }
+  return out;
+}
+
+/// Channels that pass the endpoint rules, mapped to their unique
+/// (producer, consumer) pair; only these are worth balance-checking.
+std::map<int, std::pair<Function*, Function*>> checkEndpoints(const ModuleIndex& idx,
+                                                              const DswpResult& dswp,
+                                                              DiagEngine& diag) {
+  std::map<int, std::pair<Function*, Function*>> clean;
+  for (const auto& ch : dswp.channels) {
+    auto pi = idx.produces.find(ch.id);
+    auto ci = idx.consumes.find(ch.id);
+    const bool hasProd = pi != idx.produces.end() && !pi->second.empty();
+    const bool hasCons = ci != idx.consumes.end() && !ci->second.empty();
+    if (!hasProd && !hasCons) {
+      diag.warning({}, channelDesc(&ch, ch.id) + " has no produce or consume sites");
+      continue;
+    }
+    if (!hasProd) {
+      diag.error({}, at(ci->second.front().inst) + ": consumes " + channelDesc(&ch, ch.id) +
+                         " which no function produces; the consume can never unblock");
+      continue;
+    }
+    if (!hasCons) {
+      diag.error({}, at(pi->second.front().inst) + ": produces " + channelDesc(&ch, ch.id) +
+                         " which no function consumes; the queue fills and the produce blocks");
+      continue;
+    }
+    std::set<Function*> prodFns = siteFns(pi->second);
+    std::set<Function*> consFns = siteFns(ci->second);
+    bool ok = true;
+    if (prodFns.size() > 1) {
+      diag.error({}, channelDesc(&ch, ch.id) + " is produced by " +
+                         std::to_string(prodFns.size()) + " functions (" + fnList(prodFns) +
+                         "); DSWP queues are point-to-point");
+      ok = false;
+    }
+    if (consFns.size() > 1) {
+      diag.error({}, channelDesc(&ch, ch.id) + " is consumed by " +
+                         std::to_string(consFns.size()) + " functions (" + fnList(consFns) +
+                         "); DSWP queues are point-to-point");
+      ok = false;
+    }
+    if (ok && *prodFns.begin() == *consFns.begin()) {
+      diag.error({}, "[" + (*prodFns.begin())->name() + "] both produces and consumes " +
+                         channelDesc(&ch, ch.id) +
+                         "; a queue endpoint pair must span two threads");
+      ok = false;
+    }
+    if (ok) clean[ch.id] = {*prodFns.begin(), *consFns.begin()};
+  }
+  return clean;
+}
+
+// ---------------------------------------------------------------------------
+// Loop context shared by the balance analyses.
+//
+// A slave runs `for(;;){ consume(start); body; produce(done); }`, so its
+// per-invocation region is the dispatch loop's body, not the whole function;
+// the dispatch loop itself (found as the outermost loop around the
+// start-channel consume) is excluded from every loop chain. Loops are
+// matched across partitions by their replicated header names with the
+// extractor's ".p<N>" suffix stripped (control replication clones blocks
+// under the same base name, and cleanup keeps header names because headers
+// retain >= 2 predecessors for as long as the loop exists).
+// ---------------------------------------------------------------------------
+
+struct FnLoops {
+  Function* fn = nullptr;
+  DomTree dom;
+  LoopInfo loops;
+  Loop* dispatch = nullptr;  // slaves only; null when not found
+  bool isSlave = false;
+  std::vector<BasicBlock*> rets;  // blocks ending in Ret
+};
+
+std::string stripPartitionSuffix(const std::string& name) {
+  const size_t pos = name.rfind(".p");
+  if (pos == std::string::npos || pos + 2 >= name.size()) return name;
+  for (size_t i = pos + 2; i < name.size(); ++i)
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return name;
+  return name.substr(0, pos);
+}
+
+class LoopContextCache {
+public:
+  LoopContextCache(const ModuleIndex& idx) : idx_(idx) {}
+
+  const FnLoops& get(Function* f) {
+    auto it = cache_.find(f);
+    if (it != cache_.end()) return *it->second;
+    auto fl = std::make_unique<FnLoops>();
+    fl->fn = f;
+    fl->dom.build(*f, /*postDom=*/false);
+    fl->loops.build(*f, fl->dom);
+    fl->isSlave = idx_.slaveFns.count(f) != 0;
+    for (auto& bb : f->blocks()) {
+      Instruction* term = bb->terminator();
+      if (term && term->op() == Opcode::Ret) fl->rets.push_back(bb.get());
+      if (!fl->isSlave || fl->dispatch) continue;
+      for (auto& inst : *bb) {
+        if (inst->op() != Opcode::Consume) continue;
+        auto ci = idx_.channelById.find(inst->channel());
+        if (ci == idx_.channelById.end() || ci->second->purpose != ChannelInfo::Purpose::Start)
+          continue;
+        Loop* l = fl->loops.loopFor(bb.get());
+        while (l && l->parent) l = l->parent;
+        fl->dispatch = l;
+        break;
+      }
+    }
+    const FnLoops& ref = *fl;
+    cache_[f] = std::move(fl);
+    return ref;
+  }
+
+private:
+  const ModuleIndex& idx_;
+  std::unordered_map<Function*, std::unique_ptr<FnLoops>> cache_;
+};
+
+/// Loops enclosing `l` from outermost to innermost (inclusive), relative to
+/// the function's per-invocation region. Returns false when the chain cannot
+/// be made relative (a slave loop outside its dispatch loop runs once ever,
+/// not once per invocation).
+bool loopChain(const FnLoops& fl, Loop* l, std::vector<Loop*>& out) {
+  out.clear();
+  bool sawDispatch = fl.dispatch == nullptr;
+  for (Loop* cur = l; cur; cur = cur->parent) {
+    if (cur == fl.dispatch) {
+      sawDispatch = true;
+      break;
+    }
+    out.push_back(cur);
+  }
+  if (fl.isSlave && !sawDispatch) return false;
+  std::reverse(out.begin(), out.end());
+  return true;
+}
+
+bool blockChain(const FnLoops& fl, BasicBlock* bb, std::vector<Loop*>& out) {
+  Loop* l = fl.loops.loopFor(bb);
+  if (!l && fl.isSlave) return false;  // outside the dispatch loop entirely
+  return loopChain(fl, l, out);
+}
+
+std::string chainKey(const std::vector<Loop*>& chain) {
+  std::string key;
+  for (Loop* l : chain) {
+    if (!key.empty()) key += "/";
+    key += stripPartitionSuffix(l->header->name());
+  }
+  return key;
+}
+
+/// True when `bb` executes exactly once per iteration of its region: inside
+/// a loop, it must dominate every latch (each completed iteration passes
+/// it); at region level it must dominate every region exit.
+bool unconditionalInRegion(const FnLoops& fl, BasicBlock* bb, const std::vector<Loop*>& chain) {
+  if (!chain.empty()) {
+    Loop* inner = chain.back();
+    for (BasicBlock* latch : inner->latches())
+      if (!fl.dom.dominates(bb, latch)) return false;
+    return true;
+  }
+  if (fl.isSlave) {
+    if (!fl.dispatch) return false;
+    for (BasicBlock* latch : fl.dispatch->latches())
+      if (!fl.dom.dominates(bb, latch)) return false;
+    return true;
+  }
+  for (BasicBlock* ret : fl.rets)
+    if (!fl.dom.dominates(bb, ret)) return false;
+  return !fl.rets.empty();
+}
+
+// ---------------------------------------------------------------------------
+// (b1) Channel token balance.
+//
+// For one channel with its unique producer P and consumer C: attribute every
+// site to the base-name path of its enclosing relative loops, pin each
+// attribution to a constant per-iteration count when the site is
+// unconditional, and flag matched loops whose constants disagree. A delta
+// the analysis cannot pin (conditional site, loop present on only one side
+// after per-partition cleanup, ambiguous names) is skipped, never reported
+// — incomplete by design so extractor output is never falsely rejected.
+// ---------------------------------------------------------------------------
+
+struct Delta {
+  long count = 0;
+  bool varies = false;
+  Instruction* site = nullptr;  // representative, for provenance
+};
+
+struct SideDeltas {
+  std::map<std::string, Delta> byKey;
+  bool analyzable = true;
+};
+
+SideDeltas collectDeltas(const FnLoops& fl, const std::vector<Site>& sites) {
+  SideDeltas side;
+  for (const Site& s : sites) {
+    if (s.fn != fl.fn) continue;
+    std::vector<Loop*> chain;
+    if (!blockChain(fl, s.inst->parent(), chain)) {
+      side.analyzable = false;
+      return side;
+    }
+    Delta& d = side.byKey[chainKey(chain)];
+    if (!d.site) d.site = s.inst;
+    if (unconditionalInRegion(fl, s.inst->parent(), chain))
+      d.count += 1;
+    else
+      d.varies = true;
+  }
+  return side;
+}
+
+/// Relative-loop keys of a function mapped to how many distinct loops carry
+/// each key (a duplicated key cannot be matched unambiguously).
+std::map<std::string, int> relativeLoopKeys(const FnLoops& fl) {
+  std::map<std::string, int> keys;
+  for (const auto& l : fl.loops.loops()) {
+    if (l.get() == fl.dispatch) continue;
+    std::vector<Loop*> chain;
+    if (!loopChain(fl, l.get(), chain)) continue;
+    ++keys[chainKey(chain)];
+  }
+  return keys;
+}
+
+void checkChannelBalance(const std::map<int, std::pair<Function*, Function*>>& endpoints,
+                         const ModuleIndex& idx, LoopContextCache& ctx, DiagEngine& diag) {
+  for (const auto& [id, pc] : endpoints) {
+    const ChannelInfo* info = idx.channelById.at(id);
+    const FnLoops& flP = ctx.get(pc.first);
+    const FnLoops& flC = ctx.get(pc.second);
+    SideDeltas dp = collectDeltas(flP, idx.produces.at(id));
+    SideDeltas dc = collectDeltas(flC, idx.consumes.at(id));
+    if (!dp.analyzable || !dc.analyzable) continue;
+    std::map<std::string, int> keysP = relativeLoopKeys(flP);
+    std::map<std::string, int> keysC = relativeLoopKeys(flC);
+
+    // The region-level (straight-line) totals are comparable only when every
+    // loop-resident site on both sides lives in a loop the other partition
+    // also has: per-partition cleanup can dissolve a statically-trivial loop
+    // on one side only, and then the sides' counting frames differ.
+    bool regionsComparable = true;
+    for (const auto& [key, d] : dp.byKey) {
+      (void)d;
+      if (!key.empty() && !keysC.count(key)) regionsComparable = false;
+    }
+    for (const auto& [key, d] : dc.byKey) {
+      (void)d;
+      if (!key.empty() && !keysP.count(key)) regionsComparable = false;
+    }
+
+    std::set<std::string> keys;
+    for (const auto& [key, d] : dp.byKey) (void)d, keys.insert(key);
+    for (const auto& [key, d] : dc.byKey) (void)d, keys.insert(key);
+    keys.insert("");
+    for (const std::string& key : keys) {
+      if (key.empty()) {
+        if (!regionsComparable) continue;
+      } else {
+        auto kp = keysP.find(key);
+        auto kc = keysC.find(key);
+        if (kp == keysP.end() || kc == keysC.end()) continue;  // unmatched loop
+        if (kp->second > 1 || kc->second > 1) continue;        // ambiguous name
+      }
+      const Delta dProd = dp.byKey.count(key) ? dp.byKey[key] : Delta{};
+      const Delta dCons = dc.byKey.count(key) ? dc.byKey[key] : Delta{};
+      if (dProd.varies || dCons.varies) continue;
+      if (dProd.count == dCons.count) continue;
+      const std::string where =
+          key.empty() ? "per invocation" : "per iteration of matched loop '" + key + "'";
+      Instruction* site = dProd.site ? dProd.site : dCons.site;
+      diag.error({}, at(site) + ": " + channelDesc(info, id) + " is unbalanced: [" +
+                         pc.first->name() + "] produces " + std::to_string(dProd.count) + " " +
+                         where + " but [" + pc.second->name() + "] consumes " +
+                         std::to_string(dCons.count) +
+                         "; the queue drifts until it overflows or starves");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (b2) Semaphore balance.
+//
+// For a semaphore whose raises all live in the same function as its lowers
+// (no other thread can replenish it first), two checks:
+//  * a loop whose iteration lowers the count more than it raises it
+//    exhausts any finite initial count — reported as unbounded lowering;
+//  * a best-case forward dataflow computes the maximum possible count
+//    offset at every lower; if even the best path leaves the count below
+//    zero, the lower blocks on every execution (the static twin of the
+//    unseeded-initial-count bug that seedSemaphores() fixed dynamically).
+// ---------------------------------------------------------------------------
+
+bool constCount(const Instruction* inst, long& out) {
+  const Constant* c = dyn_cast<Constant>(inst->operand(0));
+  if (!c) return false;
+  out = static_cast<long>(c->zext());
+  return true;
+}
+
+/// Per-iteration net (raises - lowers) of semaphore `id` in loop `l`, using
+/// only sites pinned to exactly-once-per-iteration blocks; subloops must net
+/// to zero. Returns false when the net cannot be pinned to a constant.
+bool loopSemNet(const FnLoops& fl, Loop* l, const std::vector<Site>& raises,
+                const std::vector<Site>& lowers, std::map<Loop*, std::pair<bool, long>>& memo,
+                long& out) {
+  auto it = memo.find(l);
+  if (it != memo.end()) {
+    out = it->second.second;
+    return it->second.first;
+  }
+  bool ok = true;
+  long net = 0;
+  auto addSites = [&](const std::vector<Site>& sites, long sign) {
+    for (const Site& s : sites) {
+      BasicBlock* bb = s.inst->parent();
+      if (s.fn != fl.fn || !l->contains(bb)) continue;
+      if (fl.loops.loopFor(bb) != l) continue;  // subloop sites handled below
+      long k = 0;
+      if (!constCount(s.inst, k)) {
+        ok = false;
+        continue;
+      }
+      bool dominatesLatches = true;
+      for (BasicBlock* latch : l->latches())
+        if (!fl.dom.dominates(bb, latch)) dominatesLatches = false;
+      if (!dominatesLatches) {
+        ok = false;
+        continue;
+      }
+      net += sign * k;
+    }
+  };
+  addSites(raises, +1);
+  addSites(lowers, -1);
+  for (Loop* sub : l->subloops) {
+    long subNet = 0;
+    if (!loopSemNet(fl, sub, raises, lowers, memo, subNet) || subNet != 0) ok = false;
+  }
+  memo[l] = {ok, net};
+  out = net;
+  return ok;
+}
+
+void checkSemaphoreBalance(const DswpResult& dswp, const ModuleIndex& idx, LoopContextCache& ctx,
+                           DiagEngine& diag) {
+  for (const auto& sem : dswp.semaphores) {
+    auto li = idx.lowers.find(sem.id);
+    auto ri = idx.raises.find(sem.id);
+    static const std::vector<Site> kNoSites;
+    const std::vector<Site>& lowers = li != idx.lowers.end() ? li->second : kNoSites;
+    const std::vector<Site>& raises = ri != idx.raises.end() ? ri->second : kNoSites;
+    if (lowers.empty()) {
+      if (raises.empty())
+        diag.warning({}, semDesc(&sem, sem.id) + " has no raise or lower sites");
+      continue;
+    }
+    for (Function* f : siteFns(lowers)) {
+      // Raises in another function may arrive at any point in the schedule;
+      // nothing definite can be concluded, so only self-contained functions
+      // are checked.
+      bool externalRaisers = false;
+      for (const Site& s : raises)
+        if (s.fn != f) externalRaisers = true;
+      if (externalRaisers) continue;
+
+      const FnLoops& fl = ctx.get(f);
+
+      // Unbounded lowering: any loop with a constant negative iteration net.
+      std::map<Loop*, std::pair<bool, long>> memo;
+      for (const auto& l : fl.loops.loops()) {
+        long net = 0;
+        if (!loopSemNet(fl, l.get(), raises, lowers, memo, net)) continue;
+        if (net >= 0) continue;
+        bool hasLower = false;
+        for (const Site& s : lowers)
+          if (s.fn == f && l->contains(s.inst->parent())) hasLower = true;
+        if (!hasLower) continue;
+        diag.error({}, "[" + f->name() + "] loop '" + l->header->name() + "': each iteration " +
+                           "lowers " + semDesc(&sem, sem.id) + " " + std::to_string(-net) +
+                           " more than it raises it, and no other thread raises it; any " +
+                           "initial count is eventually exhausted");
+      }
+
+      // Best-case offset dataflow: per-block net + the offset right after
+      // each lower, then an iterate-to-fixpoint max over paths (capped;
+      // non-convergence means a raising loop, where nothing definite holds).
+      std::unordered_map<BasicBlock*, long> blockNet;
+      constexpr long kUnreached = LONG_MIN / 4;
+      bool allConst = true;
+      for (auto& bb : f->blocks()) {
+        long net = 0;
+        for (auto& inst : *bb) {
+          long k = 0;
+          if (inst->op() == Opcode::SemRaise && inst->channel() == sem.id) {
+            if (!constCount(inst.get(), k)) allConst = false;
+            net += k;
+          } else if (inst->op() == Opcode::SemLower && inst->channel() == sem.id) {
+            if (!constCount(inst.get(), k)) allConst = false;
+            net -= k;
+          }
+        }
+        blockNet[bb.get()] = net;
+      }
+      if (!allConst) continue;
+      std::vector<BasicBlock*> rpo = reversePostOrder(*f);
+      std::unordered_map<BasicBlock*, long> maxOff;
+      for (BasicBlock* bb : rpo) maxOff[bb] = kUnreached;
+      maxOff[f->entry()] = 0;
+      bool converged = false;
+      for (size_t pass = 0; pass < rpo.size() + 3 && !converged; ++pass) {
+        converged = true;
+        for (BasicBlock* bb : rpo) {
+          if (bb == f->entry()) continue;
+          long best = kUnreached;
+          for (BasicBlock* p : bb->predecessors()) {
+            auto mi = maxOff.find(p);
+            if (mi == maxOff.end() || mi->second == kUnreached) continue;
+            best = std::max(best, mi->second + blockNet[p]);
+          }
+          if (best != maxOff[bb]) {
+            maxOff[bb] = best;
+            converged = false;
+          }
+        }
+      }
+      if (!converged) continue;
+      for (const Site& s : lowers) {
+        if (s.fn != f) continue;
+        BasicBlock* bb = s.inst->parent();
+        auto mi = maxOff.find(bb);
+        if (mi == maxOff.end() || mi->second == kUnreached) continue;  // unreachable
+        long off = mi->second;
+        bool found = false;
+        for (auto& inst : *bb) {
+          long k = 0;
+          if (inst->op() == Opcode::SemRaise && inst->channel() == sem.id) {
+            constCount(inst.get(), k);
+            off += k;
+          } else if (inst->op() == Opcode::SemLower && inst->channel() == sem.id) {
+            constCount(inst.get(), k);
+            off -= k;
+            if (inst.get() == s.inst) {
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found) continue;
+        if (off + static_cast<long>(sem.initialCount) < 0) {
+          diag.error({}, at(s.inst) + ": " + semDesc(&sem, sem.id) + " is lowered to " +
+                             std::to_string(off + static_cast<long>(sem.initialCount)) +
+                             " on every path (initial count " +
+                             std::to_string(sem.initialCount) +
+                             ", and no other thread raises it first); this lower always " +
+                             "blocks");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (c) Startup-progress game (wait-cycle detection).
+//
+// Abstract execution in which every blocking operation is resolved as
+// optimistically as any real schedule ever could: a produce never blocks
+// (queues start empty with capacity >= 1), a consume unblocks once its
+// channel was ever produced to, a semaphore lower unblocks once the count
+// was ever raised or its initial count is positive, and a call completes
+// once the callee's return was ever reached. All facts are monotone, so the
+// worklist reaches a fixpoint. Because the abstraction over-approximates
+// progress, "the main master cannot reach its return at the fixpoint"
+// implies no real schedule reaches it either — every reported deadlock is
+// genuine, by construction.
+// ---------------------------------------------------------------------------
+
+class StartupGame {
+public:
+  StartupGame(const DswpResult& dswp, const ModuleIndex& idx, DiagEngine& diag)
+      : dswp_(dswp), idx_(idx), diag_(diag) {}
+
+  void run() {
+    if (!dswp_.mainMaster) return;
+    for (const auto& t : dswp_.threads) start(t.fn);
+    while (!work_.empty()) {
+      Instruction* inst = work_.front();
+      work_.pop_front();
+      step(inst);
+    }
+    if (!completed_.count(dswp_.mainMaster)) {
+      reportDeadlock();
+      return;
+    }
+    reportStuckSlaves();
+  }
+
+private:
+  void start(Function* f) {
+    if (!f || !started_.insert(f).second) return;
+    BasicBlock* entry = f->entry();
+    if (entry && !entry->empty()) enqueue(entry->front());
+  }
+
+  void enqueue(Instruction* inst) { work_.push_back(inst); }
+
+  void advance(Instruction* inst) {
+    BasicBlock* bb = inst->parent();
+    auto it = bb->iteratorTo(inst);
+    ++it;
+    if (it != bb->end()) enqueue(it->get());
+  }
+
+  void park(Instruction* inst, std::vector<Instruction*>& queue) {
+    if (parked_.insert(inst).second) {
+      queue.push_back(inst);
+      parkedIn_[inst->parent()->parent()].push_back(inst);
+    } else if (std::find(queue.begin(), queue.end(), inst) == queue.end()) {
+      queue.push_back(inst);
+    }
+  }
+
+  void wake(std::vector<Instruction*>& queue) {
+    for (Instruction* inst : queue) enqueue(inst);
+    queue.clear();
+  }
+
+  void step(Instruction* inst) {
+    if (executed_.count(inst)) return;
+    switch (inst->op()) {
+      case Opcode::Consume:
+        if (!supplied_.count(inst->channel())) {
+          park(inst, parkedOnChannel_[inst->channel()]);
+          return;
+        }
+        break;
+      case Opcode::SemLower: {
+        auto si = idx_.semById.find(inst->channel());
+        const bool seeded = si != idx_.semById.end() && si->second->initialCount > 0;
+        if (!seeded && !raised_.count(inst->channel())) {
+          park(inst, parkedOnSem_[inst->channel()]);
+          return;
+        }
+        break;
+      }
+      case Opcode::Call:
+        start(inst->callee());  // the call transfers control into the callee
+        if (!completed_.count(inst->callee())) {
+          park(inst, parkedOnCall_[inst->callee()]);
+          return;
+        }
+        break;
+      default: break;
+    }
+    executed_.insert(inst);
+    parked_.erase(inst);
+    switch (inst->op()) {
+      case Opcode::Produce:
+        if (supplied_.insert(inst->channel()).second) wake(parkedOnChannel_[inst->channel()]);
+        break;
+      case Opcode::SemRaise:
+        if (raised_.insert(inst->channel()).second) wake(parkedOnSem_[inst->channel()]);
+        break;
+      case Opcode::Ret: {
+        Function* f = inst->parent()->parent();
+        if (completed_.insert(f).second) wake(parkedOnCall_[f]);
+        return;  // no successor
+      }
+      default: break;
+    }
+    if (inst->isTerminator()) {
+      for (unsigned i = 0; i < inst->numSuccessors(); ++i) {
+        BasicBlock* succ = inst->successor(i);
+        if (succ && !succ->empty()) enqueue(succ->front());
+      }
+      return;
+    }
+    advance(inst);
+  }
+
+  Instruction* firstParkedIn(Function* f) const {
+    auto it = parkedIn_.find(f);
+    if (it == parkedIn_.end()) return nullptr;
+    for (Instruction* inst : it->second)
+      if (parked_.count(inst)) return inst;
+    return nullptr;
+  }
+
+  std::string threadDesc(Function* f) const {
+    auto it = idx_.threadName.find(f);
+    if (it != idx_.threadName.end()) return "thread '" + it->second + "' [" + f->name() + "]";
+    return "[" + f->name() + "]";
+  }
+
+  void reportDeadlock() {
+    diag_.error({}, "deadlock: " + threadDesc(dswp_.mainMaster) +
+                        " can never reach its return under any schedule");
+    std::unordered_set<Function*> visited;
+    Function* cur = dswp_.mainMaster;
+    for (int depth = 0; depth < 20 && cur; ++depth) {
+      if (!visited.insert(cur).second) {
+        diag_.note({}, "the wait cycle closes at [" + cur->name() + "]");
+        return;
+      }
+      if (!started_.count(cur)) {
+        diag_.note({}, "[" + cur->name() + "] never starts executing");
+        return;
+      }
+      Instruction* stuck = firstParkedIn(cur);
+      if (!stuck) {
+        diag_.note({}, "[" + cur->name() + "] makes no further progress");
+        return;
+      }
+      Function* next = nullptr;
+      std::string why;
+      switch (stuck->op()) {
+        case Opcode::Consume: {
+          const int ch = stuck->channel();
+          auto ci = idx_.channelById.find(ch);
+          const ChannelInfo* info = ci != idx_.channelById.end() ? ci->second : nullptr;
+          why = at(stuck) + ": blocked consuming " + channelDesc(info, ch);
+          auto pi = idx_.produces.find(ch);
+          if (pi == idx_.produces.end() || pi->second.empty()) {
+            why += ", which is never produced";
+          } else {
+            const Site& prod = pi->second.front();
+            why += ", produced only at " + at(prod.inst) + " (never reached)";
+            next = prod.fn;
+          }
+          break;
+        }
+        case Opcode::SemLower: {
+          const int id = stuck->channel();
+          auto si = idx_.semById.find(id);
+          const SemaphoreInfo* info = si != idx_.semById.end() ? si->second : nullptr;
+          why = at(stuck) + ": blocked lowering " + semDesc(info, id) + " (initial count " +
+                std::to_string(info ? info->initialCount : 0) + ")";
+          auto ri = idx_.raises.find(id);
+          if (ri == idx_.raises.end() || ri->second.empty()) {
+            why += ", which is never raised";
+          } else {
+            const Site& raise = ri->second.front();
+            why += ", raised only at " + at(raise.inst) + " (never reached)";
+            next = raise.fn;
+          }
+          break;
+        }
+        case Opcode::Call:
+          why = at(stuck) + ": blocked calling [" + stuck->callee()->name() +
+                "], which never returns";
+          next = stuck->callee();
+          break;
+        default: why = at(stuck) + ": blocked"; break;
+      }
+      diag_.note({}, why);
+      cur = next;
+    }
+  }
+
+  void reportStuckSlaves() {
+    for (const auto& t : dswp_.threads) {
+      if (!t.isSlave) continue;
+      Instruction* stuck = firstParkedIn(t.fn);
+      if (!stuck) continue;
+      if (stuck->op() == Opcode::Consume) {
+        auto ci = idx_.channelById.find(stuck->channel());
+        if (ci != idx_.channelById.end() &&
+            ci->second->purpose == ChannelInfo::Purpose::Start)
+          continue;  // idle at the dispatch consume: the normal parked state
+      }
+      diag_.warning({}, at(stuck) + ": " + threadDesc(t.fn) +
+                            " can stall here; no schedule unblocks this operation");
+    }
+  }
+
+  const DswpResult& dswp_;
+  const ModuleIndex& idx_;
+  DiagEngine& diag_;
+  std::deque<Instruction*> work_;
+  std::unordered_set<Instruction*> executed_, parked_;
+  std::unordered_set<int> supplied_, raised_;
+  std::unordered_set<Function*> completed_, started_;
+  std::unordered_map<int, std::vector<Instruction*>> parkedOnChannel_, parkedOnSem_;
+  std::unordered_map<Function*, std::vector<Instruction*>> parkedOnCall_;
+  std::unordered_map<Function*, std::vector<Instruction*>> parkedIn_;
+};
+
+}  // namespace
+
+bool verifyPartition(Module& m, const DswpResult& dswp, DiagEngine& diag) {
+  const size_t errorsBefore = diag.errorCount();
+  ModuleIndex idx = buildIndex(m, dswp, diag);
+  auto endpoints = checkEndpoints(idx, dswp, diag);
+  LoopContextCache ctx(idx);
+  checkChannelBalance(endpoints, idx, ctx, diag);
+  checkSemaphoreBalance(dswp, idx, ctx, diag);
+  StartupGame(dswp, idx, diag).run();
+  return diag.errorCount() == errorsBefore;
+}
+
+std::string verifyPartitionToString(Module& m, const DswpResult& dswp) {
+  DiagEngine diag;
+  if (verifyPartition(m, dswp, diag)) return "";
+  return diag.str();
+}
+
+}  // namespace twill

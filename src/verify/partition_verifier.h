@@ -1,0 +1,52 @@
+// Static partition verifier: compile-time channel/semaphore protocol
+// analysis over a DSWP-extracted module.
+//
+// The dynamic evidence that extraction preserved the program — the co-sim
+// completing with the golden checksum — arrives only after a potentially
+// multi-million-cycle simulation, and a protocol bug (a mis-seeded
+// semaphore, an unbalanced produce/consume pair, a wait cycle) reads as a
+// deadlock with no indication of *which* queue or thread is at fault.
+// verifyPartition() proves three properties of a DswpResult statically, at
+// extraction time:
+//
+//  (a) endpoint discipline — every channel has exactly one producing
+//      function and one consuming function, and they are distinct (DSWP
+//      queues are strictly point-to-point, §4.3);
+//  (b) token balance — per matched producer/consumer loop (loops are
+//      matched by their replicated header names, see extract.h's control
+//      replication), the per-iteration produce and consume deltas agree,
+//      and no semaphore can be lowered below its initial count on every
+//      reaching path when no other thread can raise it first (the static
+//      twin of the seedSemaphores() bug);
+//  (c) deadlock freedom at startup — an abstract progress game in which
+//      every blocking operation is resolved as optimistically as possible
+//      (a consume unblocks once its channel was ever produced to, queues
+//      never fill, a semaphore lower unblocks once the count was ever
+//      raised or seeded); if the main master still cannot reach its return
+//      at the fixpoint, no real schedule can do better, so the report is a
+//      genuine deadlock, never a false positive.
+//
+// The balance analysis is deliberately incomplete in the other direction:
+// a delta it cannot pin to a constant (conditional sites, diverging loop
+// structure) is skipped, not reported, so a clean extractor output is
+// never rejected. Findings flow through DiagEngine with function and block
+// provenance, formatted like the IR verifier's.
+#pragma once
+
+#include <string>
+
+#include "src/dswp/extract.h"
+#include "src/ir/function.h"
+#include "src/support/diag.h"
+
+namespace twill {
+
+/// Verifies the channel/semaphore protocol of an extracted module against
+/// its DswpResult tables. Reports problems to `diag` (errors fail
+/// verification; warnings do not). Returns true if clean.
+bool verifyPartition(Module& m, const DswpResult& dswp, DiagEngine& diag);
+
+/// Convenience: verify and return the diagnostics text ("" when clean).
+std::string verifyPartitionToString(Module& m, const DswpResult& dswp);
+
+}  // namespace twill

@@ -98,6 +98,29 @@ TEST(TwillExploreCliTest, WritesCsv) {
   EXPECT_NE(contents.find("mips,0,"), std::string::npos);
 }
 
+TEST(TwillExploreCliTest, VerificationFailureExitsWithThree) {
+  // Exit-code contract (documented in --help): the most severe failure
+  // class across all points wins, and a statically rejected protocol is a
+  // verification failure (3), not a generic error (1).
+  std::string src = tempPath("_guard.c");
+  {
+    std::ofstream f(src);
+    f << "int acc[8];\n"
+         "int f(int s) {\n"
+         "  int t = 0;\n"
+         "  for (int i = 0; i < 8; i++) { acc[i] = acc[i] * 3 + s + i; t += acc[i]; }\n"
+         "  for (int i = 0; i < 8; i++) { t ^= acc[i] << (i & 3); }\n"
+         "  return t;\n"
+         "}\n"
+         "int main(void) { int a = f(3); int b = f(a & 15); return a + b; }\n";
+  }
+  RunResult r = run(std::string(TWILL_EXPLORE_PATH) +
+                    " --inline-threshold 0 --partitions 2 --unseed-semaphores --out /dev/null " +
+                    src);
+  EXPECT_EQ(r.exitCode, 3) << r.out;
+  EXPECT_NE(r.out.find("partition verification failed"), std::string::npos) << r.out;
+}
+
 TEST(TwillExploreCliTest, BadUsageExitsWithTwo) {
   EXPECT_EQ(run(std::string(TWILL_EXPLORE_PATH) + " --kernel no_such_kernel").exitCode, 2);
   EXPECT_EQ(run(std::string(TWILL_EXPLORE_PATH) + " --queue-capacity 0").exitCode, 2);

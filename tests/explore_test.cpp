@@ -276,6 +276,37 @@ TEST(ExplorerTest, CompileFailurePropagatesPerPoint) {
   EXPECT_TRUE(res.frontier.empty());
 }
 
+TEST(ExplorerTest, VerifyFailurePrunesTheWholeCompileGroup) {
+  // A verification failure depends only on the compile-side knobs, so the
+  // anchor's rejection must be copied to every sim point of its group
+  // (fail-fast pruning: no simulation time is spent on configurations the
+  // verifier already proved broken).
+  ExploreRequest req;
+  req.name = "unseeded";
+  req.source =
+      "int acc[8];\n"
+      "int f(int s) {\n"
+      "  int t = 0;\n"
+      "  for (int i = 0; i < 8; i++) { acc[i] = acc[i] * 3 + s + i; t += acc[i]; }\n"
+      "  for (int i = 0; i < 8; i++) { t ^= acc[i] << (i & 3); }\n"
+      "  return t;\n"
+      "}\n"
+      "int main(void) { int a = f(3); int b = f(a & 15); return a + b; }\n";
+  req.inlineThreshold = 0;  // keep f out-of-line so it gets an overlap guard
+  req.space.partitions = {2};
+  req.space.queueCapacities = {2, 8, 32};
+  req.unseedSemaphores = true;
+  ExploreResult res = explore(req, 1);
+  EXPECT_FALSE(res.ok);
+  ASSERT_EQ(res.points.size(), 3u);
+  for (const auto& p : res.points) {
+    EXPECT_FALSE(p.ok);
+    EXPECT_EQ(p.report.failureKind, FailureKind::Verify) << p.point.index;
+    EXPECT_NE(p.error.find("partition verification failed"), std::string::npos) << p.error;
+  }
+  EXPECT_TRUE(res.frontier.empty());
+}
+
 TEST(ExplorerTest, CsvHasHeaderAndOneRowPerPoint) {
   ExploreResult res = explore(smallRequest(), 1);
   ASSERT_TRUE(res.ok);

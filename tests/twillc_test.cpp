@@ -204,6 +204,77 @@ TEST(TwillcTest, BadUsageExitsWithTwo) {
   EXPECT_EQ(runTwillc("--partitions 99999999999999999999 x.c").exitCode, 2);
 }
 
+// The exit-code contract (documented in --help; twilld and CI dispatch on
+// it): 0 success / 1 compile / 2 usage / 3 verification / 4 simulation.
+// Each class is pinned by an input that can only fail in that class.
+const char* kTwoCallSiteProgram =
+    "int acc[8];\n"
+    "int f(int s) {\n"
+    "  int t = 0;\n"
+    "  for (int i = 0; i < 8; i++) { acc[i] = acc[i] * 3 + s + i; t += acc[i]; }\n"
+    "  for (int i = 0; i < 8; i++) { t ^= acc[i] << (i & 3); }\n"
+    "  return t;\n"
+    "}\n"
+    "int main(void) { int a = f(3); int b = f(a & 15); return a + b; }\n";
+
+TEST(TwillcTest, VerificationFailureExitsWithThree) {
+  // --unseed-semaphores re-creates the historical unseeded-overlap-guard
+  // bug; the static verifier must catch it before any simulation starts.
+  std::string src = writeTempSource(kTwoCallSiteProgram);
+  RunResult r = runTwillc("--inline-threshold 0 --partitions 2 --unseed-semaphores " + src);
+  EXPECT_EQ(r.exitCode, 3) << r.out;
+  EXPECT_NE(r.out.find("partition verification failed"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("semaphore"), std::string::npos) << r.out;
+}
+
+TEST(TwillcTest, VerifyFailureJsonCarriesKindAndDiagnostics) {
+  std::string src = writeTempSource(kTwoCallSiteProgram);
+  RunResult r =
+      runTwillc("--json --inline-threshold 0 --partitions 2 --unseed-semaphores " + src);
+  EXPECT_EQ(r.exitCode, 3) << r.out;
+  EXPECT_TRUE(looksLikeValidJson(r.out)) << r.out;
+  EXPECT_NE(r.out.find("\"failure_kind\": \"verify\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"verify_diagnostics\""), std::string::npos) << r.out;
+}
+
+TEST(TwillcTest, SimulationFailureExitsWithFour) {
+  // A two-cycle budget cannot complete any kernel: pure-SW fails first and
+  // is classified as a simulation failure.
+  std::string src = writeTempSource(kQuickstartProgram);
+  RunResult r = runTwillc("--max-cycles 2 " + src);
+  EXPECT_EQ(r.exitCode, 4) << r.out;
+}
+
+TEST(TwillcTest, VerifyOnlySkipsSimulationAndReportsCounts) {
+  std::string src = writeTempSource(kQuickstartProgram);
+  RunResult human = runTwillc("--verify-only --partitions 2 " + src);
+  ASSERT_EQ(human.exitCode, 0) << human.out;
+  EXPECT_NE(human.out.find("partition verified"), std::string::npos) << human.out;
+
+  RunResult json = runTwillc("--json --verify-only --partitions 2 " + src);
+  ASSERT_EQ(json.exitCode, 0) << json.out;
+  EXPECT_TRUE(looksLikeValidJson(json.out)) << json.out;
+  EXPECT_NE(json.out.find("\"ok\": true"), std::string::npos) << json.out;
+  // No flow ran; a consumer must not mistake this for a simulated report.
+  EXPECT_EQ(json.out.find("\"ran\": true"), std::string::npos) << json.out;
+
+  // Verify-only still fails (with the verify exit code) on a broken protocol.
+  std::string bad = writeTempSource(kTwoCallSiteProgram);
+  RunResult broken =
+      runTwillc("--verify-only --inline-threshold 0 --partitions 2 --unseed-semaphores " + bad);
+  EXPECT_EQ(broken.exitCode, 3) << broken.out;
+}
+
+TEST(TwillcTest, NoVerifyLetsTheProtocolBugReachSimulation) {
+  // The same bug with verification disabled must fall through to the
+  // dynamic layer and be classified as a simulation failure (exit 4) —
+  // pinning that the verifier is what upgrades it to a compile-time error.
+  std::string src = writeTempSource(kTwoCallSiteProgram);
+  RunResult r =
+      runTwillc("--no-verify --inline-threshold 0 --partitions 2 --unseed-semaphores " + src);
+  EXPECT_EQ(r.exitCode, 4) << r.out;
+}
+
 TEST(TwillcTest, CompileErrorExitsWithOneAndReportsDiagnostics) {
   std::string src = writeTempSource("int main( {");
   RunResult r = runTwillc(src);

@@ -50,7 +50,13 @@ void printUsage(std::FILE* to) {
                "                         for any N)\n"
                "  --out FILE             write the JSON report to FILE (default stdout)\n"
                "  --csv FILE             also write a flat CSV of every point\n"
-               "  --inline-threshold N   inliner size bound (default 100)\n");
+               "  --inline-threshold N   inliner size bound (default 100)\n"
+               "  --unseed-semaphores    debug: zero all semaphore initial counts\n"
+               "                         after extraction (must fail verification)\n"
+               "\n"
+               "exit codes (stable; most severe failure across all points wins):\n"
+               "  0 success, 1 compile/input error, 2 usage error,\n"
+               "  3 verification failure, 4 simulation failure\n");
 }
 
 bool writeFileOrDie(const std::string& path, const std::string& contents, const char* what) {
@@ -78,6 +84,7 @@ int main(int argc, char** argv) {
   std::string csvPath;
   unsigned jobs = 1;
   unsigned inlineThreshold = 100;
+  bool unseedSemaphores = false;
 
   auto needValue = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -135,6 +142,8 @@ int main(int argc, char** argv) {
       outPath = needValue(i, "--out");
     } else if (arg == "--csv") {
       csvPath = needValue(i, "--csv");
+    } else if (arg == "--unseed-semaphores") {
+      unseedSemaphores = true;
     } else if (arg[0] != '-') {
       if (!sourcePath.empty()) {
         std::fprintf(stderr, "twill-explore: multiple input files ('%s' and '%s')\n",
@@ -174,6 +183,7 @@ int main(int argc, char** argv) {
     req.source = ss.str();
     req.space = space;
     req.inlineThreshold = inlineThreshold;
+    req.unseedSemaphores = unseedSemaphores;
     reqs.push_back(std::move(req));
   } else {
     if (kernelNames.empty())
@@ -207,9 +217,18 @@ int main(int argc, char** argv) {
   if (!csvPath.empty() && !writeFileOrDie(csvPath, twill::exploreToCsv(results), "CSV")) return 1;
 
   bool allOk = true;
+  bool sawCompile = false, sawVerify = false, sawSim = false;
   for (const auto& res : results) {
     size_t okPoints = 0;
-    for (const auto& p : res.points) okPoints += p.ok ? 1 : 0;
+    for (const auto& p : res.points) {
+      okPoints += p.ok ? 1 : 0;
+      switch (p.report.failureKind) {
+        case twill::FailureKind::Compile: sawCompile = true; break;
+        case twill::FailureKind::Verify: sawVerify = true; break;
+        case twill::FailureKind::Sim: sawSim = true; break;
+        case twill::FailureKind::None: break;
+      }
+    }
     if (!res.ok) {
       allOk = false;
       std::fprintf(stderr, "twill-explore: %s: %s\n", res.name.c_str(), res.error.c_str());
@@ -217,5 +236,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[twill-explore] %s: %zu/%zu points ok, frontier %zu\n",
                  res.name.c_str(), okPoints, res.points.size(), res.frontier.size());
   }
-  return allOk ? 0 : 1;
+  if (allOk) return 0;
+  // Documented exit-code contract (see printUsage): the most severe failure
+  // class across every evaluated point decides the code.
+  if (sawCompile) return 1;
+  if (sawVerify) return 3;
+  if (sawSim) return 4;
+  return 1;
 }

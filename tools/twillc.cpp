@@ -47,6 +47,15 @@ void printUsage(std::FILE* to) {
                "  --no-sw | --no-hw | --no-twill\n"
                "                         skip the pure-SW / pure-HW / Twill flow\n"
                "\n"
+               "verification (the static partition verifier, src/verify):\n"
+               "  --verify               verify the extracted partition before\n"
+               "                         simulating it (the default)\n"
+               "  --no-verify            skip partition verification\n"
+               "  --verify-only          stop after extraction + verification; no\n"
+               "                         scheduling or simulation runs\n"
+               "  --unseed-semaphores    debug: zero all semaphore initial counts\n"
+               "                         after extraction (must fail verification)\n"
+               "\n"
                "pipeline knobs:\n"
                "  --inline-threshold N   inliner size bound (default 100)\n"
                "  --partitions N         DSWP partitions per function, 0 = auto\n"
@@ -58,7 +67,15 @@ void printUsage(std::FILE* to) {
                "  --queue-capacity N     FIFO queue depth (default 8)\n"
                "  --queue-latency N      queue handshake cycles (default 2)\n"
                "  --processors N         Microblaze count (default 1)\n"
-               "  --sched-quantum N      scheduler period in cycles (default 2000)\n");
+               "  --sched-quantum N      scheduler period in cycles (default 2000)\n"
+               "  --max-cycles N         abort any simulation after N cycles\n"
+               "\n"
+               "exit codes (stable; twilld and CI dispatch on them):\n"
+               "  0  success\n"
+               "  1  compile or input error\n"
+               "  2  usage error\n"
+               "  3  verification failure (IR or partition protocol)\n"
+               "  4  simulation failure (deadlock, cycle limit, result mismatch)\n");
 }
 
 bool readFile(const std::string& path, std::string& out, std::string& error) {
@@ -163,6 +180,16 @@ int main(int argc, char** argv) {
       opts.runPureHW = false;
     } else if (arg == "--no-twill") {
       opts.runTwill = false;
+    } else if (arg == "--verify") {
+      opts.verifyPartition = true;
+    } else if (arg == "--no-verify") {
+      opts.verifyPartition = false;
+    } else if (arg == "--verify-only") {
+      opts.verifyOnly = true;
+    } else if (arg == "--unseed-semaphores") {
+      opts.unseedSemaphores = true;
+    } else if (arg == "--max-cycles") {
+      opts.sim.maxCycles = parseUnsigned(i, "--max-cycles");
     } else if (arg == "--inline-threshold") {
       opts.inlineThreshold = parseUnsigned(i, "--inline-threshold");
     } else if (arg == "--partitions") {
@@ -253,6 +280,9 @@ int main(int argc, char** argv) {
   }
   if (json) {
     std::fprintf(out, "%s\n", twill::reportToJson(r).c_str());
+  } else if (r.ok && opts.verifyOnly) {
+    std::fprintf(out, "%s: partition verified: %u queues, %u semaphores, %u HW + %u SW threads\n",
+                 r.name.c_str(), r.queues, r.semaphores, r.hwThreads, r.swThreads);
   } else if (r.ok) {
     printHuman(out, r, opts);
   }
@@ -260,5 +290,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "twillc: %s: %s\n", name.c_str(), r.error.c_str());
   }
   if (out != stdout) std::fclose(out);
-  return r.ok ? 0 : 1;
+  if (r.ok) return 0;
+  // The documented exit-code contract (see printUsage): compile/input
+  // failures 1, verification failures 3, simulation failures 4.
+  switch (r.failureKind) {
+    case twill::FailureKind::Verify: return 3;
+    case twill::FailureKind::Sim: return 4;
+    default: return 1;
+  }
 }

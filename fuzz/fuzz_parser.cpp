@@ -1,0 +1,11 @@
+// libFuzzer harness for the parser (build with -DTWILL_FUZZ=ON, clang only):
+//   ./build/fuzz_parser tests/fuzz_corpus/parser -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+
+#include "src/fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  twill::fuzzParser(data, size);
+  return 0;
+}

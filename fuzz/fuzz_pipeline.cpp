@@ -1,0 +1,13 @@
+// libFuzzer harness for the full pipeline — compile, optimize, DSWP,
+// verify, HLS, all three simulated flows — under tight resource limits
+// (build with -DTWILL_FUZZ=ON, clang only):
+//   ./build/fuzz_pipeline tests/fuzz_corpus/pipeline -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+
+#include "src/fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  twill::fuzzPipeline(data, size);
+  return 0;
+}

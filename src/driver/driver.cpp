@@ -1,6 +1,5 @@
 #include "src/driver/driver.h"
 
-#include <functional>
 #include <unordered_set>
 
 #include "src/frontend/lower.h"
@@ -11,24 +10,54 @@
 #include "src/verify/partition_verifier.h"
 
 namespace twill {
+
+// The driver maps `ResourceLimits::memLimitBytes` straight onto the
+// simulators' default memory; the default ceiling must match or default-
+// configured runs would silently change size.
+static_assert(ResourceLimits{}.memLimitBytes == Memory::kDefaultSize,
+              "ResourceLimits default memory ceiling must equal Memory::kDefaultSize");
+
 namespace {
 
+/// True (and fills error/kind) when `ms` breaches the per-stage wall budget.
+/// The compile stages are also bounded structurally (token/AST/IR caps), so
+/// this is a post-hoc classification, not a mid-stage interrupt.
+bool stageBreach(const ResourceLimits& limits, const char* stage, double ms, std::string& error,
+                 FailureKind& kind) {
+  if (limits.stageTimeoutMs <= 0 || ms <= limits.stageTimeoutMs) return false;
+  error = std::string("wall-clock budget exceeded in ") + stage + " (" + std::to_string(ms) +
+          " ms, budget " + std::to_string(limits.stageTimeoutMs) + " ms)";
+  kind = FailureKind::Resource;
+  return true;
+}
+
 std::unique_ptr<Module> compileAndOptimize(const std::string& source, unsigned inlineThreshold,
-                                           std::string& error, StageTimes& stages,
-                                           FailureKind& kind) {
+                                           const ResourceLimits& limits, std::string& error,
+                                           StageTimes& stages, FailureKind& kind) {
   auto m = std::make_unique<Module>();
   DiagEngine diag;
   CompileTimes ct;
-  if (!compileC(source, *m, diag, &ct)) {
+  if (!compileC(source, *m, diag, &ct, &limits)) {
     error = "compile failed:\n" + diag.str();
-    kind = FailureKind::Compile;
+    kind = diag.hasResourceError() ? FailureKind::Resource : FailureKind::Compile;
     return nullptr;
   }
   stages.parseMs = ct.parseMs;
   stages.lowerMs = ct.lowerMs;
+  if (stageBreach(limits, "parse", ct.parseMs, error, kind) ||
+      stageBreach(limits, "lower", ct.lowerMs, error, kind))
+    return nullptr;
+  if (!m->findFunction("main")) {
+    // Every downstream stage (golden run, DSWP, the flows) starts from
+    // main; a module without one is a source error, not a crash.
+    error = "compile failed:\n<source>:1:1: error: no 'main' function defined";
+    kind = FailureKind::Compile;
+    return nullptr;
+  }
   const auto t0 = stopwatchNow();
-  runDefaultPipeline(*m, inlineThreshold);
+  runDefaultPipeline(*m, inlineThreshold, limits.maxIrInstructions);
   stages.passesMs = msSince(t0);
+  if (stageBreach(limits, "passes", stages.passesMs, error, kind)) return nullptr;
   DiagEngine vd;
   if (!verifyModule(*m, vd)) {
     error = "verification failed after optimization:\n" + vd.str();
@@ -42,14 +71,18 @@ std::unique_ptr<Module> compileAndOptimize(const std::string& source, unsigned i
 /// everything they can call (callee masters run inside the calling thread).
 std::unordered_set<const Function*> hwFunctions(const DswpResult& dswp) {
   std::unordered_set<const Function*> hw;
-  std::function<void(Function*)> mark = [&](Function* f) {
-    if (!hw.insert(f).second) return;
+  // Iterative worklist: a deep call chain must not overflow the native stack.
+  std::vector<Function*> work;
+  for (const auto& t : dswp.threads)
+    if (t.isHW && hw.insert(t.fn).second) work.push_back(t.fn);
+  while (!work.empty()) {
+    Function* f = work.back();
+    work.pop_back();
     for (auto& bb : f->blocks())
       for (auto& inst : *bb)
-        if (inst->op() == Opcode::Call) mark(inst->callee());
-  };
-  for (const auto& t : dswp.threads)
-    if (t.isHW) mark(t.fn);
+        if (inst->op() == Opcode::Call && hw.insert(inst->callee()).second)
+          work.push_back(inst->callee());
+  }
   return hw;
 }
 
@@ -78,19 +111,40 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
   rep.ranHW = opts.runPureHW && !verifyOnly;
   rep.ranTwill = opts.runTwill && !verifyOnly;
 
+  // Simulators observe the resource ceilings through their config (see the
+  // DriverOptions::limits doc).
+  SimConfig sim = opts.sim;
+  sim.memoryBytes = opts.limits.memLimitBytes;
+  sim.wallBudgetMs = opts.limits.stageTimeoutMs;
+
   // --- Baseline module (pure SW, pure HW, golden reference) -----------------
-  std::unique_ptr<Module> base =
-      compileAndOptimize(source, opts.inlineThreshold, rep.error, rep.stages, rep.failureKind);
+  std::unique_ptr<Module> base = compileAndOptimize(source, opts.inlineThreshold, opts.limits,
+                                                    rep.error, rep.stages, rep.failureKind);
   if (!base) return rep;
   if (!verifyOnly) {
-    Interp in(*base);
-    rep.expected = in.run("main");
+    // Golden reference run under the same ceilings as everything else: a
+    // program trap (OOB access, call-depth blowup) is a program error
+    // (Sim); a breached step/wall budget or oversized layout is Resource.
+    Interp in(*base, opts.limits.memLimitBytes);
+    InterpOutcome golden = in.runChecked(base->findFunction("main"), {},
+                                         opts.limits.maxInterpSteps, opts.limits.stageTimeoutMs);
+    if (!golden.ok) {
+      if (golden.resource) {
+        rep.error = "golden execution exceeded resource limits: " + golden.message;
+        rep.failureKind = FailureKind::Resource;
+      } else {
+        rep.error = "golden execution trapped: " + golden.message;
+        rep.failureKind = FailureKind::Sim;
+      }
+      return rep;
+    }
+    rep.expected = golden.result;
   }
   if (rep.ranSW) {
-    rep.sw = simulatePureSW(*base, opts.sim);
+    rep.sw = simulatePureSW(*base, sim);
     if (!rep.sw.ok) {
       rep.error = "pure-SW simulation failed: " + rep.sw.message;
-      rep.failureKind = FailureKind::Sim;
+      rep.failureKind = rep.sw.resourceBreach ? FailureKind::Resource : FailureKind::Sim;
       return rep;
     }
     if (rep.sw.result != rep.expected) {
@@ -104,12 +158,14 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
     auto tSched = stopwatchNow();
     baseSchedules = scheduleModule(*base, opts.hls);
     rep.stages.scheduleMs += msSince(tSched);
+    if (stageBreach(opts.limits, "schedule", rep.stages.scheduleMs, rep.error, rep.failureKind))
+      return rep;
   }
   if (rep.ranHW) {
-    rep.hw = simulatePureHW(*base, baseSchedules, opts.sim);
+    rep.hw = simulatePureHW(*base, baseSchedules, sim);
     if (!rep.hw.ok) {
       rep.error = "pure-HW simulation failed: " + rep.hw.message;
-      rep.failureKind = FailureKind::Sim;
+      rep.failureKind = rep.hw.resourceBreach ? FailureKind::Resource : FailureKind::Sim;
       return rep;
     }
     if (rep.hw.result != rep.expected) {
@@ -136,6 +192,9 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
   DswpResult dswp = runDswp(*tm, opts.dswp);
   rep.stages.pdgMs = dswp.pdgWallMs;
   rep.stages.dswpMs = msSince(tDswp) - dswp.pdgWallMs;
+  if (stageBreach(opts.limits, "dswp", rep.stages.pdgMs + rep.stages.dswpMs, rep.error,
+                  rep.failureKind))
+    return rep;
   {
     DiagEngine vd;
     if (!verifyModule(*tm, vd)) {
@@ -178,7 +237,7 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
   const auto tSched = stopwatchNow();
   ScheduleMap twillSchedules = scheduleModule(*tm, opts.hls, baseSchedules);
   rep.stages.scheduleMs += msSince(tSched);
-  rep.twill = simulateTwill(*tm, dswp, opts.sim, twillSchedules);
+  rep.twill = simulateTwill(*tm, dswp, sim, twillSchedules);
   if (!acceptTwillOutcome(rep)) return rep;
 
   // Areas (Table 6.2 columns).
@@ -212,7 +271,7 @@ bool acceptTwillOutcome(BenchmarkReport& rep) {
   if (!rep.twill.ok) {
     rep.ok = false;
     rep.twillSimFailure = true;
-    rep.failureKind = FailureKind::Sim;
+    rep.failureKind = rep.twill.resourceBreach ? FailureKind::Resource : FailureKind::Sim;
     rep.error = "twill simulation failed: " + rep.twill.message;
     return false;
   }
@@ -233,6 +292,7 @@ const char* failureKindName(FailureKind k) {
     case FailureKind::Compile: return "compile";
     case FailureKind::Verify: return "verify";
     case FailureKind::Sim: return "sim";
+    case FailureKind::Resource: return "resource";
     case FailureKind::None: break;
   }
   return "none";

@@ -21,6 +21,7 @@
 #include "src/model/power.h"
 #include "src/sim/system.h"
 #include "src/support/diag.h"
+#include "src/support/limits.h"
 #include "src/transforms/passes.h"
 
 namespace twill {
@@ -30,6 +31,13 @@ struct DriverOptions {
   DswpConfig dswp;
   SimConfig sim;
   HlsConstraints hls;
+  /// Resource ceilings for untrusted input (see src/support/limits.h). The
+  /// defaults are generous enough that no CHStone kernel touches them. The
+  /// driver derives the simulators' memory ceiling and wall budget from
+  /// here (`limits.memLimitBytes` / `limits.stageTimeoutMs` override
+  /// `sim.memoryBytes` / `sim.wallBudgetMs`), so callers set limits in one
+  /// place and every stage observes them.
+  ResourceLimits limits;
   bool runPureSW = true;
   bool runPureHW = true;
   bool runTwill = true;
@@ -53,11 +61,14 @@ struct DriverOptions {
 
 /// Coarse classification of a failed run. Pinned to the twillc/twill-explore
 /// exit codes so twilld and CI can dispatch on them: success exits 0,
-/// Compile exits 1, Verify (IR or partition protocol) exits 3, Sim exits 4
-/// (2 is reserved for CLI usage errors).
-enum class FailureKind : uint8_t { None, Compile, Verify, Sim };
+/// Compile exits 1, Verify (IR or partition protocol) exits 3, Sim exits 4,
+/// Resource (a ResourceLimits ceiling was breached — token/AST/IR caps,
+/// memory ceiling, step or wall-clock budget) exits 5 (2 is reserved for
+/// CLI usage errors).
+enum class FailureKind : uint8_t { None, Compile, Verify, Sim, Resource };
 
-/// Stable lower-case name ("compile", "verify", "sim") for reports.
+/// Stable lower-case name ("compile", "verify", "sim", "resource") for
+/// reports.
 const char* failureKindName(FailureKind k);
 
 /// The compiled products of the Twill flow, retained on request.

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -444,15 +443,38 @@ DswpResult runDswp(Module& m, const DswpConfig& config) {
   int semCounter = 0;
 
   // Bottom-up over the call graph (no recursion in the input language).
+  // Iterative post-order with an explicit stack — a deep call chain from
+  // untrusted source must not overflow the native stack — visiting exactly
+  // the order the old recursive DFS produced.
   std::vector<Function*> order;
   {
     std::unordered_set<Function*> visited;
-    std::function<void(Function*)> dfs = [&](Function* f) {
-      if (!visited.insert(f).second) return;
+    auto calleesOf = [](Function* f) {
+      std::vector<Function*> cs;
       for (auto& bb : f->blocks())
         for (auto& inst : *bb)
-          if (inst->op() == Opcode::Call) dfs(inst->callee());
-      order.push_back(f);
+          if (inst->op() == Opcode::Call) cs.push_back(inst->callee());
+      return cs;
+    };
+    struct DfsNode {
+      Function* f;
+      std::vector<Function*> callees;
+      size_t next = 0;
+    };
+    std::vector<DfsNode> stack;
+    auto dfs = [&](Function* root) {
+      if (!visited.insert(root).second) return;
+      stack.push_back({root, calleesOf(root), 0});
+      while (!stack.empty()) {
+        DfsNode& top = stack.back();
+        if (top.next < top.callees.size()) {
+          Function* c = top.callees[top.next++];
+          if (visited.insert(c).second) stack.push_back({c, calleesOf(c), 0});
+        } else {
+          order.push_back(top.f);
+          stack.pop_back();
+        }
+      }
     };
     Function* main = m.findFunction("main");
     if (main) dfs(main);

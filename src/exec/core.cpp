@@ -2,7 +2,15 @@
 
 namespace twill {
 
-void Layout::build(Module& m, Memory& mem) {
+bool Layout::build(Module& m, Memory& mem) {
+  // build() may be called again on the same Layout (the simulators rebuild a
+  // shared SimProgram layout into each run's fresh memory); start clean so a
+  // prior failure does not leak into this build.
+  ok = true;
+  error.clear();
+  globalAddr.clear();
+  allocaAddr.clear();
+
   globalAddr.reserve(m.globals().size());
   size_t allocaCount = 0;
   for (auto& f : m.functions())
@@ -11,33 +19,53 @@ void Layout::build(Module& m, Memory& mem) {
         if (inst->op() == Opcode::Alloca) ++allocaCount;
   allocaAddr.reserve(allocaCount);
 
-  uint32_t addr = dataBase;
-  auto align4 = [](uint32_t a) { return (a + 3u) & ~3u; };
+  // 64-bit cursor: a handful of multi-GiB globals would wrap a uint32_t
+  // cursor back into range and "fit". The fit check happens before any
+  // initializer byte is written, so an oversized module never touches mem.
+  uint64_t addr = dataBase;
+  auto align4 = [](uint64_t a) { return (a + 3u) & ~uint64_t{3}; };
+  auto fits = [&](uint64_t need, const std::string& what) {
+    if (need <= mem.size()) return true;
+    ok = false;
+    error = what + " does not fit in simulated memory (need " + std::to_string(need) +
+            " bytes, ceiling " + std::to_string(mem.size()) + ")";
+    return false;
+  };
   for (auto& g : m.globals()) {
     addr = align4(addr);
-    globalAddr[g.get()] = addr;
-    unsigned esz = g->elemByteSize();
+    const uint64_t esz = g->elemByteSize();
+    const uint64_t bytes = esz * g->count();
+    if (!fits(addr + bytes, "global '" + g->name() + "'")) return false;
+    globalAddr[g.get()] = static_cast<uint32_t>(addr);
     const auto& init = g->init();
     for (uint32_t i = 0; i < g->count(); ++i) {
       uint32_t v = i < init.size() ? init[i] : 0;
-      mem.store(addr + i * esz, esz, v);
+      mem.store(static_cast<uint32_t>(addr + i * esz), static_cast<uint32_t>(esz), v);
     }
-    addr += g->byteSize();
+    addr += bytes;
   }
-  stackBase = align4(addr);
+  stackBase = static_cast<uint32_t>(align4(addr));
   addr = stackBase;
   for (auto& f : m.functions()) {
     for (auto& bb : f->blocks()) {
       for (auto& inst : *bb) {
         if (inst->op() != Opcode::Alloca) continue;
         addr = align4(addr);
-        allocaAddr[inst.get()] = addr;
-        unsigned esz = inst->allocaElemBits() == 1 ? 1 : inst->allocaElemBits() / 8;
-        addr += esz * inst->allocaCount();
+        const uint64_t esz = inst->allocaElemBits() == 1 ? 1 : inst->allocaElemBits() / 8;
+        const uint64_t bytes = esz * inst->allocaCount();
+        if (!fits(addr + bytes, "stack slot in '" + f->name() + "'")) return false;
+        allocaAddr[inst.get()] = static_cast<uint32_t>(addr);
+        addr += bytes;
       }
     }
   }
-  top = align4(addr);
+  top = static_cast<uint32_t>(align4(addr));
+  return true;
+}
+
+std::string memOutOfRangeMessage(uint32_t addr, uint32_t len, uint32_t size) {
+  return "memory access out of range: addr=" + std::to_string(addr) + " len=" +
+         std::to_string(len) + " size=" + std::to_string(size);
 }
 
 }  // namespace twill

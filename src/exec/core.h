@@ -27,13 +27,23 @@ struct Layout {
   uint32_t stackBase = 0;       // allocas start here (after globals)
   uint32_t top = 0;             // first free address
 
+  /// False when the module's globals + allocas do not fit in `mem` (the
+  /// simulated-memory ceiling); `error` then holds a diagnostic. Callers
+  /// must check before running — addresses past the failure point are
+  /// unassigned (kUnmapped).
+  bool ok = true;
+  std::string error;
+
   /// Sentinel returned by addrOf for a global/alloca this layout never
   /// assigned (the module was modified after build()). Engines turn it into
   /// a trap diagnostic instead of crashing.
   static constexpr uint32_t kUnmapped = 0xFFFFFFFFu;
 
-  /// Assigns addresses and writes global initializers into `mem`.
-  void build(Module& m, Memory& mem);
+  /// Assigns addresses and writes global initializers into `mem`. Returns
+  /// `ok`: false when the data does not fit in mem.size() bytes (all size
+  /// arithmetic is 64-bit, so adversarially large array counts cannot wrap
+  /// the address space into a bogus "fit").
+  bool build(Module& m, Memory& mem);
   uint32_t addrOf(const GlobalVar* g) const {
     auto it = globalAddr.find(g);
     return it == globalAddr.end() ? kUnmapped : it->second;
@@ -43,6 +53,10 @@ struct Layout {
     return it == allocaAddr.end() ? kUnmapped : it->second;
   }
 };
+
+/// Trap text for an out-of-range program access, shared by all three
+/// engines so differential checks see identical messages.
+std::string memOutOfRangeMessage(uint32_t addr, uint32_t len, uint32_t size);
 
 /// Queue/semaphore endpoints used by the execution engines. The functional
 /// implementation (FunctionalChannels) is unbounded; the cycle-level runtime

@@ -438,9 +438,13 @@ StepResult ExecState::step() {
       result = A();
       break;
     case Opcode::Load:
+      if (!mem_.inRange(A(), d.accessBytes))
+        return trap(memOutOfRangeMessage(A(), d.accessBytes, mem_.size()));
       result = mem_.load(A(), d.accessBytes);
       break;
     case Opcode::Store:
+      if (!mem_.inRange(B(), d.accessBytes))
+        return trap(memOutOfRangeMessage(B(), d.accessBytes, mem_.size()));
       mem_.store(B(), d.accessBytes, A());
       break;
     case Opcode::Gep: {

@@ -256,6 +256,12 @@ SuperRunStatus ExecState::runSuper(Model& model) {
       TWILL_SUPER_LABEL_OP(Load) {
         const SuperOp& so = sops[pc];
         TWILL_SUPER_PRE();
+        if (!mem_.inRange(slots[so.a], so.accessBytes)) {
+          // trap() clears the frame stack, so no pc write-back is needed; the
+          // trapped op is not counted as retired, matching step().
+          trap(memOutOfRangeMessage(slots[so.a], so.accessBytes, mem_.size()));
+          TWILL_SUPER_STOP(kTrapped);
+        }
         slots[so.resSlot] = mem_.load(slots[so.a], so.accessBytes) & so.resMask;
         TWILL_SUPER_POST(so);
         TWILL_SUPER_NEXT();
@@ -263,6 +269,10 @@ SuperRunStatus ExecState::runSuper(Model& model) {
       TWILL_SUPER_LABEL_OP(Store) {
         const SuperOp& so = sops[pc];
         TWILL_SUPER_PRE();
+        if (!mem_.inRange(slots[so.b], so.accessBytes)) {
+          trap(memOutOfRangeMessage(slots[so.b], so.accessBytes, mem_.size()));
+          TWILL_SUPER_STOP(kTrapped);
+        }
         mem_.store(slots[so.b], so.accessBytes, slots[so.a]);
         TWILL_SUPER_POST(so);
         TWILL_SUPER_NEXT();

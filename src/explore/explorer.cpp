@@ -25,6 +25,7 @@ DriverOptions optionsFor(const ExploreRequest& req, const ConfigPoint& point) {
   opts.hls = req.hls;
   opts.dswp = point.dswp;
   opts.sim = point.sim;
+  opts.limits = req.limits;
   opts.unseedSemaphores = req.unseedSemaphores;
   return opts;
 }
@@ -75,7 +76,12 @@ void evalGroup(const ExploreRequest& req, ExploreResult& res, size_t first, size
     // anchor: same module, schedules, DSWP structure, areas, and pure-flow
     // outcomes (those read no swept sim knob; see runPureLoop).
     p.report = anchor.report;
-    p.report.twill = simulateTwill(*art->module, art->dswp, p.point.sim, art->schedules, &prog);
+    // The artifact-reuse path must observe the same resource ceilings the
+    // driver derives from its limits (driver.cpp does this for the anchor).
+    SimConfig sim = p.point.sim;
+    sim.memoryBytes = req.limits.memLimitBytes;
+    sim.wallBudgetMs = req.limits.stageTimeoutMs;
+    p.report.twill = simulateTwill(*art->module, art->dswp, sim, art->schedules, &prog);
     if (acceptTwillOutcome(p.report)) computePower(p.report);
     p.ok = p.report.ok;
     p.error = p.report.error;

@@ -36,6 +36,12 @@ struct ExploreRequest {
   ParamSpace space;
   unsigned inlineThreshold = 100;
   HlsConstraints hls;
+  /// Resource ceilings applied to every evaluated point (see
+  /// DriverOptions::limits). A compile-side breach (token/AST/IR caps) is a
+  /// property of the source + compile knobs, so it prunes the whole compile
+  /// group the way verification failures already do; simulation-side
+  /// breaches are evaluated per point.
+  ResourceLimits limits;
   /// Debug hook forwarded to DriverOptions: re-introduce the unseeded
   /// initial-count bug shape so verification-failure pruning is testable.
   bool unseedSemaphores = false;

@@ -41,7 +41,8 @@ const char* tokName(Tok t) {
   }
 }
 
-Lexer::Lexer(std::string source, DiagEngine& diag) : src_(std::move(source)), diag_(diag) {}
+Lexer::Lexer(std::string source, DiagEngine& diag, const ResourceLimits* limits)
+    : src_(std::move(source)), diag_(diag), limits_(limits ? *limits : ResourceLimits{}) {}
 
 char Lexer::peek(int off) const {
   size_t p = pos_ + static_cast<size_t>(off);
@@ -262,7 +263,22 @@ Token Lexer::next() {
 
 std::vector<Token> Lexer::tokenize() {
   std::vector<Token> out;
-  for (;;) {
+  // Macro splices amplify the stream (one source identifier can expand to
+  // body×body tokens through the one-level nested expansion below), so the
+  // cap is enforced on every single emit, not per source token.
+  bool capped = false;
+  auto emit = [&](const Token& tk) {
+    if (out.size() >= limits_.maxTokens) {
+      if (!capped)
+        diag_.resourceError(tk.loc, "token stream exceeds the resource limit of " +
+                                        std::to_string(limits_.maxTokens) + " tokens");
+      capped = true;
+      return false;
+    }
+    out.push_back(tk);
+    return true;
+  };
+  while (!capped) {
     skipWhitespaceAndComments();
     if (pos_ >= src_.size()) break;
     if (peek() == '#') {
@@ -279,19 +295,21 @@ std::vector<Token> Lexer::tokenize() {
         // define itself was lexed... they were not, so expand one level
         // deep here, which covers chains like #define A B / #define B 4).
         for (Token rt : def->second) {
+          if (capped) break;
           if (rt.kind == Tok::Ident) {
             auto inner = defines_.find(rt.text);
             if (inner != defines_.end()) {
-              for (const Token& it : inner->second) out.push_back(it);
+              for (const Token& it : inner->second)
+                if (!emit(it)) break;
               continue;
             }
           }
-          out.push_back(rt);
+          emit(rt);
         }
         continue;
       }
     }
-    out.push_back(std::move(t));
+    emit(t);
   }
   Token end;
   end.kind = Tok::End;

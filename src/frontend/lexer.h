@@ -7,12 +7,15 @@
 #include <vector>
 
 #include "src/frontend/token.h"
+#include "src/support/limits.h"
 
 namespace twill {
 
 class Lexer {
 public:
-  Lexer(std::string source, DiagEngine& diag);
+  /// `limits` bounds the post-expansion token stream (macro splices can
+  /// amplify quadratically); null means ResourceLimits defaults.
+  Lexer(std::string source, DiagEngine& diag, const ResourceLimits* limits = nullptr);
 
   /// Tokenizes the whole buffer, applying #define substitutions.
   /// The returned stream always ends with a Tok::End token.
@@ -32,6 +35,7 @@ private:
   size_t lineStart_ = 0;
   uint32_t line_ = 1;
   DiagEngine& diag_;
+  ResourceLimits limits_;
   std::unordered_map<std::string, std::vector<Token>> defines_;
 };
 

@@ -1,6 +1,5 @@
 #include "src/frontend/lower.h"
 
-#include <cassert>
 #include <functional>
 
 #include "src/frontend/lexer.h"
@@ -158,7 +157,13 @@ void Lowerer::declareFunction(const FunctionDecl& fd) {
 void Lowerer::lowerFunctionBody(const FunctionDecl& fd) {
   curFn_ = m_.findFunction(fd.name);
   curDecl_ = &fd;
-  assert(curFn_);
+  if (!curFn_) {
+    // declareFunction refused the signature (e.g. a conflicting earlier
+    // declaration kept the name without a materialized function). A plain
+    // diagnostic keeps untrusted input from reaching the old assert.
+    error(fd.loc, "cannot lower '" + fd.name + "': no declared function with this name");
+    return;
+  }
   if (curFn_->entry()) {
     error(fd.loc, "redefinition of function '" + fd.name + "'");
     return;
@@ -875,12 +880,14 @@ bool Lowerer::run(const TranslationUnit& tu) {
   return !diag_.hasErrors();
 }
 
-bool compileC(const std::string& source, Module& m, DiagEngine& diag, CompileTimes* times) {
+bool compileC(const std::string& source, Module& m, DiagEngine& diag, CompileTimes* times,
+              const ResourceLimits* limits) {
+  const ResourceLimits lim = limits ? *limits : ResourceLimits{};
   const auto t0 = stopwatchNow();
-  Lexer lexer(source, diag);
+  Lexer lexer(source, diag, &lim);
   std::vector<Token> toks = lexer.tokenize();
   if (diag.hasErrors()) return false;
-  Parser parser(std::move(toks), diag);
+  Parser parser(std::move(toks), diag, &lim);
   TranslationUnit tu = parser.parse();
   if (times) times->parseMs = msSince(t0);
   if (diag.hasErrors()) return false;
@@ -888,6 +895,12 @@ bool compileC(const std::string& source, Module& m, DiagEngine& diag, CompileTim
   Lowerer lower(m, diag);
   bool ok = lower.run(tu);
   if (times) times->lowerMs = msSince(t1);
+  if (ok && m.instructionCount() > lim.maxIrInstructions) {
+    diag.resourceError({}, "lowered module exceeds the resource limit of " +
+                               std::to_string(lim.maxIrInstructions) + " IR instructions (" +
+                               std::to_string(m.instructionCount()) + ")");
+    return false;
+  }
   return ok;
 }
 

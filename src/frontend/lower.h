@@ -11,6 +11,7 @@
 
 #include "src/frontend/ast.h"
 #include "src/ir/builder.h"
+#include "src/support/limits.h"
 
 namespace twill {
 
@@ -114,8 +115,11 @@ struct CompileTimes {
   double lowerMs = 0;  // AST -> IR lowering
 };
 
-/// Convenience front door: source text -> populated module.
+/// Convenience front door: source text -> populated module. `limits` bounds
+/// token/AST/nesting/IR growth for untrusted input (see
+/// src/support/limits.h); null means ResourceLimits defaults. Breaches are
+/// reported through `diag` as resource errors (DiagEngine::hasResourceError).
 bool compileC(const std::string& source, Module& m, DiagEngine& diag,
-              CompileTimes* times = nullptr);
+              CompileTimes* times = nullptr, const ResourceLimits* limits = nullptr);
 
 }  // namespace twill

@@ -1,6 +1,5 @@
 #include "src/frontend/parser.h"
 
-#include <cassert>
 
 namespace twill {
 
@@ -43,6 +42,26 @@ Token Parser::expect(Tok k, const char* what) {
 }
 
 void Parser::error(const std::string& msg) { diag_.error(cur().loc, msg); }
+
+bool Parser::atLimit() {
+  if (limitHit_) return true;
+  if (depth_ <= limits_.maxNestingDepth && nodeCount_ <= limits_.maxAstNodes) return false;
+  if (depth_ > limits_.maxNestingDepth)
+    diag_.resourceError(cur().loc, "nesting exceeds the resource limit of " +
+                                       std::to_string(limits_.maxNestingDepth) + " levels");
+  else
+    diag_.resourceError(cur().loc, "AST size exceeds the resource limit of " +
+                                       std::to_string(limits_.maxAstNodes) + " nodes");
+  limitHit_ = true;
+  pos_ = toks_.size() - 1;  // jump to End; every parse loop terminates there
+  return true;
+}
+
+ExprPtr Parser::zeroExpr(SourceLoc loc) {
+  auto node = std::make_unique<Expr>(ExprKind::IntLit, loc);
+  node->intValue = 0;
+  return node;
+}
 
 void Parser::synchronizeToSemi() {
   while (!check(Tok::End) && !check(Tok::Semi) && !check(Tok::RBrace)) advance();
@@ -347,6 +366,8 @@ StmtPtr Parser::parseDeclStmt() {
 
 StmtPtr Parser::parseStmt() {
   SourceLoc loc = cur().loc;
+  DepthScope scope(*this);
+  if (atLimit()) return std::make_unique<Stmt>(StmtKind::Empty, loc);
   switch (cur().kind) {
     case Tok::LBrace:
       return parseCompound();
@@ -496,6 +517,8 @@ ExprPtr Parser::parseAssign() {
 }
 
 ExprPtr Parser::parseCond() {
+  DepthScope scope(*this);
+  if (atLimit()) return zeroExpr(cur().loc);
   ExprPtr c = parseBinary(0);
   if (!check(Tok::Question)) return c;
   SourceLoc loc = advance().loc;
@@ -555,6 +578,8 @@ ExprPtr Parser::parseBinary(int minPrec) {
 
 ExprPtr Parser::parseUnary() {
   SourceLoc loc = cur().loc;
+  DepthScope scope(*this);
+  if (atLimit()) return zeroExpr(loc);
   auto mk = [&](UnOp op) {
     advance();
     auto node = std::make_unique<Expr>(ExprKind::Unary, loc);

@@ -4,13 +4,17 @@
 #include <memory>
 
 #include "src/frontend/ast.h"
+#include "src/support/limits.h"
 
 namespace twill {
 
 class Parser {
 public:
-  Parser(std::vector<Token> tokens, DiagEngine& diag)
-      : toks_(std::move(tokens)), diag_(diag) {}
+  /// `limits` bounds recursion depth and (approximately) AST size so
+  /// adversarial nesting cannot overflow the native stack in the parser or
+  /// any recursive AST walk downstream; null means ResourceLimits defaults.
+  Parser(std::vector<Token> tokens, DiagEngine& diag, const ResourceLimits* limits = nullptr)
+      : toks_(std::move(tokens)), diag_(diag), limits_(limits ? *limits : ResourceLimits{}) {}
 
   /// Parses a whole translation unit. On errors, returns what was parsed;
   /// callers must check diag.hasErrors().
@@ -56,9 +60,32 @@ private:
   uint32_t evalConstExpr(const Expr& e);
   ExprPtr parseConstExprNode() { return parseCond(); }
 
+  /// RAII depth/node accounting for the recursive-descent entry points
+  /// (parseStmt, parseCond, parseUnary — the only self-recursive paths).
+  /// Node counting is approximate (one per entry), which is proportional to
+  /// real AST size; the exact blow-up vector (macro amplification) is
+  /// already bounded by the lexer's token cap.
+  struct DepthScope {
+    Parser& p;
+    explicit DepthScope(Parser& parser) : p(parser) {
+      ++p.depth_;
+      ++p.nodeCount_;
+    }
+    ~DepthScope() { --p.depth_; }
+  };
+  /// True when a resource limit is (or was) breached. The first breach
+  /// emits one diagnostic and fast-forwards to the End token, so every
+  /// parse loop unwinds without further recursion.
+  bool atLimit();
+  ExprPtr zeroExpr(SourceLoc loc);
+
   std::vector<Token> toks_;
   size_t pos_ = 0;
   DiagEngine& diag_;
+  ResourceLimits limits_;
+  uint32_t depth_ = 0;
+  uint64_t nodeCount_ = 0;
+  bool limitHit_ = false;
 };
 
 }  // namespace twill

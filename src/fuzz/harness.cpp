@@ -1,0 +1,60 @@
+#include "src/fuzz/harness.h"
+
+#include <string>
+
+#include "src/driver/driver.h"
+#include "src/frontend/lexer.h"
+#include "src/frontend/parser.h"
+#include "src/support/diag.h"
+#include "src/support/limits.h"
+
+namespace twill {
+namespace {
+
+/// Tight, wall-clock-free ceilings: a fuzz input may do anything, but only
+/// a little of it. No stageTimeoutMs — replay must be deterministic.
+ResourceLimits fuzzLimits() {
+  ResourceLimits lim;
+  lim.maxTokens = 1u << 17;
+  lim.maxAstNodes = 1u << 16;
+  lim.maxNestingDepth = 200;
+  lim.maxIrInstructions = 1u << 17;
+  lim.maxInterpSteps = 1u << 22;
+  lim.memLimitBytes = 1u << 20;
+  return lim;
+}
+
+}  // namespace
+
+void fuzzLexer(const uint8_t* data, size_t size) {
+  const std::string source(reinterpret_cast<const char*>(data), size);
+  DiagEngine diag;
+  const ResourceLimits lim = fuzzLimits();
+  Lexer lex(source, diag, &lim);
+  (void)lex.tokenize();
+}
+
+void fuzzParser(const uint8_t* data, size_t size) {
+  const std::string source(reinterpret_cast<const char*>(data), size);
+  DiagEngine diag;
+  const ResourceLimits lim = fuzzLimits();
+  Lexer lex(source, diag, &lim);
+  auto toks = lex.tokenize();
+  if (diag.hasErrors()) return;
+  Parser parser(std::move(toks), diag, &lim);
+  (void)parser.parse();
+}
+
+void fuzzPipeline(const uint8_t* data, size_t size) {
+  const std::string source(reinterpret_cast<const char*>(data), size);
+  DriverOptions opts;
+  opts.limits = fuzzLimits();
+  // The simulators' own knobs bound cycle counts; the deadlock window must
+  // stay below maxCycles or a livelocked input would spin to the larger of
+  // the two.
+  opts.sim.maxCycles = 1u << 22;
+  opts.sim.deadlockWindow = 1u << 20;
+  (void)runBenchmark("fuzz", source, opts);
+}
+
+}  // namespace twill

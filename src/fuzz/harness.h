@@ -1,0 +1,31 @@
+// Total entry points for fuzzing untrusted source text.
+//
+// Each function treats `data` as a (not necessarily NUL-terminated, not
+// necessarily valid) C source file and drives one slice of the pipeline
+// under tight ResourceLimits. They are shared verbatim by the libFuzzer
+// harnesses (fuzz/fuzz_*.cpp, built with -DTWILL_FUZZ=ON) and by the
+// corpus-replay regression test (tests/fuzz_test.cpp), so every checked-in
+// crasher is replayed by the ordinary test suite on every toolchain — the
+// contract is simply "returns, whatever the bytes".
+//
+// Limits are deliberately tight (and wall-clock free, for determinism):
+// fuzzing throughput depends on each input finishing in microseconds, not
+// on generosity toward pathological inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace twill {
+
+/// Lexes the input (macro expansion included) under a tight token cap.
+void fuzzLexer(const uint8_t* data, size_t size);
+
+/// Lexes + parses the input under tight token/AST/nesting caps.
+void fuzzParser(const uint8_t* data, size_t size);
+
+/// Runs the full driver pipeline (compile, optimize, DSWP, verify, HLS,
+/// all three simulated flows) under tight step/cycle/memory caps.
+void fuzzPipeline(const uint8_t* data, size_t size);
+
+}  // namespace twill

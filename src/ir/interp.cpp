@@ -7,6 +7,7 @@
 #include "src/exec/superblock.h"
 #include "src/ir/eval.h"
 #include "src/ir/printer.h"
+#include "src/support/stopwatch.h"
 
 namespace twill {
 
@@ -215,14 +216,18 @@ StepResult RefExecState::step() {
       case Opcode::Load: {
         uint32_t addr = valueOf(inst->operand(0), fr);
         if (!pendingTrap_.empty()) return ranOk();  // surfaces the trap
-        result = mem_.load(addr, inst->type()->byteSize());
+        uint32_t bytes = inst->type()->byteSize();
+        if (!mem_.inRange(addr, bytes)) return trap(memOutOfRangeMessage(addr, bytes, mem_.size()));
+        result = mem_.load(addr, bytes);
         break;
       }
       case Opcode::Store: {
         uint32_t addr = valueOf(inst->operand(1), fr);
         uint32_t v = valueOf(inst->operand(0), fr);
         if (!pendingTrap_.empty()) return ranOk();  // surfaces the trap
-        mem_.store(addr, inst->operand(0)->type()->byteSize(), v);
+        uint32_t bytes = inst->operand(0)->type()->byteSize();
+        if (!mem_.inRange(addr, bytes)) return trap(memOutOfRangeMessage(addr, bytes, mem_.size()));
+        mem_.store(addr, bytes, v);
         break;
       }
       case Opcode::Gep: {
@@ -249,55 +254,100 @@ StepResult RefExecState::step() {
 // Interp
 // ---------------------------------------------------------------------------
 
-uint32_t Interp::run(Function* f, std::vector<uint32_t> args, uint64_t maxSteps) {
+InterpOutcome Interp::runChecked(Function* f, std::vector<uint32_t> args, uint64_t maxSteps,
+                                 double wallBudgetMs) {
+  InterpOutcome out;
+  if (!layout_.ok) {
+    out.resource = true;
+    out.message = layout_.error;
+    return out;
+  }
   if (!prog_) prog_ = std::make_unique<DecodedProgram>(module_, layout_);
   FunctionalChannels chans;
   ExecState st(*prog_, memory(), chans, f, std::move(args));
+  const auto start = stopwatchNow();
+  uint64_t remaining = maxSteps;
+  auto outOfSteps = [&]() -> InterpOutcome& {
+    out.resource = true;
+    out.message = "step limit exceeded in @" + f->name() + " (budget " +
+                  std::to_string(maxSteps) + " steps)";
+    return out;
+  };
   // Superblock tier: runSuper streams whole traces and only hands back for
   // channel operations (stepped singly below) or the step-budget guard,
-  // which keeps the historical maxSteps semantics attempt for attempt.
-  FunctionalSuperModel model{maxSteps};
+  // which keeps the historical maxSteps semantics attempt for attempt. The
+  // budget is fed to the runner in bounded chunks so the wall-clock deadline
+  // is honored even when the program never leaves the runner.
   for (;;) {
-    switch (st.runSuper(model)) {
-      case SuperRunStatus::kFinished:
-        retired_ += st.retired();
-        return st.result();
-      case SuperRunStatus::kTrapped:
-        std::fprintf(stderr, "twill interp trap in @%s: %s\n", f->name().c_str(),
-                     st.trapMessage().c_str());
-        std::abort();
-      case SuperRunStatus::kBudget:
-        std::fprintf(stderr, "twill interp: step limit exceeded in @%s\n", f->name().c_str());
-        std::abort();
-      case SuperRunStatus::kNeedStep:
-        break;
+    const uint64_t chunk = remaining < (1u << 20) ? remaining : (1u << 20);
+    FunctionalSuperModel model{chunk};
+    const SuperRunStatus rs = st.runSuper(model);
+    remaining -= chunk - model.budget;
+    if (rs == SuperRunStatus::kFinished) {
+      retired_ += st.retired();
+      out.ok = true;
+      out.result = st.result();
+      return out;
     }
-    if (model.budget == 0) {
-      std::fprintf(stderr, "twill interp: step limit exceeded in @%s\n", f->name().c_str());
-      std::abort();
+    if (rs == SuperRunStatus::kTrapped) {
+      out.trapped = true;
+      out.message = st.trapMessage();
+      return out;
     }
+    if (wallBudgetMs > 0 && msSince(start) > wallBudgetMs) {
+      out.resource = true;
+      out.message = "wall-clock budget exceeded in @" + f->name() + " (" +
+                    std::to_string(wallBudgetMs) + " ms)";
+      return out;
+    }
+    if (rs == SuperRunStatus::kBudget) {
+      if (remaining == 0) return outOfSteps();
+      continue;  // just the end of a chunk
+    }
+    // kNeedStep: a channel operation — one attempt, like the old loop.
+    if (remaining == 0) return outOfSteps();
     StepResult r = st.step();
-    --model.budget;
+    --remaining;
     if (r.status == StepStatus::Finished) {
       retired_ += st.retired();
-      return st.result();
+      out.ok = true;
+      out.result = st.result();
+      return out;
     }
     if (r.status == StepStatus::Trapped) {
-      std::fprintf(stderr, "twill interp trap in @%s: %s\n", f->name().c_str(),
-                   st.trapMessage().c_str());
-      std::abort();
+      out.trapped = true;
+      out.message = st.trapMessage();
+      return out;
     }
     if (r.status == StepStatus::Blocked) {
-      std::fprintf(stderr, "twill interp: single-threaded run blocked on %s ch%d\n",
-                   opcodeName(r.op), r.dinst ? r.dinst->channel : -1);
-      std::abort();
+      out.trapped = true;
+      out.message = std::string("single-threaded run blocked on ") + opcodeName(r.op) + " ch" +
+                    std::to_string(r.dinst ? r.dinst->channel : -1);
+      return out;
     }
   }
 }
 
+uint32_t Interp::run(Function* f, std::vector<uint32_t> args, uint64_t maxSteps) {
+  InterpOutcome out = runChecked(f, std::move(args), maxSteps);
+  if (!out.ok) {
+    // Tests and benches run trusted modules; a failed run is a harness bug,
+    // so keep the historical loud abort here (untrusted paths use
+    // runChecked directly).
+    std::fprintf(stderr, "twill interp failure in @%s: %s\n", f->name().c_str(),
+                 out.message.c_str());
+    std::abort();
+  }
+  return out.result;
+}
+
 uint32_t Interp::run(const std::string& fname, std::vector<uint32_t> args) {
   Function* f = module_.findFunction(fname);
-  assert(f && "function not found");
+  if (!f) {
+    // A loud failure beats the NDEBUG null-deref the old assert left behind.
+    std::fprintf(stderr, "twill interp: function @%s not found\n", fname.c_str());
+    std::abort();
+  }
   return run(f, std::move(args));
 }
 
@@ -313,6 +363,10 @@ size_t PipelineInterp::addThread(Function* f, std::vector<uint32_t> args) {
 
 PipelineInterp::RunOutcome PipelineInterp::run(uint64_t maxSteps) {
   RunOutcome out;
+  if (!layout_.ok) {
+    out.message = layout_.error;
+    return out;
+  }
   if (threads_.empty()) return out;
   uint64_t steps = 0;
   // Round-robin with a large per-thread burst: decoupled pipelines make most

@@ -82,16 +82,38 @@ private:
   std::string name_;
 };
 
+/// Result of a checked (non-aborting) Interp run. Exactly one of ok /
+/// trapped / resource is set on return.
+struct InterpOutcome {
+  bool ok = false;        // ran to completion; `result` is valid
+  bool trapped = false;   // program runtime error (OOB access, call depth, …)
+  bool resource = false;  // step/wall budget exhausted or layout overflow
+  std::string message;
+  uint32_t result = 0;
+};
+
 /// Single-threaded golden-reference execution of `main` (or any function).
 class Interp {
 public:
-  explicit Interp(Module& m) : module_(m), mem_(Memory::kDefaultSize) { layout_.build(m, mem_); }
+  explicit Interp(Module& m, uint32_t memBytes = Memory::kDefaultSize)
+      : module_(m), mem_(memBytes) {
+    layout_.build(m, mem_);
+  }
   Interp(Module& m, Memory& mem) : module_(m), mem_(0), extMem_(&mem) { layout_.build(m, mem); }
 
   /// Runs to completion; traps abort with a message. `maxSteps` guards
   /// against accidental infinite loops in tests.
   uint32_t run(Function* f, std::vector<uint32_t> args = {}, uint64_t maxSteps = 1ull << 32);
   uint32_t run(const std::string& fname, std::vector<uint32_t> args = {});
+
+  /// Non-aborting run for untrusted input (the driver's golden execution):
+  /// traps, layout overflow, step-budget exhaustion and (when
+  /// `wallBudgetMs` > 0) wall-clock breaches all come back as a structured
+  /// outcome. The wall deadline is checked between bounded superblock
+  /// chunks, so even `while (1) {}` unwinds within a few milliseconds of
+  /// the budget.
+  InterpOutcome runChecked(Function* f, std::vector<uint32_t> args = {},
+                           uint64_t maxSteps = 1ull << 32, double wallBudgetMs = 0);
 
   const Layout& layout() const { return layout_; }
   Memory& memory() { return extMem_ ? *extMem_ : mem_; }

@@ -6,9 +6,15 @@
 #include <utility>
 
 #include "src/exec/superblock.h"
+#include "src/support/stopwatch.h"
 
 namespace twill {
 namespace {
+
+/// Wall-budget check granularity in cycles. The budget is a coarse guard
+/// against non-terminating inputs, so checking the clock every few million
+/// simulated cycles keeps the hot loops free of timer syscalls.
+constexpr uint64_t kWallCheckCycles = 4ull << 20;
 
 /// Cost models driving ExecState::runSuper for the cycle-level simulators.
 /// Each replicates, bit for bit, the accounting the per-inst scheduler loop
@@ -370,14 +376,29 @@ private:
 /// Single-thread loop of the pure-SW/HW baselines on the superblock tier.
 /// Timing-identical to the historical per-inst loop (`step; cycle =
 /// max(cycle + 1, busyUntil); fail when cycle > maxCycles`). Returns false
-/// when the cycle limit was exceeded.
-bool runPureLoop(SimThread& t, const SimConfig& cfg) {
+/// when the cycle limit was exceeded, or — with `wallBreach` set — when the
+/// wall-clock budget expired first.
+bool runPureLoop(SimThread& t, const SimConfig& cfg, bool& wallBreach) {
   uint64_t cycle = 0;
   uint64_t lastProgress = 0;  // unused by the baselines
   const uint64_t limit = cfg.maxCycles == UINT64_MAX ? UINT64_MAX : cfg.maxCycles + 1;
+  const auto wallStart = stopwatchNow();
+  uint64_t nextWallCheck = kWallCheckCycles;
   while (!t.finished() && !t.trapped()) {
-    const SuperRunStatus rs = t.runSuper(cycle, limit, lastProgress, /*clampAtEnd=*/false);
-    if (rs == SuperRunStatus::kBudget) return false;
+    // With a wall budget the superblock run is chunked so the deadline is
+    // observed between chunks; a non-terminating program would otherwise
+    // spin inside a single runSuper call until the full cycle limit.
+    uint64_t end = limit;
+    if (cfg.wallBudgetMs > 0 && end - cycle > kWallCheckCycles) end = cycle + kWallCheckCycles;
+    const SuperRunStatus rs = t.runSuper(cycle, end, lastProgress, /*clampAtEnd=*/false);
+    if (rs == SuperRunStatus::kBudget) {
+      if (cfg.wallBudgetMs > 0 && msSince(wallStart) > cfg.wallBudgetMs) {
+        wallBreach = true;
+        return false;
+      }
+      if (end == limit) return false;  // genuine cycle-limit breach
+      continue;
+    }
     if (rs == SuperRunStatus::kNeedStep) {
       // Channel op (absorbed by FunctionalChannels in a baseline) or a
       // poisoned record: one per-inst iteration, old loop semantics.
@@ -387,6 +408,13 @@ bool runPureLoop(SimThread& t, const SimConfig& cfg) {
     // every iteration — including the finishing/trapping one.
     cycle = std::max(cycle + 1, t.busyUntil);
     if (cycle > cfg.maxCycles) return false;
+    if (cfg.wallBudgetMs > 0 && cycle >= nextWallCheck) {
+      nextWallCheck = cycle + kWallCheckCycles;
+      if (msSince(wallStart) > cfg.wallBudgetMs) {
+        wallBreach = true;
+        return false;
+      }
+    }
   }
   return true;
 }
@@ -395,21 +423,27 @@ bool runPureLoop(SimThread& t, const SimConfig& cfg) {
 
 SimProgram::SimProgram(Module& m, const ScheduleMap& schedules) {
   Memory scratch(Memory::kDefaultSize);
-  layout.build(m, scratch);
-  prog = std::make_unique<DecodedProgram>(m, layout, &schedules);
+  // A module that does not fit leaves `prog` null (and `layout.ok` false);
+  // simulateTwill reports the breach instead of decoding a partial layout.
+  if (layout.build(m, scratch)) prog = std::make_unique<DecodedProgram>(m, layout, &schedules);
 }
 SimProgram::~SimProgram() = default;
 
 SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg,
                          const ScheduleMap& schedules, SimProgram* shared) {
   SimOutcome out;
-  Memory mem;
+  Memory mem(cfg.memoryBytes);
   // Layout::build is deterministic and idempotent for a fixed module: with a
   // shared program it re-assigns the same addresses and (re)writes the
   // global initializers into this run's fresh memory.
   Layout ownLayout;
   Layout& layout = shared ? shared->layout : ownLayout;
   layout.build(m, mem);
+  if (!layout.ok || (shared && !shared->prog)) {
+    out.message = layout.ok ? "module layout failed at program decode time" : layout.error;
+    out.resourceBreach = true;
+    return out;
+  }
   std::unique_ptr<DecodedProgram> ownProg;
   if (!shared) ownProg = std::make_unique<DecodedProgram>(m, layout, &schedules);
   DecodedProgram& prog = shared ? *shared->prog : *ownProg;
@@ -464,6 +498,8 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
   for (auto& p : procs) p.quantumEnd = cfg.schedQuantum;
   uint64_t cycle = 0;
   uint64_t lastProgress = 0;
+  const auto wallStart = stopwatchNow();
+  uint64_t nextWallCheck = kWallCheckCycles;
 
   // Wake min-heap: (cycle, token) entries for parked threads whose wait is
   // (or becomes) satisfiable at a known future cycle. Entries are consumed
@@ -558,6 +594,19 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
   };
 
   while (!mainThread->finished()) {
+    // Coarse wall-budget guard. Every burst/runSuper call below is bounded
+    // by the deadlock window (a few million cycles), so the loop returns
+    // here often enough for a non-terminating input to be caught within one
+    // check interval.
+    if (cfg.wallBudgetMs > 0 && cycle >= nextWallCheck) {
+      nextWallCheck = cycle + kWallCheckCycles;
+      if (msSince(wallStart) > cfg.wallBudgetMs) {
+        out.message = "wall-clock budget exceeded (" + std::to_string(cfg.wallBudgetMs) +
+                      " ms) at cycle " + std::to_string(cycle);
+        out.resourceBreach = true;
+        return out;
+      }
+    }
     bool progress = false;
 
     // Processors: ticked first each cycle (arbiter's processor priority).
@@ -837,13 +886,21 @@ SimOutcome simulatePureSW(Module& m, const SimConfig& cfg) {
     out.message = "no main";
     return out;
   }
-  Memory mem;
+  Memory mem(cfg.memoryBytes);
   Layout layout;
-  layout.build(m, mem);
+  if (!layout.build(m, mem)) {
+    out.message = layout.error;
+    out.resourceBreach = true;
+    return out;
+  }
   DecodedProgram prog(m, layout);
   SimThread t(prog, mem, nullptr, main, /*isHW=*/false, /*token=*/0);
-  if (!runPureLoop(t, cfg)) {
-    out.message = "cycle limit exceeded";
+  bool wallBreach = false;
+  if (!runPureLoop(t, cfg, wallBreach)) {
+    out.resourceBreach = wallBreach;
+    out.message = wallBreach ? "wall-clock budget exceeded (" +
+                                   std::to_string(cfg.wallBudgetMs) + " ms)"
+                             : "cycle limit exceeded";
     return out;
   }
   if (t.trapped()) {
@@ -865,13 +922,21 @@ SimOutcome simulatePureHW(Module& m, const ScheduleMap& schedules, const SimConf
     out.message = "no main";
     return out;
   }
-  Memory mem;
+  Memory mem(cfg.memoryBytes);
   Layout layout;
-  layout.build(m, mem);
+  if (!layout.build(m, mem)) {
+    out.message = layout.error;
+    out.resourceBreach = true;
+    return out;
+  }
   DecodedProgram prog(m, layout, &schedules);
   SimThread t(prog, mem, nullptr, main, /*isHW=*/true, /*token=*/0);
-  if (!runPureLoop(t, cfg)) {
-    out.message = "cycle limit exceeded";
+  bool wallBreach = false;
+  if (!runPureLoop(t, cfg, wallBreach)) {
+    out.resourceBreach = wallBreach;
+    out.message = wallBreach ? "wall-clock budget exceeded (" +
+                                   std::to_string(cfg.wallBudgetMs) + " ms)"
+                             : "cycle limit exceeded";
     return out;
   }
   if (t.trapped()) {

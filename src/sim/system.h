@@ -22,6 +22,7 @@
 #include "src/dswp/extract.h"
 #include "src/hls/schedule.h"
 #include "src/rt/fabric.h"
+#include "src/support/memory.h"
 
 namespace twill {
 
@@ -35,10 +36,21 @@ struct SimConfig {
   unsigned numProcessors = 1;
   uint64_t maxCycles = 1ull << 40;
   uint64_t deadlockWindow = 4u << 20;  // no-progress cycles before aborting
+  /// Simulated-memory ceiling. A module whose globals/stack do not fit is a
+  /// resource breach (SimOutcome::resourceBreach), not an abort.
+  uint32_t memoryBytes = Memory::kDefaultSize;
+  /// Wall-clock budget for one simulation, in milliseconds (0 = unlimited).
+  /// Checked coarsely (every few million cycles), so a breach is detected
+  /// within one check interval, not on the exact millisecond.
+  double wallBudgetMs = 0;
 };
 
 struct SimOutcome {
   bool ok = false;
+  /// True when the failure is a resource breach (layout does not fit in
+  /// `SimConfig::memoryBytes`, or the wall-clock budget expired) rather than
+  /// a program trap / cycle-limit / deadlock failure.
+  bool resourceBreach = false;
   std::string message;
   uint32_t result = 0;
   uint64_t cycles = 0;

@@ -9,6 +9,11 @@ void DiagEngine::error(SourceLoc loc, std::string msg) {
   ++numErrors_;
 }
 
+void DiagEngine::resourceError(SourceLoc loc, std::string msg) {
+  error(loc, std::move(msg));
+  hasResourceError_ = true;
+}
+
 void DiagEngine::warning(SourceLoc loc, std::string msg) {
   diags_.push_back({DiagKind::Warning, loc, std::move(msg)});
 }

@@ -30,8 +30,13 @@ public:
   void error(SourceLoc loc, std::string msg);
   void warning(SourceLoc loc, std::string msg);
   void note(SourceLoc loc, std::string msg);
+  /// An error caused by a ResourceLimits breach (token/node/depth caps, …)
+  /// rather than by malformed input. The driver maps it to
+  /// FailureKind::Resource (exit code 5) instead of Compile (exit code 1).
+  void resourceError(SourceLoc loc, std::string msg);
 
   bool hasErrors() const { return numErrors_ > 0; }
+  bool hasResourceError() const { return hasResourceError_; }
   size_t errorCount() const { return numErrors_; }
   const std::vector<Diagnostic>& all() const { return diags_; }
 
@@ -41,6 +46,7 @@ public:
 private:
   std::vector<Diagnostic> diags_;
   size_t numErrors_ = 0;
+  bool hasResourceError_ = false;
 };
 
 }  // namespace twill

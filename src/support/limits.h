@@ -1,0 +1,54 @@
+// Resource ceilings for one compile + simulate request.
+//
+// Every stage of the pipeline (lexer, parser, lowering, passes, the golden
+// interpreter and the cycle-level simulators) consults these and unwinds to
+// a structured diagnostic — never an abort, never an unbounded spin — when
+// a ceiling is hit. The driver classifies such failures as
+// FailureKind::Resource (twillc exit code 5).
+//
+// The defaults are generous: no supported kernel comes within an order of
+// magnitude of them, so the bench baseline stays byte-identical with the
+// guards on. Untrusted input (twilld, the fuzz harnesses) tightens them via
+// `twillc --timeout-ms / --max-memory-mb` or directly.
+#pragma once
+
+#include <cstdint>
+
+namespace twill {
+
+struct ResourceLimits {
+  /// Wall-clock budget per pipeline stage in milliseconds (0 = unlimited).
+  /// Checked at stage boundaries by the driver and coarsely (every ~1M
+  /// steps / ~4M cycles) inside the golden interpreter and the simulators,
+  /// so a breach surfaces within a bounded overshoot instead of hanging.
+  /// Only wall-clock limits are nondeterministic; everything below is
+  /// checked against exact counts.
+  double stageTimeoutMs = 0;
+
+  /// Post-#define token-stream cap: bounds macro-splice amplification.
+  uint64_t maxTokens = 4u << 20;
+
+  /// AST node cap (counted at the parser's grammar entry points).
+  uint64_t maxAstNodes = 1u << 20;
+
+  /// Parser nesting depth (statements, parens, unary/ternary chains). This
+  /// bounds native stack use for every recursive AST walk downstream
+  /// (lowering, constant evaluation).
+  uint32_t maxNestingDepth = 200;
+
+  /// IR instruction cap per module: lowering rejects modules larger than
+  /// this, and the inliner stops growing the module (gracefully — inlining
+  /// is an optimization) before exceeding it.
+  uint64_t maxIrInstructions = 1u << 20;
+
+  /// Step budget for the golden (functional) interpreter run.
+  uint64_t maxInterpSteps = 1ull << 32;
+
+  /// Simulated-memory ceiling in bytes: the module's globals + stack layout
+  /// must fit, and every simulation memory is allocated at this size.
+  /// Must match Memory::kDefaultSize by default (asserted in driver.cpp) so
+  /// default-limit runs are bit-identical to the pre-guard pipeline.
+  uint32_t memLimitBytes = 4u << 20;
+};
+
+}  // namespace twill

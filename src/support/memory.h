@@ -70,6 +70,12 @@ public:
     for (uint32_t i = 0; i < bytes; ++i) bytes_[addr + i] = static_cast<uint8_t>(value >> (8 * i));
   }
 
+  /// True when [addr, addr+len) lies inside the address space. The
+  /// execution engines test this before every program-driven load/store so
+  /// an out-of-range access from untrusted source traps instead of aborting
+  /// (check() below stays an abort: reaching it means an engine bug).
+  bool inRange(uint32_t addr, uint32_t len) const { return addr <= size_ && len <= size_ - addr; }
+
   /// Bulk access for loading program data (global initializers).
   void write(uint32_t addr, const void* src, uint32_t len);
   void read(uint32_t addr, void* dst, uint32_t len) const;

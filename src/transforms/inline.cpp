@@ -1,6 +1,5 @@
 // Function inlining and dead-function removal.
 #include <algorithm>
-#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -150,11 +149,16 @@ bool inlineCall(Module& m, Instruction* call) {
 
 }  // namespace
 
-bool inlineFunctions(Module& m, unsigned sizeThreshold) {
+bool inlineFunctions(Module& m, unsigned sizeThreshold, uint64_t maxModuleInstructions) {
   // Count call sites per callee.
   std::unordered_map<Function*, unsigned> siteCount;
   for (auto& f : m.functions())
     for (Instruction* c : callSitesIn(*f)) siteCount[c->callee()]++;
+
+  // Inlining a call DAG can double the module per level (exponential in the
+  // worst case), so a resource ceiling stops growth gracefully: inlining is
+  // an optimization, and a partially-inlined module is still correct.
+  uint64_t moduleSize = maxModuleInstructions ? m.instructionCount() : 0;
 
   bool any = false;
   bool changed = true;
@@ -169,7 +173,9 @@ bool inlineFunctions(Module& m, unsigned sizeThreshold) {
         size_t size = callee->instructionCount();
         bool shouldInline = size <= sizeThreshold || siteCount[callee] == 1;
         if (!shouldInline) continue;
+        if (maxModuleInstructions && moduleSize + size > maxModuleInstructions) continue;
         if (inlineCall(m, call)) {
+          moduleSize += size;
           changed = true;
           any = true;
         }
@@ -202,17 +208,39 @@ bool removeDeadFunctions(Module& m) {
 bool globalsToArgs(Module& m) {
   Function* main = m.findFunction("main");
 
-  // Call graph in callee-first order (inputs are recursion-free).
+  // Call graph in callee-first order (inputs are recursion-free). Iterative
+  // post-order with an explicit stack — a deep call chain from untrusted
+  // source must not overflow the native stack — visiting exactly the order
+  // the old recursive DFS produced.
   std::vector<Function*> order;
   std::unordered_set<Function*> visited;
-  std::function<void(Function*)> dfs = [&](Function* f) {
-    if (!visited.insert(f).second) return;
+  auto calleesOf = [](Function* f) {
+    std::vector<Function*> cs;
     for (auto& bb : f->blocks())
       for (auto& inst : *bb)
-        if (inst->op() == Opcode::Call) dfs(inst->callee());
-    order.push_back(f);
+        if (inst->op() == Opcode::Call) cs.push_back(inst->callee());
+    return cs;
   };
-  for (auto& f : m.functions()) dfs(f.get());
+  struct DfsNode {
+    Function* f;
+    std::vector<Function*> callees;
+    size_t next = 0;
+  };
+  std::vector<DfsNode> stack;
+  for (auto& froot : m.functions()) {
+    if (!visited.insert(froot.get()).second) continue;
+    stack.push_back({froot.get(), calleesOf(froot.get()), 0});
+    while (!stack.empty()) {
+      DfsNode& top = stack.back();
+      if (top.next < top.callees.size()) {
+        Function* c = top.callees[top.next++];
+        if (visited.insert(c).second) stack.push_back({c, calleesOf(c), 0});
+      } else {
+        order.push_back(top.f);
+        stack.pop_back();
+      }
+    }
+  }
 
   // Globals used per function (direct + transitive through calls).
   std::unordered_map<Function*, std::vector<GlobalVar*>> used;

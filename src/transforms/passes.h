@@ -38,8 +38,12 @@ bool loopSimplify(Function& f, Module& m);
 
 /// Inlines calls whose callee body is at most `sizeThreshold` instructions
 /// (or which have a single call site). Never inlines recursion (which the
-/// input language forbids anyway). Returns true if anything was inlined.
-bool inlineFunctions(Module& m, unsigned sizeThreshold = 1u << 30);
+/// input language forbids anyway). `maxModuleInstructions` (0 = unlimited)
+/// gracefully stops inlining before the module would exceed that many
+/// instructions — call DAGs from untrusted source can otherwise blow up
+/// exponentially. Returns true if anything was inlined.
+bool inlineFunctions(Module& m, unsigned sizeThreshold = 1u << 30,
+                     uint64_t maxModuleInstructions = 0);
 
 /// Erases functions that are never called and are not `main`.
 bool removeDeadFunctions(Module& m);
@@ -52,7 +56,10 @@ bool globalsToArgs(Module& m);
 /// The default pipeline in the thesis's order. `inlineThreshold` bounds the
 /// inliner (instructions); the thesis inlines aggressively ("inline",
 /// "always-inline"), and MIPS/SHA end up fully inlined (§6.1).
-void runDefaultPipeline(Module& m, unsigned inlineThreshold = 100);
+/// `maxIrInstructions` (0 = unlimited) is the module-growth resource ceiling
+/// forwarded to the inliner.
+void runDefaultPipeline(Module& m, unsigned inlineThreshold = 100,
+                        uint64_t maxIrInstructions = 0);
 
 /// Cleanup-only pipeline (no inlining, no globals rewrite); used after the
 /// DSWP extractor generates partition functions.

@@ -463,7 +463,7 @@ bool loopSimplify(Function& f, Module& m) {
   return changed;
 }
 
-void runDefaultPipeline(Module& m, unsigned inlineThreshold) {
+void runDefaultPipeline(Module& m, unsigned inlineThreshold, uint64_t maxIrInstructions) {
   // §5.1 order: simplifycfg / mem2reg / mergereturn / lowerswitch / inline /
   // simplifycfg / gvn-ish folding / adce / loop-simplify, then the custom
   // globals pass and cleanups (§5.2). Under TWILL_VERIFY_IR every pass is
@@ -478,7 +478,7 @@ void runDefaultPipeline(Module& m, unsigned inlineThreshold) {
     lowerSwitch(*f, m);
     verifyAfterPass(*f, "lowerswitch");
   }
-  inlineFunctions(m, inlineThreshold);
+  inlineFunctions(m, inlineThreshold, maxIrInstructions);
   verifyAfterPass(m, "inline");
   removeDeadFunctions(m);
   verifyAfterPass(m, "remove-dead-functions");

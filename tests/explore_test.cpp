@@ -307,6 +307,30 @@ TEST(ExplorerTest, VerifyFailurePrunesTheWholeCompileGroup) {
   EXPECT_TRUE(res.frontier.empty());
 }
 
+TEST(ExplorerTest, ResourceBreachPrunesTheWholeCompileGroup) {
+  // A resource breach on the compile side (here: the golden execution's
+  // memory ceiling, from ExploreRequest::limits) is shared by every sim
+  // point of the group, exactly like a verification failure: the anchor's
+  // rejection is copied, no per-point simulation runs, and the failure
+  // kind survives as Resource so twill-explore can exit 5.
+  ExploreRequest req;
+  req.name = "capped";
+  req.source = "int big[300000];\nint main(void) { big[7] = 1; return big[7]; }\n";
+  req.limits.memLimitBytes = 1u << 20;  // 1 MiB ceiling; big[] needs ~1.2 MB
+  req.space.partitions = {2};
+  req.space.queueCapacities = {2, 8, 32};
+  ExploreResult res = explore(req, 1);
+  EXPECT_FALSE(res.ok);
+  ASSERT_EQ(res.points.size(), 3u);
+  for (const auto& p : res.points) {
+    EXPECT_FALSE(p.ok);
+    EXPECT_EQ(p.report.failureKind, FailureKind::Resource) << p.point.index;
+    EXPECT_FALSE(p.report.twillSimFailure) << p.point.index;
+    EXPECT_NE(p.error.find("resource"), std::string::npos) << p.error;
+  }
+  EXPECT_TRUE(res.frontier.empty());
+}
+
 TEST(ExplorerTest, CsvHasHeaderAndOneRowPerPoint) {
   ExploreResult res = explore(smallRequest(), 1);
   ASSERT_TRUE(res.ok);

@@ -165,5 +165,112 @@ TEST(RegressionTest, ManyLocalsManyScopes) {
   EXPECT_EQ(in.run("main"), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Resource caps and converted assert sites. The frontend used to crash on
+// these shapes (native-stack overflow on deep nesting, assert on
+// redefinition); now every one must come back as a recoverable diagnostic.
+// ---------------------------------------------------------------------------
+
+TEST(ResourceLimitTest, DeepParensHitTheDefaultNestingCap) {
+  // 5000 levels overflowed the recursive-descent native stack before the
+  // depth cap existed. Default cap: ResourceLimits{}.maxNestingDepth == 200.
+  std::string src = "int main() { return ";
+  for (int i = 0; i < 5000; ++i) src += '(';
+  src += '1';
+  for (int i = 0; i < 5000; ++i) src += ')';
+  src += "; }";
+  Module m;
+  DiagEngine diag;
+  EXPECT_FALSE(compileC(src, m, diag));
+  EXPECT_TRUE(diag.hasResourceError());
+  EXPECT_NE(diag.str().find("nesting exceeds the resource limit"), std::string::npos)
+      << diag.str();
+}
+
+TEST(ResourceLimitTest, DeepBracesAndUnaryChainsHitTheNestingCap) {
+  std::string braces = "int main() { ";
+  for (int i = 0; i < 5000; ++i) braces += '{';
+  for (int i = 0; i < 5000; ++i) braces += '}';
+  braces += " return 0; }";
+  std::string unary = "int main() { return ";
+  unary += std::string(5000, '-');
+  unary += "1; }";
+  for (const std::string& src : {braces, unary}) {
+    Module m;
+    DiagEngine diag;
+    EXPECT_FALSE(compileC(src, m, diag));
+    EXPECT_TRUE(diag.hasResourceError()) << diag.str();
+  }
+}
+
+TEST(ResourceLimitTest, TokenCapBoundsTheLexer) {
+  ResourceLimits limits;
+  limits.maxTokens = 16;
+  Module m;
+  DiagEngine diag;
+  EXPECT_FALSE(compileC("int main() { return 1 + 2 + 3 + 4 + 5 + 6 + 7; }", m, diag,
+                        nullptr, &limits));
+  EXPECT_TRUE(diag.hasResourceError());
+  EXPECT_NE(diag.str().find("token stream exceeds the resource limit of 16 tokens"),
+            std::string::npos)
+      << diag.str();
+}
+
+TEST(ResourceLimitTest, AstNodeCapBoundsTheParser) {
+  ResourceLimits limits;
+  limits.maxAstNodes = 8;
+  Module m;
+  DiagEngine diag;
+  EXPECT_FALSE(compileC("int main() { int a = 1; int b = 2; int c = 3; return a + b + c; }",
+                        m, diag, nullptr, &limits));
+  EXPECT_TRUE(diag.hasResourceError());
+  EXPECT_NE(diag.str().find("AST size exceeds the resource limit of 8 nodes"),
+            std::string::npos)
+      << diag.str();
+}
+
+TEST(ResourceLimitTest, IrInstructionCapBoundsLowering) {
+  ResourceLimits limits;
+  limits.maxIrInstructions = 4;
+  Module m;
+  DiagEngine diag;
+  EXPECT_FALSE(compileC("int main() { int a = 1; int b = a + 2; int c = b * 3; return c ^ a; }",
+                        m, diag, nullptr, &limits));
+  EXPECT_TRUE(diag.hasResourceError());
+  EXPECT_NE(diag.str().find("lowered module exceeds the resource limit"), std::string::npos)
+      << diag.str();
+}
+
+TEST(ResourceLimitTest, WithinCapsTheSameProgramCompiles) {
+  // The caps must not reject valid programs under the shipped defaults —
+  // the guard exists for adversarial input, not normal code.
+  Module m;
+  DiagEngine diag;
+  EXPECT_TRUE(compileC("int main() { int a = 1; int b = a + 2; return a + b; }", m, diag))
+      << diag.str();
+  EXPECT_FALSE(diag.hasResourceError());
+}
+
+TEST(ConvertedAssertTest, RedefinitionsAreDiagnosticsNotAborts) {
+  struct Case {
+    const char* src;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"int f() { return 1; } int f() { return 2; } int main() { return f(); }",
+       "redefinition of function 'f'"},
+      {"int g; int g; int main() { return g; }", "redefinition of global 'g'"},
+      {"int main() { int x = 1; int x = 2; return x; }",
+       "redefinition of 'x' in the same scope"},
+  };
+  for (const Case& c : cases) {
+    Module m;
+    DiagEngine diag;
+    EXPECT_FALSE(compileC(c.src, m, diag)) << c.src;
+    EXPECT_FALSE(diag.hasResourceError()) << c.src;  // plain compile error, not a breach
+    EXPECT_NE(diag.str().find(c.needle), std::string::npos) << diag.str();
+  }
+}
+
 }  // namespace
 }  // namespace twill

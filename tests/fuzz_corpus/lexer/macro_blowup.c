@@ -1,0 +1,5 @@
+#define A x+x+x+x+x+x+x+x+x+x
+#define B A+A+A+A+A+A+A+A+A+A
+#define C B+B+B+B+B+B+B+B+B+B
+#define D C+C+C+C+C+C+C+C+C+C
+int main() { int x = 1; return D+D+D+D+D+D+D+D+D+D; }

@@ -1,0 +1,1 @@
+int g = ;;; int main() { int = 4; return g(((; }

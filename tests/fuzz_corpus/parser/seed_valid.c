@@ -1,0 +1,1 @@
+int main() { int x = 3; return x * 2 + 1; }

@@ -1,0 +1,1 @@
+int main() { int x = 0; return 5 / x + 5 % x; }

@@ -1,0 +1,2 @@
+int g[100000000];
+int main() { g[0] = 1; return g[0]; }

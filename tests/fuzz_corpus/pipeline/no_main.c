@@ -1,0 +1,1 @@
+int helper(int x) { return x + 1; }

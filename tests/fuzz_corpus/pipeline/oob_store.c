@@ -1,0 +1,2 @@
+int a[4];
+int main() { a[1000000] = 5; return a[0]; }

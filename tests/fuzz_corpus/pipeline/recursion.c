@@ -1,0 +1,2 @@
+int f(int n) { return f(n) + 1; }
+int main() { return f(3); }

@@ -1,0 +1,2 @@
+int f(int n) { int a[8]; int i; for (i = 0; i < 8; i = i + 1) a[i] = n + i; return a[7]; }
+int main() { int s = 0; int i; for (i = 0; i < 10; i = i + 1) s = s + f(i); return s; }

@@ -1,0 +1,1 @@
+int main() { while (1) { } return 0; }

@@ -286,6 +286,49 @@ TEST(TwillcTest, HelpAndListKernels) {
   RunResult help = runTwillc("--help");
   EXPECT_EQ(help.exitCode, 0);
   EXPECT_NE(help.out.find("usage: twillc"), std::string::npos);
+  // The exit-code table documents the resource-limit contract (code 5).
+  EXPECT_NE(help.out.find("5  resource limit breached"), std::string::npos) << help.out;
+  EXPECT_NE(help.out.find("--timeout-ms"), std::string::npos) << help.out;
+  EXPECT_NE(help.out.find("--max-memory-mb"), std::string::npos) << help.out;
+}
+
+// --- resource-limit contract (exit code 5) ---------------------------------
+
+TEST(TwillcTest, OversizedGlobalBreachesDefaultMemoryCeilingWithExitFive) {
+  // 100M ints = 400 MB of simulated memory against the 4 MiB default.
+  std::string src =
+      writeTempSource("int g[100000000];\nint main() { g[0] = 1; return g[0]; }\n");
+  RunResult r = runTwillc("--json " + src);
+  EXPECT_EQ(r.exitCode, 5) << r.out;
+  EXPECT_NE(r.out.find("\"failure_kind\": \"resource\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("does not fit in simulated memory"), std::string::npos) << r.out;
+}
+
+TEST(TwillcTest, MaxMemoryMbFlagLowersTheCeiling) {
+  // ~1.2 MB of globals: fits the 4 MiB default, breaches a 1 MiB ceiling.
+  std::string src =
+      writeTempSource("int g[300000];\nint main() { g[0] = 7; return g[0]; }\n");
+  EXPECT_EQ(runTwillc(src).exitCode, 0);
+  RunResult r = runTwillc("--max-memory-mb 1 " + src);
+  EXPECT_EQ(r.exitCode, 5) << r.out;
+  EXPECT_EQ(runTwillc("--max-memory-mb 0 " + src).exitCode, 2);
+  EXPECT_EQ(runTwillc("--max-memory-mb 99999 " + src).exitCode, 2);
+}
+
+TEST(TwillcTest, TimeoutMsBoundsANonTerminatingProgramWithExitFive) {
+  // Unlimited by default, `while (1) {}` would spin for the full 2^40-cycle
+  // budget; a wall-clock budget turns it into a prompt exit-5 failure.
+  std::string src = writeTempSource("int main() { while (1) { } return 0; }\n");
+  RunResult r = runTwillc("--json --timeout-ms 200 " + src);
+  EXPECT_EQ(r.exitCode, 5) << r.out;
+  EXPECT_NE(r.out.find("\"failure_kind\": \"resource\""), std::string::npos) << r.out;
+}
+
+TEST(TwillcTest, MissingMainIsACompileErrorNotACrash) {
+  std::string src = writeTempSource("int helper(int x) { return x + 1; }\n");
+  RunResult r = runTwillc(src);
+  EXPECT_EQ(r.exitCode, 1) << r.out;
+  EXPECT_NE(r.out.find("no 'main' function"), std::string::npos) << r.out;
 }
 
 TEST(TwillcTest, ListKernelsPrintsAllEightOnePerLine) {

@@ -217,7 +217,7 @@ int main(int argc, char** argv) {
   if (!csvPath.empty() && !writeFileOrDie(csvPath, twill::exploreToCsv(results), "CSV")) return 1;
 
   bool allOk = true;
-  bool sawCompile = false, sawVerify = false, sawSim = false;
+  bool sawCompile = false, sawVerify = false, sawSim = false, sawResource = false;
   for (const auto& res : results) {
     size_t okPoints = 0;
     for (const auto& p : res.points) {
@@ -226,6 +226,7 @@ int main(int argc, char** argv) {
         case twill::FailureKind::Compile: sawCompile = true; break;
         case twill::FailureKind::Verify: sawVerify = true; break;
         case twill::FailureKind::Sim: sawSim = true; break;
+        case twill::FailureKind::Resource: sawResource = true; break;
         case twill::FailureKind::None: break;
       }
     }
@@ -242,5 +243,6 @@ int main(int argc, char** argv) {
   if (sawCompile) return 1;
   if (sawVerify) return 3;
   if (sawSim) return 4;
+  if (sawResource) return 5;
   return 1;
 }

@@ -70,12 +70,22 @@ void printUsage(std::FILE* to) {
                "  --sched-quantum N      scheduler period in cycles (default 2000)\n"
                "  --max-cycles N         abort any simulation after N cycles\n"
                "\n"
+               "resource limits (untrusted input; see src/support/limits.h):\n"
+               "  --timeout-ms N         wall-clock budget per pipeline stage and per\n"
+               "                         simulation, in milliseconds (0 = unlimited,\n"
+               "                         the default)\n"
+               "  --max-memory-mb N      simulated-memory ceiling in MiB (default 4);\n"
+               "                         programs whose globals/stack do not fit fail\n"
+               "                         with exit code 5\n"
+               "\n"
                "exit codes (stable; twilld and CI dispatch on them):\n"
                "  0  success\n"
                "  1  compile or input error\n"
                "  2  usage error\n"
                "  3  verification failure (IR or partition protocol)\n"
-               "  4  simulation failure (deadlock, cycle limit, result mismatch)\n");
+               "  4  simulation failure (deadlock, cycle limit, result mismatch)\n"
+               "  5  resource limit breached (token/AST/IR caps, memory ceiling,\n"
+               "     step or wall-clock budget)\n");
 }
 
 bool readFile(const std::string& path, std::string& out, std::string& error) {
@@ -223,6 +233,15 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--sched-quantum") {
       opts.sim.schedQuantum = parseUnsigned(i, "--sched-quantum");
+    } else if (arg == "--timeout-ms") {
+      opts.limits.stageTimeoutMs = parseUnsigned(i, "--timeout-ms");
+    } else if (arg == "--max-memory-mb") {
+      unsigned mb = parseUnsigned(i, "--max-memory-mb");
+      if (mb == 0 || mb > 2048) {
+        std::fprintf(stderr, "twillc: --max-memory-mb must be in [1, 2048]\n");
+        return 2;
+      }
+      opts.limits.memLimitBytes = mb << 20;
     } else if (arg == "-" || arg[0] != '-') {
       if (!inputPath.empty()) {
         std::fprintf(stderr, "twillc: multiple input files ('%s' and '%s')\n",
@@ -292,10 +311,12 @@ int main(int argc, char** argv) {
   if (out != stdout) std::fclose(out);
   if (r.ok) return 0;
   // The documented exit-code contract (see printUsage): compile/input
-  // failures 1, verification failures 3, simulation failures 4.
+  // failures 1, verification failures 3, simulation failures 4, resource
+  // limit breaches 5.
   switch (r.failureKind) {
     case twill::FailureKind::Verify: return 3;
     case twill::FailureKind::Sim: return 4;
+    case twill::FailureKind::Resource: return 5;
     default: return 1;
   }
 }

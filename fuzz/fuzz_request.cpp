@@ -1,0 +1,12 @@
+// libFuzzer harness for the CompileRequest document parser (build with
+// -DTWILL_FUZZ=ON, clang only):
+//   ./build/fuzz_request tests/fuzz_corpus/request -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+
+#include "src/fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  twill::fuzzRequest(data, size);
+  return 0;
+}

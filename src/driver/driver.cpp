@@ -365,6 +365,11 @@ void emitArea(JsonWriter& w, const std::string& key, const AreaEstimate& a) {
 
 void emitReport(JsonWriter& w, const BenchmarkReport& rep) {
   w.beginObject();
+  // Versioned contract: external clients (twilld consumers, CI diff
+  // tooling) dispatch on this before touching any other field. Bump only
+  // with a documented migration; additions within v1 must be
+  // backward-compatible.
+  w.field("schema_version", kReportSchemaVersion);
   w.field("name", rep.name);
   w.field("ok", rep.ok);
   if (!rep.error.empty()) w.field("error", rep.error);

@@ -177,6 +177,13 @@ bool acceptTwillOutcome(BenchmarkReport& rep);
 
 class JsonWriter;
 
+/// Version of the report JSON document (`schema_version`, the first field
+/// of every report emitReport writes) and of the CompileRequest document
+/// the daemon and `twillc --request` accept (src/driver/request.h). The two
+/// form one v1 API: a client that writes requests and reads reports checks
+/// one number.
+inline constexpr int kReportSchemaVersion = 1;
+
 /// Writes the report as one JSON object into an open writer: golden result,
 /// per-flow cycles/activity, DSWP structure counts, areas, normalized power
 /// and speedups. Lets the bench harness embed reports inside its own

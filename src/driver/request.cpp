@@ -1,0 +1,346 @@
+#include "src/driver/request.h"
+
+#include <climits>
+#include <cstdio>
+#include <type_traits>
+
+#include "src/chstone/kernels.h"
+#include "src/support/json.h"
+
+namespace twill {
+namespace {
+
+bool failField(std::string& error, const std::string& field, const char* what) {
+  error = "field '" + field + "': " + what;
+  return false;
+}
+
+bool wantBool(const JsonValue& v, const std::string& field, bool& out, std::string& error) {
+  if (!v.isBool()) return failField(error, field, "expected a boolean");
+  out = v.asBool();
+  return true;
+}
+
+bool wantUnsigned(const JsonValue& v, const std::string& field, uint64_t minV, uint64_t maxV,
+                  uint64_t& out, std::string& error) {
+  if (!v.isUnsigned()) return failField(error, field, "expected an unsigned integer");
+  if (v.asUnsigned() < minV || v.asUnsigned() > maxV) {
+    error = "field '" + field + "': value " + std::to_string(v.asUnsigned()) +
+            " out of range [" + std::to_string(minV) + ", " + std::to_string(maxV) + "]";
+    return false;
+  }
+  out = v.asUnsigned();
+  return true;
+}
+
+bool wantU32(const JsonValue& v, const std::string& field, uint64_t minV, uint64_t maxV,
+             unsigned& out, std::string& error) {
+  uint64_t u;
+  if (!wantUnsigned(v, field, minV, maxV, u, error)) return false;
+  out = static_cast<unsigned>(u);
+  return true;
+}
+
+/// One nested knob group: checks it is an object and applies `member` to
+/// every key/value pair; `member` rejects unknown keys.
+template <typename Fn>
+bool parseGroup(const JsonValue& v, const std::string& group, Fn member, std::string& error) {
+  if (!v.isObject()) return failField(error, group, "expected an object");
+  for (const auto& [key, val] : v.members()) {
+    if (!member(key, val)) {
+      if (error.empty()) error = "field '" + group + "." + key + "': unknown field";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parseFlows(const JsonValue& v, DriverOptions& opts, std::string& error) {
+  return parseGroup(
+      v, "flows",
+      [&](const std::string& k, const JsonValue& val) {
+        if (k == "sw") return wantBool(val, "flows.sw", opts.runPureSW, error);
+        if (k == "hw") return wantBool(val, "flows.hw", opts.runPureHW, error);
+        if (k == "twill") return wantBool(val, "flows.twill", opts.runTwill, error);
+        return false;
+      },
+      error);
+}
+
+bool parseCompile(const JsonValue& v, DriverOptions& opts, std::string& error) {
+  return parseGroup(
+      v, "compile",
+      [&](const std::string& k, const JsonValue& val) {
+        if (k == "inline_threshold")
+          return wantU32(val, "compile.inline_threshold", 0, UINT_MAX, opts.inlineThreshold,
+                         error);
+        if (k == "partitions")
+          return wantU32(val, "compile.partitions", 0, UINT_MAX, opts.dswp.numPartitions, error);
+        if (k == "max_partitions")
+          return wantU32(val, "compile.max_partitions", 1, UINT_MAX, opts.dswp.maxPartitions,
+                         error);
+        if (k == "min_instructions")
+          return wantU32(val, "compile.min_instructions", 0, UINT_MAX,
+                         opts.dswp.minInstructions, error);
+        if (k == "sw_fraction") {
+          if (!val.isNumber() || val.asDouble() < 0.0 || val.asDouble() > 1.0)
+            return failField(error, "compile.sw_fraction", "expected a number in [0, 1]");
+          opts.dswp.swFraction = val.asDouble();
+          return true;
+        }
+        return false;
+      },
+      error);
+}
+
+bool parseSim(const JsonValue& v, DriverOptions& opts, std::string& error) {
+  return parseGroup(
+      v, "sim",
+      [&](const std::string& k, const JsonValue& val) {
+        if (k == "queue_capacity")
+          return wantU32(val, "sim.queue_capacity", 1, UINT_MAX, opts.sim.queueCapacity, error);
+        if (k == "queue_latency")
+          return wantU32(val, "sim.queue_latency", 0, UINT_MAX, opts.sim.queueLatency, error);
+        if (k == "processors")
+          return wantU32(val, "sim.processors", 1, UINT_MAX, opts.sim.numProcessors, error);
+        if (k == "sched_quantum")
+          return wantU32(val, "sim.sched_quantum", 0, UINT_MAX, opts.sim.schedQuantum, error);
+        if (k == "max_cycles")
+          return wantUnsigned(val, "sim.max_cycles", 1, UINT64_MAX, opts.sim.maxCycles, error);
+        return false;
+      },
+      error);
+}
+
+bool parseHls(const JsonValue& v, DriverOptions& opts, std::string& error) {
+  return parseGroup(
+      v, "hls",
+      [&](const std::string& k, const JsonValue& val) {
+        if (k == "max_chain_depth")
+          return wantU32(val, "hls.max_chain_depth", 1, UINT_MAX, opts.hls.maxChainDepth, error);
+        if (k == "mem_ports_per_state")
+          return wantU32(val, "hls.mem_ports_per_state", 1, UINT_MAX,
+                         opts.hls.memPortsPerState, error);
+        if (k == "queue_ports_per_state")
+          return wantU32(val, "hls.queue_ports_per_state", 1, UINT_MAX,
+                         opts.hls.queuePortsPerState, error);
+        if (k == "multipliers_per_state")
+          return wantU32(val, "hls.multipliers_per_state", 1, UINT_MAX,
+                         opts.hls.multipliersPerState, error);
+        if (k == "dividers_per_state")
+          return wantU32(val, "hls.dividers_per_state", 1, UINT_MAX,
+                         opts.hls.dividersPerState, error);
+        return false;
+      },
+      error);
+}
+
+bool parseVerify(const JsonValue& v, DriverOptions& opts, std::string& error) {
+  return parseGroup(
+      v, "verify",
+      [&](const std::string& k, const JsonValue& val) {
+        if (k == "partition") return wantBool(val, "verify.partition", opts.verifyPartition, error);
+        if (k == "only") return wantBool(val, "verify.only", opts.verifyOnly, error);
+        if (k == "unseed_semaphores")
+          return wantBool(val, "verify.unseed_semaphores", opts.unseedSemaphores, error);
+        return false;
+      },
+      error);
+}
+
+bool parseLimits(const JsonValue& v, DriverOptions& opts, std::string& error) {
+  return parseGroup(
+      v, "limits",
+      [&](const std::string& k, const JsonValue& val) {
+        if (k == "timeout_ms") {
+          uint64_t ms;
+          if (!wantUnsigned(val, "limits.timeout_ms", 0, UINT_MAX, ms, error)) return false;
+          opts.limits.stageTimeoutMs = static_cast<double>(ms);
+          return true;
+        }
+        if (k == "max_memory_mb") {
+          // Same [1, 2048] MiB envelope twillc --max-memory-mb enforces.
+          uint64_t mb;
+          if (!wantUnsigned(val, "limits.max_memory_mb", 1, 2048, mb, error)) return false;
+          opts.limits.memLimitBytes = static_cast<uint32_t>(mb << 20);
+          return true;
+        }
+        if (k == "max_tokens")
+          return wantUnsigned(val, "limits.max_tokens", 1, UINT64_MAX, opts.limits.maxTokens,
+                              error);
+        if (k == "max_ast_nodes")
+          return wantUnsigned(val, "limits.max_ast_nodes", 1, UINT64_MAX,
+                              opts.limits.maxAstNodes, error);
+        if (k == "max_nesting_depth") {
+          uint64_t d;
+          if (!wantUnsigned(val, "limits.max_nesting_depth", 1, UINT32_MAX, d, error))
+            return false;
+          opts.limits.maxNestingDepth = static_cast<uint32_t>(d);
+          return true;
+        }
+        if (k == "max_ir_instructions")
+          return wantUnsigned(val, "limits.max_ir_instructions", 1, UINT64_MAX,
+                              opts.limits.maxIrInstructions, error);
+        if (k == "max_interp_steps")
+          return wantUnsigned(val, "limits.max_interp_steps", 1, UINT64_MAX,
+                              opts.limits.maxInterpSteps, error);
+        return false;
+      },
+      error);
+}
+
+}  // namespace
+
+bool compileRequestFromJson(const JsonValue& doc, CompileRequest& out, std::string& error) {
+  out = CompileRequest();
+  if (!doc.isObject()) {
+    error = "request document must be a JSON object";
+    return false;
+  }
+  bool haveSource = false, haveKernel = false, haveName = false;
+  for (const auto& [key, val] : doc.members()) {
+    if (key == "schema_version") {
+      if (!val.isUnsigned() || val.asUnsigned() != static_cast<uint64_t>(kReportSchemaVersion)) {
+        error = "field 'schema_version': this server speaks version " +
+                std::to_string(kReportSchemaVersion);
+        return false;
+      }
+    } else if (key == "name") {
+      if (!val.isString()) return failField(error, "name", "expected a string");
+      out.name = val.asString();
+      haveName = true;
+    } else if (key == "source") {
+      if (!val.isString()) return failField(error, "source", "expected a string");
+      out.source = val.asString();
+      haveSource = true;
+    } else if (key == "kernel") {
+      if (!val.isString()) return failField(error, "kernel", "expected a string");
+      out.kernel = val.asString();
+      haveKernel = true;
+    } else if (key == "flows") {
+      if (!parseFlows(val, out.options, error)) return false;
+    } else if (key == "compile") {
+      if (!parseCompile(val, out.options, error)) return false;
+    } else if (key == "sim") {
+      if (!parseSim(val, out.options, error)) return false;
+    } else if (key == "hls") {
+      if (!parseHls(val, out.options, error)) return false;
+    } else if (key == "verify") {
+      if (!parseVerify(val, out.options, error)) return false;
+    } else if (key == "limits") {
+      if (!parseLimits(val, out.options, error)) return false;
+    } else {
+      error = "field '" + key + "': unknown field";
+      return false;
+    }
+  }
+  if (haveSource == haveKernel) {
+    error = haveSource ? "'source' and 'kernel' are mutually exclusive"
+                       : "exactly one of 'source' or 'kernel' is required";
+    return false;
+  }
+  if (haveKernel) {
+    const KernelInfo* k = findKernel(out.kernel);
+    if (!k) {
+      error = "field 'kernel': unknown kernel '" + out.kernel + "'";
+      return false;
+    }
+    out.source = k->source;
+    if (!haveName) out.name = k->name;
+  }
+  return true;
+}
+
+bool parseCompileRequest(const std::string& text, CompileRequest& out, std::string& error,
+                         uint32_t maxDepth) {
+  JsonValue doc;
+  if (!parseJson(text, doc, error, maxDepth)) {
+    error = "request is not valid JSON: " + error;
+    return false;
+  }
+  return compileRequestFromJson(doc, out, error);
+}
+
+namespace {
+
+/// FNV-1a 64 over the source text. The cache stores the full source and
+/// re-compares it on lookup, so the hash only sizes the key; a collision
+/// degrades to a cache miss, never to a wrong answer.
+uint64_t fnv1a64(const std::string& s) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+template <typename T>
+void appendKnob(std::string& key, const char* tag, T v) {
+  key += '|';
+  key += tag;
+  key += '=';
+  if constexpr (std::is_floating_point_v<T>) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    key += buf;
+  } else {
+    key += std::to_string(static_cast<uint64_t>(v));
+  }
+}
+
+}  // namespace
+
+std::string compileCacheKey(const CompileRequest& req) {
+  const DriverOptions& o = req.options;
+  char head[32];
+  std::snprintf(head, sizeof(head), "v1|src=%016llx",
+                static_cast<unsigned long long>(fnv1a64(req.source)));
+  std::string key = head;
+  appendKnob(key, "sw", static_cast<uint64_t>(o.runPureSW));
+  appendKnob(key, "hw", static_cast<uint64_t>(o.runPureHW));
+  appendKnob(key, "tw", static_cast<uint64_t>(o.runTwill));
+  appendKnob(key, "it", o.inlineThreshold);
+  appendKnob(key, "np", o.dswp.numPartitions);
+  appendKnob(key, "mp", o.dswp.maxPartitions);
+  appendKnob(key, "mi", o.dswp.minInstructions);
+  appendKnob(key, "sf", o.dswp.swFraction);
+  appendKnob(key, "hcd", o.hls.maxChainDepth);
+  appendKnob(key, "hmp", o.hls.memPortsPerState);
+  appendKnob(key, "hqp", o.hls.queuePortsPerState);
+  appendKnob(key, "hmu", o.hls.multipliersPerState);
+  appendKnob(key, "hdv", o.hls.dividersPerState);
+  appendKnob(key, "vp", static_cast<uint64_t>(o.verifyPartition));
+  appendKnob(key, "vo", static_cast<uint64_t>(o.verifyOnly));
+  appendKnob(key, "us", static_cast<uint64_t>(o.unseedSemaphores));
+  appendKnob(key, "lt", o.limits.stageTimeoutMs);
+  appendKnob(key, "ltk", o.limits.maxTokens);
+  appendKnob(key, "lan", o.limits.maxAstNodes);
+  appendKnob(key, "lnd", o.limits.maxNestingDepth);
+  appendKnob(key, "lir", o.limits.maxIrInstructions);
+  appendKnob(key, "lis", o.limits.maxInterpSteps);
+  appendKnob(key, "lmb", o.limits.memLimitBytes);
+  // The pure flows read maxCycles (sim/system.cpp runPureLoop), so it is a
+  // compile-group axis, not a Twill-only one.
+  appendKnob(key, "mc", o.sim.maxCycles);
+  appendKnob(key, "dw", o.sim.deadlockWindow);
+  return key;
+}
+
+std::string requestCacheKey(const CompileRequest& req) {
+  std::string key = compileCacheKey(req);
+  const SimConfig& s = req.options.sim;
+  appendKnob(key, "qc", s.queueCapacity);
+  appendKnob(key, "ql", s.queueLatency);
+  appendKnob(key, "pr", s.numProcessors);
+  appendKnob(key, "sq", s.schedQuantum);
+  key += "|name=";
+  key += req.name;
+  return key;
+}
+
+BenchmarkReport runCompileRequest(const CompileRequest& req) {
+  return runBenchmark(req.name, req.source, req.options);
+}
+
+}  // namespace twill

@@ -28,4 +28,47 @@ void runIndexedTasks(unsigned jobs, size_t count, const std::function<void(size_
   for (auto& t : threads) t.join();
 }
 
+WorkerPool::WorkerPool(unsigned jobs) {
+  const unsigned n = jobs < 1 ? 1 : jobs;
+  workers_.reserve(n);
+  for (unsigned w = 0; w < n; ++w) workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  shutdown();
+  for (auto& t : workers_) t.join();
+}
+
+bool WorkerPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void WorkerPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+void WorkerPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;  // unstarted tasks are dropped by contract
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
 }  // namespace twill

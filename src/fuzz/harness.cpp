@@ -3,6 +3,7 @@
 #include <string>
 
 #include "src/driver/driver.h"
+#include "src/driver/request.h"
 #include "src/frontend/lexer.h"
 #include "src/frontend/parser.h"
 #include "src/support/diag.h"
@@ -43,6 +44,17 @@ void fuzzParser(const uint8_t* data, size_t size) {
   if (diag.hasErrors()) return;
   Parser parser(std::move(toks), diag, &lim);
   (void)parser.parse();
+}
+
+void fuzzRequest(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  CompileRequest req;
+  std::string error;
+  if (!parseCompileRequest(text, req, error)) return;
+  // Valid documents exercise the key builders too (the daemon computes both
+  // on every job).
+  (void)compileCacheKey(req);
+  (void)requestCacheKey(req);
 }
 
 void fuzzPipeline(const uint8_t* data, size_t size) {

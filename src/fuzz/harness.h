@@ -28,4 +28,11 @@ void fuzzParser(const uint8_t* data, size_t size);
 /// all three simulated flows) under tight step/cycle/memory caps.
 void fuzzPipeline(const uint8_t* data, size_t size);
 
+/// Treats the input as a CompileRequest JSON document (the twilld
+/// `POST /v1/jobs` body / `twillc --request` file): JSON reader with its
+/// depth cap, request validation, and — when the document is valid — the
+/// cache-key builders. Never runs the driver: the document surface is the
+/// target, not the program inside it.
+void fuzzRequest(const uint8_t* data, size_t size);
+
 }  // namespace twill

@@ -1,0 +1,156 @@
+// TwillService — the HTTP-agnostic core of twilld.
+//
+// Owns the job table, the worker pool that runs compile+sim jobs, and the
+// two-level artifact cache. `handle()` routes one parsed HttpRequest to the
+// v1 API and returns the response; twilld's only job is to move bytes
+// between sockets and this object.
+//
+// v1 endpoints:
+//   POST /v1/jobs           submit a CompileRequest document -> 202 {job_id}
+//   GET  /v1/jobs/<id>      job state summary (queued | running | done)
+//   GET  /v1/jobs/<id>/report
+//                           the full report; 202 while the job is in
+//                           flight, else the failure-kind-mapped status
+//                           with the same document `twillc --json` prints
+//   GET  /v1/stats          counters (cache hits/misses, failure kinds)
+//   GET  /v1/healthz        liveness probe
+//
+// FailureKind -> HTTP status (the exit-code contract, lifted onto HTTP):
+//   ok -> 200, compile -> 422, verify -> 412, sim -> 500, resource -> 413.
+// Verify and resource rejections are produced without entering the
+// simulator (the verifier short-circuits in runBenchmark; oversized bodies
+// and malformed documents are rejected before a job even exists).
+//
+// Caching: two levels, both keyed by src/driver/request.h.
+//   * Response cache (full request key): a byte-identical repeat request is
+//     answered with the stored report document — no compile, no sim.
+//   * Artifact cache (compile key): a request differing only in the
+//     Twill-only sim axes (queue capacity/latency, processors, sched
+//     quantum) re-simulates the cached compile's kept TwillArtifacts
+//     through a per-entry shared SimProgram — the same decode reuse the
+//     explorer's sim points get from their compile group.
+// Counters for both levels are exposed on /v1/stats; the serve-smoke CI job
+// and serve_test assert on them.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/driver/request.h"
+#include "src/explore/pool.h"
+#include "src/serve/http.h"
+#include "src/sim/system.h"
+
+namespace twill {
+
+struct ServiceConfig {
+  /// Worker threads executing jobs (>= 1; requests never run on the
+  /// server's accept thread).
+  unsigned jobs = 1;
+  /// Server-side ceilings. Requests can only tighten them: the effective
+  /// per-request wall budget is min(request, server) (0 = unlimited) and
+  /// the effective memory ceiling is min(request, server).
+  double maxTimeoutMs = 0;
+  uint32_t maxMemoryBytes = 0;  // 0 = no server cap beyond the request's
+  /// Response-cache entry cap (artifact entries are bounded by the same
+  /// number); least-recently-used entries are evicted.
+  size_t maxCacheEntries = 64;
+  /// Completed jobs retained for report fetches; the oldest are dropped
+  /// past this (a later fetch gets 404 — clients poll then fetch promptly).
+  size_t maxRetainedJobs = 1024;
+};
+
+/// The FailureKind -> HTTP status table (see the header comment). `None`
+/// maps to 200.
+int httpStatusForFailure(FailureKind kind);
+
+struct ServiceStats {
+  uint64_t submitted = 0;       // jobs accepted (202)
+  uint64_t completed = 0;       // jobs finished (any outcome)
+  uint64_t rejectedRequests = 0;  // malformed/oversized submissions (4xx)
+  uint64_t cacheFullHits = 0;   // answered from the response cache
+  uint64_t cacheArtifactHits = 0;  // re-simulated cached artifacts
+  uint64_t cacheMisses = 0;     // full compile+sim runs
+  uint64_t ok = 0;              // completed jobs by outcome
+  uint64_t failCompile = 0;
+  uint64_t failVerify = 0;
+  uint64_t failSim = 0;
+  uint64_t failResource = 0;
+};
+
+class TwillService {
+ public:
+  explicit TwillService(const ServiceConfig& cfg);
+  ~TwillService();
+
+  TwillService(const TwillService&) = delete;
+  TwillService& operator=(const TwillService&) = delete;
+
+  /// Routes one request to the v1 API. Thread-safe (twilld's accept loop is
+  /// single-threaded, but tests drive this directly from several threads).
+  HttpResponse handle(const HttpRequest& req);
+
+  /// Snapshot of the counters (the /v1/stats payload, unserialized).
+  ServiceStats stats() const;
+
+  /// Blocks until every job submitted so far has completed. Test/shutdown
+  /// aid — the HTTP API only ever polls.
+  void drain();
+
+ private:
+  enum class JobState : uint8_t { Queued, Running, Done };
+
+  struct Job {
+    uint64_t id = 0;
+    CompileRequest request;
+    JobState state = JobState::Queued;
+    // Filled at completion:
+    bool ok = false;
+    FailureKind failureKind = FailureKind::None;
+    int httpStatus = 0;
+    std::string responseJson;  // reportToJson document
+  };
+
+  /// One cached compile: the anchor report (artifacts attached when the
+  /// Twill flow succeeded) plus the shared decode for re-simulation.
+  /// `mu` serializes re-sims — SimProgram's lazy decode cache is not
+  /// concurrency-safe (same reason explorer sim points stay on one worker).
+  struct CacheEntry {
+    std::string source;  // hash-collision guard: verified on every lookup
+    BenchmarkReport anchor;
+    std::unique_ptr<SimProgram> prog;
+    uint64_t lastUse = 0;
+    std::mutex mu;
+  };
+
+  HttpResponse submitJob(const HttpRequest& req);
+  HttpResponse jobStatus(uint64_t id);
+  HttpResponse jobReport(uint64_t id);
+  HttpResponse statsResponse();
+  void runJob(uint64_t id);
+  void finishJob(uint64_t id, const std::string& fullKey, const BenchmarkReport& rep);
+  void evictIfNeeded();  // callers hold mu_
+
+  ServiceConfig cfg_;
+  mutable std::mutex mu_;
+  uint64_t nextJobId_ = 1;
+  uint64_t useClock_ = 0;  // LRU tick
+  std::map<uint64_t, Job> jobs_;
+  // Response cache: full request key -> (status, document).
+  std::unordered_map<std::string, std::pair<int, std::string>> responses_;
+  std::unordered_map<std::string, uint64_t> responseUse_;
+  // Artifact cache: compile key -> entry (shared_ptr so a re-sim can run
+  // outside mu_ while eviction drops the map reference).
+  std::unordered_map<std::string, std::shared_ptr<CacheEntry>> artifacts_;
+  ServiceStats stats_;
+  std::condition_variable drainCv_;
+  // Last member: workers touch everything above, so they must die first.
+  std::unique_ptr<WorkerPool> pool_;
+};
+
+}  // namespace twill

@@ -108,5 +108,9 @@ TEST(CorpusReplayTest, ParserCrashersStayFixed) { replayDirectory("parser", fuzz
 
 TEST(CorpusReplayTest, PipelineCrashersStayFixed) { replayDirectory("pipeline", fuzzPipeline); }
 
+TEST(CorpusReplayTest, RequestDocumentCrashersStayFixed) {
+  replayDirectory("request", fuzzRequest);
+}
+
 }  // namespace
 }  // namespace twill

@@ -1,0 +1,144 @@
+// Unit tests for the src/support/json reader (the writer is pinned
+// indirectly by every report-shape test; the reader is the new untrusted
+// surface the daemon parses requests with).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/support/json.h"
+
+namespace twill {
+namespace {
+
+JsonValue parseOk(const std::string& text, uint32_t maxDepth = 64) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(parseJson(text, v, error, maxDepth)) << text << "\n" << error;
+  return v;
+}
+
+std::string parseErr(const std::string& text, uint32_t maxDepth = 64) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(parseJson(text, v, error, maxDepth)) << text;
+  return error;
+}
+
+TEST(JsonReaderTest, Scalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").asBool());
+  EXPECT_FALSE(parseOk("false").asBool());
+  EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+  EXPECT_DOUBLE_EQ(parseOk("-2.5e2").asDouble(), -250.0);
+}
+
+TEST(JsonReaderTest, ExactUnsignedNumbers) {
+  JsonValue v = parseOk("18446744073709551615");  // UINT64_MAX
+  ASSERT_TRUE(v.isUnsigned());
+  EXPECT_EQ(v.asUnsigned(), UINT64_MAX);
+  // Fractions, exponents and negatives are numbers but not exact unsigneds.
+  EXPECT_FALSE(parseOk("1.0").isUnsigned());
+  EXPECT_FALSE(parseOk("1e3").isUnsigned());
+  EXPECT_FALSE(parseOk("-1").isUnsigned());
+  EXPECT_TRUE(parseOk("0").isUnsigned());
+}
+
+TEST(JsonReaderTest, ObjectsKeepOrderAndLookup) {
+  JsonValue v = parseOk("{\"b\": 1, \"a\": {\"x\": [1, 2, 3]}}");
+  ASSERT_TRUE(v.isObject());
+  ASSERT_EQ(v.members().size(), 2u);
+  EXPECT_EQ(v.members()[0].first, "b");
+  const JsonValue* a = v.get("a");
+  ASSERT_NE(a, nullptr);
+  const JsonValue* x = a->get("x");
+  ASSERT_NE(x, nullptr);
+  ASSERT_EQ(x->items().size(), 3u);
+  EXPECT_EQ(x->items()[2].asUnsigned(), 3u);
+  EXPECT_EQ(v.get("missing"), nullptr);
+}
+
+TEST(JsonReaderTest, StringEscapes) {
+  EXPECT_EQ(parseOk("\"a\\n\\t\\\\\\\"b\\/\"").asString(), "a\n\t\\\"b/");
+  EXPECT_EQ(parseOk("\"\\u0041\\u00e9\"").asString(), "A\xc3\xa9");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parseOk("\"\\ud83d\\ude00\"").asString(), "\xf0\x9f\x98\x80");
+  EXPECT_NE(parseErr("\"\\ud800\""), "");         // lone high surrogate
+  EXPECT_NE(parseErr("\"\\udc00\""), "");         // lone low surrogate
+  EXPECT_NE(parseErr("\"\\u12g4\""), "");         // bad hex digit
+  EXPECT_NE(parseErr("\"raw\ncontrol\""), "");    // unescaped control char
+  EXPECT_NE(parseErr("\"unterminated"), "");
+}
+
+TEST(JsonReaderTest, RejectsMalformedDocuments) {
+  EXPECT_NE(parseErr(""), "");
+  EXPECT_NE(parseErr("{"), "");
+  EXPECT_NE(parseErr("[1,]"), "");
+  EXPECT_NE(parseErr("{\"a\":}"), "");
+  EXPECT_NE(parseErr("{\"a\" 1}"), "");
+  EXPECT_NE(parseErr("{'a': 1}"), "");
+  EXPECT_NE(parseErr("tru"), "");
+  EXPECT_NE(parseErr("01"), "");
+  EXPECT_NE(parseErr(".5"), "");
+  EXPECT_NE(parseErr("+1"), "");
+  EXPECT_NE(parseErr("1."), "");
+  EXPECT_NE(parseErr("1e"), "");
+  EXPECT_NE(parseErr("nan"), "");
+  EXPECT_NE(parseErr("1e999"), "");  // overflows to inf
+}
+
+TEST(JsonReaderTest, RejectsTrailingBytes) {
+  const std::string err = parseErr("{} x");
+  EXPECT_NE(err.find("trailing"), std::string::npos) << err;
+  EXPECT_NE(parseErr("1 2"), "");
+}
+
+TEST(JsonReaderTest, RejectsDuplicateKeys) {
+  const std::string err = parseErr("{\"a\": 1, \"a\": 2}");
+  EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+}
+
+TEST(JsonReaderTest, DepthCapIsEnforcedNotCrashed) {
+  // 10k-deep nesting must produce a structured error, not a native stack
+  // overflow — the same guarantee the parser's maxNestingDepth gives the
+  // C frontend.
+  std::string deep(10000, '[');
+  deep += std::string(10000, ']');
+  const std::string err = parseErr(deep);
+  EXPECT_NE(err.find("depth"), std::string::npos) << err;
+  // Exactly at the cap parses; one past fails.
+  std::string nested = "[[[[8]]]]";  // depth 4
+  EXPECT_EQ(parseOk(nested, 4).items()[0].items()[0].items()[0].items()[0].asUnsigned(), 8u);
+  EXPECT_NE(parseErr(nested, 3), "");
+}
+
+TEST(JsonReaderTest, ErrorsCarryByteOffsets) {
+  const std::string err = parseErr("{\"a\": bad}");
+  EXPECT_NE(err.find("offset 6"), std::string::npos) << err;
+}
+
+TEST(JsonReaderTest, RoundTripsTheWriter) {
+  // Whatever the JsonWriter emits, the reader must accept — the daemon's
+  // responses and the request documents share one dialect.
+  JsonWriter w;
+  w.beginObject();
+  w.field("name", std::string("k\"er\nnel"));
+  w.field("ok", true);
+  w.field("cycles", static_cast<uint64_t>(123456789));
+  w.field("power", 0.7651);
+  w.key("list");
+  w.beginArray();
+  w.value(1);
+  w.value(-2);
+  w.endArray();
+  w.endObject();
+  JsonValue v = parseOk(w.str());
+  EXPECT_EQ(v.get("name")->asString(), "k\"er\nnel");
+  EXPECT_TRUE(v.get("ok")->asBool());
+  EXPECT_EQ(v.get("cycles")->asUnsigned(), 123456789u);
+  EXPECT_DOUBLE_EQ(v.get("power")->asDouble(), 0.7651);
+  ASSERT_EQ(v.get("list")->items().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.get("list")->items()[1].asDouble(), -2.0);
+}
+
+}  // namespace
+}  // namespace twill

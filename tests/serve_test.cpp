@@ -1,0 +1,442 @@
+// Tests for the twilld service stack (src/serve): the HTTP parser, the
+// TwillService v1 API driven in-process, the real-socket server, and the
+// twilld binary end to end (path injected by CMake as TWILLD_PATH, with
+// TWILLC_PATH for the report-equality oracle).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "src/serve/http.h"
+#include "src/serve/service.h"
+
+namespace {
+
+using twill::HttpRequest;
+using twill::HttpResponse;
+using twill::ServiceConfig;
+using twill::TwillService;
+
+#ifndef TWILLD_PATH
+#error "TWILLD_PATH must be defined to the twilld binary location"
+#endif
+#ifndef TWILLC_PATH
+#error "TWILLC_PATH must be defined to the twillc binary location"
+#endif
+
+// Small programs with a pinned failure class each (mirrors twillc_test's
+// exit-code contract suite).
+const char* kQuickProgram =
+    "int data[64];\n"
+    "int main(void) {\n"
+    "  unsigned x = 12345u;\n"
+    "  for (int i = 0; i < 64; i++) {\n"
+    "    x = x * 1664525u + 1013904223u;\n"
+    "    data[i] = (int)(x >> 24);\n"
+    "  }\n"
+    "  int sum = 0;\n"
+    "  for (int i = 0; i < 64; i++) sum += data[i];\n"
+    "  return sum;\n"
+    "}\n";
+
+const char* kTwoCallSiteProgram =
+    "int acc[8];\n"
+    "int f(int s) {\n"
+    "  int t = 0;\n"
+    "  for (int i = 0; i < 8; i++) { acc[i] = acc[i] * 3 + s + i; t += acc[i]; }\n"
+    "  for (int i = 0; i < 8; i++) { t ^= acc[i] << (i & 3); }\n"
+    "  return t;\n"
+    "}\n"
+    "int main(void) { int a = f(3); int b = f(a & 15); return a + b; }\n";
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string sourceRequest(const std::string& source, const std::string& extraGroups = "") {
+  std::string doc = "{\"source\": \"" + jsonEscape(source) + "\"";
+  if (!extraGroups.empty()) doc += ", " + extraGroups;
+  return doc + "}";
+}
+
+HttpRequest post(const std::string& target, const std::string& body) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = target;
+  req.version = "HTTP/1.1";
+  req.body = body;
+  return req;
+}
+
+HttpRequest get(const std::string& target) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = target;
+  req.version = "HTTP/1.1";
+  return req;
+}
+
+/// Submits and waits for completion; returns the report response.
+HttpResponse submitAndFetch(TwillService& svc, const std::string& body) {
+  HttpResponse sub = svc.handle(post("/v1/jobs", body));
+  EXPECT_EQ(sub.status, 202) << sub.body;
+  const size_t idPos = sub.body.find("\"job_id\": ");
+  EXPECT_NE(idPos, std::string::npos) << sub.body;
+  const std::string id = sub.body.substr(idPos + 10, sub.body.find(',', idPos) - idPos - 10);
+  svc.drain();
+  return svc.handle(get("/v1/jobs/" + id + "/report"));
+}
+
+/// The *_wall_ms fields are the only nondeterministic report content; the
+/// bench gate treats them the same way (warn-only in bench_diff).
+std::string normalizeWallTimes(const std::string& doc) {
+  static const std::regex kWall("(\"[a-z_]*wall_ms\": )[0-9.e+-]+");
+  return std::regex_replace(doc, kWall, "$1X");
+}
+
+// --- HTTP parser ------------------------------------------------------------
+
+TEST(HttpParserTest, ParsesRequestLineHeadersAndBody) {
+  HttpRequest req;
+  std::string error;
+  ASSERT_TRUE(parseHttpRequest(
+      "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbodyEXTRA", req, error))
+      << error;
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.target, "/v1/jobs");
+  EXPECT_EQ(req.header("host"), "x");  // names are lowercased
+  EXPECT_EQ(req.body, "body");         // Content-Length bounds the body
+}
+
+TEST(HttpParserTest, RejectsMalformedInput) {
+  HttpRequest req;
+  std::string error;
+  EXPECT_FALSE(parseHttpRequest("GET /\r\n\r\n", req, error));              // no version
+  EXPECT_FALSE(parseHttpRequest("GET / HTTP/1.1\r\nbad\r\n\r\n", req, error));  // colonless
+  EXPECT_FALSE(parseHttpRequest("get / HTTP/1.1\r\n\r\n", req, error));     // lowercase method
+  EXPECT_FALSE(parseHttpRequest("GET x HTTP/1.1\r\n\r\n", req, error));     // no leading /
+  EXPECT_FALSE(parseHttpRequest("GET / HTTP/1.1\r\nContent-Length: zz\r\n\r\n", req, error));
+  EXPECT_FALSE(
+      parseHttpRequest("GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", req, error));
+  EXPECT_FALSE(parseHttpRequest("GET / HTTP/1.1\r\n", req, error));         // truncated head
+}
+
+// --- service: lifecycle and caching ----------------------------------------
+
+TEST(ServeTest, SubmitPollFetchLifecycle) {
+  TwillService svc{ServiceConfig{}};
+  HttpResponse sub = svc.handle(post("/v1/jobs", sourceRequest(kQuickProgram)));
+  ASSERT_EQ(sub.status, 202) << sub.body;
+  EXPECT_NE(sub.body.find("\"job_id\": 1"), std::string::npos) << sub.body;
+  svc.drain();
+  HttpResponse status = svc.handle(get("/v1/jobs/1"));
+  EXPECT_EQ(status.status, 200);
+  EXPECT_NE(status.body.find("\"state\": \"done\""), std::string::npos) << status.body;
+  EXPECT_NE(status.body.find("\"ok\": true"), std::string::npos) << status.body;
+  HttpResponse report = svc.handle(get("/v1/jobs/1/report"));
+  EXPECT_EQ(report.status, 200);
+  EXPECT_NE(report.body.find("\"schema_version\": 1"), std::string::npos) << report.body;
+  EXPECT_NE(report.body.find("\"cycles\""), std::string::npos) << report.body;
+  HttpResponse health = svc.handle(get("/v1/healthz"));
+  EXPECT_EQ(health.status, 200);
+}
+
+TEST(ServeTest, RepeatRequestIsAnsweredFromTheResponseCache) {
+  TwillService svc{ServiceConfig{}};
+  HttpResponse first = submitAndFetch(svc, sourceRequest(kQuickProgram));
+  HttpResponse second = submitAndFetch(svc, sourceRequest(kQuickProgram));
+  ASSERT_EQ(first.status, 200);
+  // The cached answer is the stored document: byte-identical, wall times
+  // included (nothing re-ran).
+  EXPECT_EQ(first.body, second.body);
+  twill::ServiceStats s = svc.stats();
+  EXPECT_EQ(s.cacheMisses, 1u);
+  EXPECT_EQ(s.cacheFullHits, 1u);
+  EXPECT_EQ(s.cacheArtifactHits, 0u);
+}
+
+TEST(ServeTest, SimAxisChangeReusesTheCachedCompile) {
+  TwillService warm{ServiceConfig{}};
+  (void)submitAndFetch(warm, sourceRequest(kQuickProgram));
+  HttpResponse reused = submitAndFetch(
+      warm, sourceRequest(kQuickProgram, "\"sim\": {\"queue_capacity\": 16}"));
+  twill::ServiceStats s = warm.stats();
+  EXPECT_EQ(s.cacheMisses, 1u);
+  EXPECT_EQ(s.cacheArtifactHits, 1u) << "sim-only change should not recompile";
+
+  // The reuse path must be invisible in the report: a cold service running
+  // the same request from scratch produces the identical document.
+  TwillService cold{ServiceConfig{}};
+  HttpResponse fresh = submitAndFetch(
+      cold, sourceRequest(kQuickProgram, "\"sim\": {\"queue_capacity\": 16}"));
+  ASSERT_EQ(reused.status, 200) << reused.body;
+  EXPECT_EQ(normalizeWallTimes(reused.body), normalizeWallTimes(fresh.body));
+}
+
+TEST(ServeTest, CompileAxisChangeMissesTheCache) {
+  TwillService svc{ServiceConfig{}};
+  (void)submitAndFetch(svc, sourceRequest(kQuickProgram));
+  (void)submitAndFetch(svc,
+                       sourceRequest(kQuickProgram, "\"compile\": {\"partitions\": 2}"));
+  twill::ServiceStats s = svc.stats();
+  EXPECT_EQ(s.cacheMisses, 2u);
+  EXPECT_EQ(s.cacheArtifactHits, 0u);
+}
+
+// --- service: FailureKind -> HTTP status -----------------------------------
+
+TEST(ServeTest, CompileFailureMapsTo422) {
+  TwillService svc{ServiceConfig{}};
+  HttpResponse report = submitAndFetch(svc, sourceRequest("int main( {"));
+  EXPECT_EQ(report.status, 422) << report.body;
+  EXPECT_NE(report.body.find("\"failure_kind\": \"compile\""), std::string::npos)
+      << report.body;
+}
+
+TEST(ServeTest, VerifyFailureMapsTo412WithDiagnostics) {
+  TwillService svc{ServiceConfig{}};
+  HttpResponse report = submitAndFetch(
+      svc, sourceRequest(kTwoCallSiteProgram,
+                         "\"compile\": {\"inline_threshold\": 0, \"partitions\": 2}, "
+                         "\"verify\": {\"unseed_semaphores\": true}"));
+  EXPECT_EQ(report.status, 412) << report.body;
+  EXPECT_NE(report.body.find("\"failure_kind\": \"verify\""), std::string::npos)
+      << report.body;
+  // Structured diagnostics, produced without entering the simulator.
+  EXPECT_NE(report.body.find("\"verify_diagnostics\""), std::string::npos) << report.body;
+}
+
+TEST(ServeTest, SimFailureMapsTo500) {
+  TwillService svc{ServiceConfig{}};
+  HttpResponse report = submitAndFetch(
+      svc, sourceRequest(kQuickProgram, "\"sim\": {\"max_cycles\": 2}"));
+  EXPECT_EQ(report.status, 500) << report.body;
+  EXPECT_NE(report.body.find("\"failure_kind\": \"sim\""), std::string::npos) << report.body;
+}
+
+TEST(ServeTest, ResourceBreachMapsTo413) {
+  // ~1.2 MB of globals against a 1 MiB request-side ceiling.
+  TwillService svc{ServiceConfig{}};
+  HttpResponse report = submitAndFetch(
+      svc, sourceRequest("int g[300000];\nint main() { g[0] = 7; return g[0]; }\n",
+                         "\"limits\": {\"max_memory_mb\": 1}"));
+  EXPECT_EQ(report.status, 413) << report.body;
+  EXPECT_NE(report.body.find("\"failure_kind\": \"resource\""), std::string::npos)
+      << report.body;
+}
+
+TEST(ServeTest, ServerCeilingTightensRequestLimits) {
+  // Same program, no request-side limit — the server's own 1 MiB ceiling
+  // must reject it (requests can only tighten, never widen).
+  ServiceConfig cfg;
+  cfg.maxMemoryBytes = 1 << 20;
+  TwillService svc{cfg};
+  HttpResponse report = submitAndFetch(
+      svc, sourceRequest("int g[300000];\nint main() { g[0] = 7; return g[0]; }\n"));
+  EXPECT_EQ(report.status, 413) << report.body;
+}
+
+// --- service: malformed requests and routing --------------------------------
+
+TEST(ServeTest, MalformedSubmissionsAreRejectedWith400) {
+  TwillService svc{ServiceConfig{}};
+  EXPECT_EQ(svc.handle(post("/v1/jobs", "")).status, 400);
+  EXPECT_EQ(svc.handle(post("/v1/jobs", "{not json")).status, 400);
+  EXPECT_EQ(svc.handle(post("/v1/jobs", "{\"no_source_or_kernel\": 1}")).status, 400);
+  EXPECT_EQ(svc.handle(post("/v1/jobs", sourceRequest("int main() { return 0; }",
+                                                      "\"typo_group\": {}")))
+                .status,
+            400);
+  twill::ServiceStats s = svc.stats();
+  EXPECT_EQ(s.rejectedRequests, 4u);
+  EXPECT_EQ(s.submitted, 0u) << "rejected submissions must not become jobs";
+}
+
+TEST(ServeTest, RoutingErrors) {
+  TwillService svc{ServiceConfig{}};
+  EXPECT_EQ(svc.handle(get("/v1/nope")).status, 404);
+  EXPECT_EQ(svc.handle(get("/v1/jobs/99")).status, 404);       // unknown job
+  EXPECT_EQ(svc.handle(get("/v1/jobs/xyz")).status, 404);      // malformed id
+  EXPECT_EQ(svc.handle(get("/v1/jobs")).status, 405);          // GET on POST-only
+  EXPECT_EQ(svc.handle(post("/v1/stats", "{}")).status, 405);  // POST on GET-only
+}
+
+// --- real-socket server -----------------------------------------------------
+
+/// One HTTP exchange over a real socket: connect, write `raw`, read to EOF.
+std::string httpExchange(uint16_t port, const std::string& raw) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  size_t off = 0;
+  while (off < raw.size()) {
+    ssize_t n = ::send(fd, raw.data() + off, raw.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) out.append(buf, static_cast<size_t>(n));
+  ::close(fd);
+  return out;
+}
+
+std::string rawPost(const std::string& target, const std::string& body) {
+  return "POST " + target + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+struct RunningServer {
+  twill::HttpServer server;
+  std::thread thread;
+
+  explicit RunningServer(twill::HttpServerConfig cfg, TwillService& svc)
+      : server(std::move(cfg)) {
+    std::string error;
+    EXPECT_TRUE(server.start(error)) << error;
+    thread = std::thread(
+        [this, &svc] { server.serve([&svc](const HttpRequest& r) { return svc.handle(r); }); });
+  }
+  ~RunningServer() {
+    server.stop();
+    thread.join();
+  }
+};
+
+TEST(HttpServerTest, ServesTheV1ApiOverARealSocket) {
+  TwillService svc{ServiceConfig{}};
+  RunningServer rs{twill::HttpServerConfig{}, svc};
+  std::string resp =
+      httpExchange(rs.server.port(), rawPost("/v1/jobs", sourceRequest(kQuickProgram)));
+  EXPECT_NE(resp.find("HTTP/1.1 202 Accepted"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"job_id\": 1"), std::string::npos) << resp;
+  svc.drain();
+  resp = httpExchange(rs.server.port(), "GET /v1/jobs/1/report HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("Content-Type: application/json"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"schema_version\": 1"), std::string::npos) << resp;
+}
+
+TEST(HttpServerTest, OversizedAndMalformedRequestsAreRejectedAtTheSocket) {
+  TwillService svc{ServiceConfig{}};
+  twill::HttpServerConfig cfg;
+  cfg.maxBodyBytes = 256;
+  cfg.maxHeaderBytes = 512;
+  RunningServer rs{cfg, svc};
+  // Declared body over the cap: rejected from the Content-Length alone.
+  std::string big(1024, 'x');
+  std::string resp = httpExchange(rs.server.port(), rawPost("/v1/jobs", big));
+  EXPECT_NE(resp.find("HTTP/1.1 413 "), std::string::npos) << resp;
+  // Head over the cap.
+  resp = httpExchange(rs.server.port(),
+                      "GET / HTTP/1.1\r\nX-Pad: " + std::string(2048, 'y') + "\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 431 "), std::string::npos) << resp;
+  // Garbage request line.
+  resp = httpExchange(rs.server.port(), "NOT-HTTP\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 400 "), std::string::npos) << resp;
+  // The server survives all of the above and still serves.
+  resp = httpExchange(rs.server.port(), "GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+}
+
+// --- twilld end to end ------------------------------------------------------
+
+std::string runCommand(const std::string& cmd) {
+  std::string out;
+  std::FILE* p = popen((cmd + " 2>&1").c_str(), "r");
+  if (!p) return out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), p)) > 0) out.append(buf, n);
+  pclose(p);
+  return out;
+}
+
+TEST(TwilldTest, DaemonMatchesTwillcByteForByteModuloWallTimes) {
+  const std::string dir = testing::TempDir();
+  const std::string portFile = dir + "twilld_e2e.port";
+  const std::string reqFile = dir + "twilld_e2e.request.json";
+  std::remove(portFile.c_str());
+  {
+    std::ofstream f(reqFile);
+    f << sourceRequest(kQuickProgram, "\"name\": \"e2e\"");
+  }
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    execl(TWILLD_PATH, "twilld", "--port", "0", "--port-file", portFile.c_str(), "--jobs",
+          "2", static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  // Wait for the port file (the daemon writes it before serving). Bail out
+  // immediately if the child died — e.g. exec failed — instead of timing out.
+  uint16_t port = 0;
+  for (int i = 0; i < 300 && port == 0; ++i) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, WNOHANG), 0)
+        << "twilld exited before writing its port file, status " << status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::ifstream f(portFile);
+    unsigned p = 0;
+    if (f >> p && p != 0) port = static_cast<uint16_t>(p);
+  }
+  ASSERT_NE(port, 0) << "twilld never wrote its port file";
+
+  std::ifstream rf(reqFile);
+  std::stringstream reqBody;
+  reqBody << rf.rdbuf();
+  std::string resp = httpExchange(port, rawPost("/v1/jobs", reqBody.str()));
+  ASSERT_NE(resp.find("202"), std::string::npos) << resp;
+
+  // Poll until done, then fetch the report.
+  std::string report;
+  for (int i = 0; i < 200; ++i) {
+    std::string s = httpExchange(port, "GET /v1/jobs/1 HTTP/1.1\r\nHost: t\r\n\r\n");
+    if (s.find("\"state\": \"done\"") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  report = httpExchange(port, "GET /v1/jobs/1/report HTTP/1.1\r\nHost: t\r\n\r\n");
+  ASSERT_NE(report.find("HTTP/1.1 200 OK"), std::string::npos) << report;
+  const std::string daemonDoc = report.substr(report.find("\r\n\r\n") + 4);
+
+  // The oracle: the same request document through twillc.
+  std::string cliDoc = runCommand(std::string(TWILLC_PATH) + " --json --request " + reqFile);
+  EXPECT_EQ(normalizeWallTimes(daemonDoc), normalizeWallTimes(cliDoc))
+      << "daemon report and twillc --json must be byte-identical modulo wall times";
+
+  // Clean shutdown: SIGTERM -> exit 0.
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "twilld must exit 0 on SIGTERM, status=" << status;
+}
+
+}  // namespace

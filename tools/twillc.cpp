@@ -22,6 +22,7 @@
 
 #include "src/chstone/kernels.h"
 #include "src/driver/driver.h"
+#include "src/driver/request.h"
 
 namespace {
 
@@ -42,6 +43,12 @@ void printUsage(std::FILE* to) {
                "  --kernel NAME          use the built-in CHStone kernel NAME instead\n"
                "                         of a source file (see --list-kernels)\n"
                "  --list-kernels         list built-in kernels and exit\n"
+               "  --request FILE         load source + every knob from a CompileRequest\n"
+               "                         JSON document (the same one twilld accepts on\n"
+               "                         POST /v1/jobs; '-' reads it from stdin). Later\n"
+               "                         knob flags override the document's values.\n"
+               "                         Mutually exclusive with --kernel and a source\n"
+               "                         file argument.\n"
                "\n"
                "flows (all three run by default):\n"
                "  --no-sw | --no-hw | --no-twill\n"
@@ -153,6 +160,36 @@ int main(int argc, char** argv) {
     }
     return argv[++i];
   };
+
+  // Pass 1: --request seeds every knob from a CompileRequest document (the
+  // same one twilld accepts), so pass 2's flags override the document — the
+  // CLI always wins, whatever the argument order.
+  std::string requestPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--request") == 0) {
+      if (!requestPath.empty()) {
+        std::fprintf(stderr, "twillc: --request given twice\n");
+        return 2;
+      }
+      requestPath = needValue(i, "--request");
+    }
+  }
+  twill::CompileRequest creq;
+  if (!requestPath.empty()) {
+    std::string text;
+    std::string error;
+    if (!readFile(requestPath, text, error)) {
+      std::fprintf(stderr, "twillc: %s\n", error.c_str());
+      return 1;
+    }
+    if (!twill::parseCompileRequest(text, creq, error)) {
+      std::fprintf(stderr, "twillc: %s: %s\n",
+                   requestPath == "-" ? "stdin" : requestPath.c_str(), error.c_str());
+      return 1;
+    }
+    opts = creq.options;
+    name = creq.name;
+  }
   auto parseUnsigned = [&](int& i, const char* flag) -> unsigned {
     const char* v = needValue(i, flag);
     errno = 0;
@@ -180,6 +217,8 @@ int main(int argc, char** argv) {
       name = needValue(i, "--name");
     } else if (arg == "--kernel") {
       kernelName = needValue(i, "--kernel");
+    } else if (arg == "--request") {
+      ++i;  // consumed in pass 1
     } else if (arg == "--list-kernels") {
       for (const auto& k : twill::chstoneKernels())
         std::printf("%-10s %s\n", k.name, k.description);
@@ -257,7 +296,14 @@ int main(int argc, char** argv) {
   }
 
   std::string source;
-  if (!kernelName.empty()) {
+  if (!requestPath.empty()) {
+    if (!kernelName.empty() || !inputPath.empty()) {
+      std::fprintf(stderr,
+                   "twillc: --request is mutually exclusive with --kernel and a source file\n");
+      return 2;
+    }
+    source = creq.source;
+  } else if (!kernelName.empty()) {
     if (!inputPath.empty()) {
       std::fprintf(stderr, "twillc: --kernel and a source file are mutually exclusive\n");
       return 2;

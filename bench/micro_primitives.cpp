@@ -9,6 +9,7 @@
 #include "src/exec/superblock.h"
 #include "src/frontend/lower.h"
 #include "src/ir/interp.h"
+#include "src/obs/trace.h"
 #include "src/rt/fabric.h"
 #include "src/transforms/passes.h"
 
@@ -50,6 +51,30 @@ void BM_SemaphoreRaiseLower(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_SemaphoreRaiseLower);
+
+// The tracing contract is "off by default, near-free when off": a disabled
+// TraceSpan is one thread-local pointer load and a null check. Compare
+// against BM_TraceHookEnabled (intern + two buffered events) to see what
+// turning tracing on costs per span.
+void BM_TraceHookDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    TraceSpan span("bench-pass");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceHookDisabled);
+
+void BM_TraceHookEnabled(benchmark::State& state) {
+  TraceRecorder rec;
+  TraceScope scope(&rec);
+  for (auto _ : state) {
+    TraceSpan span("bench-pass");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceHookEnabled);
 
 void BM_BusArbitration(benchmark::State& state) {
   BusModel bus;

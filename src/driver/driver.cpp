@@ -5,8 +5,8 @@
 #include "src/frontend/lower.h"
 #include "src/ir/interp.h"
 #include "src/ir/verifier.h"
+#include "src/obs/trace.h"
 #include "src/support/json.h"
-#include "src/support/stopwatch.h"
 #include "src/verify/partition_verifier.h"
 
 namespace twill {
@@ -54,9 +54,9 @@ std::unique_ptr<Module> compileAndOptimize(const std::string& source, unsigned i
     kind = FailureKind::Compile;
     return nullptr;
   }
-  const auto t0 = stopwatchNow();
+  StageSpan passesSpan("passes");
   runDefaultPipeline(*m, inlineThreshold, limits.maxIrInstructions);
-  stages.passesMs = msSince(t0);
+  stages.passesMs = passesSpan.closeMs();
   if (stageBreach(limits, "passes", stages.passesMs, error, kind)) return nullptr;
   DiagEngine vd;
   if (!verifyModule(*m, vd)) {
@@ -116,6 +116,10 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
   SimConfig sim = opts.sim;
   sim.memoryBytes = opts.limits.memLimitBytes;
   sim.wallBudgetMs = opts.limits.stageTimeoutMs;
+  // When the caller did not plumb a sim recorder explicitly, inherit the
+  // thread's installed one (twillc --trace, twilld --trace-dir) so one flag
+  // captures compile and sim in a single file.
+  if (!sim.trace) sim.trace = currentTrace();
 
   // --- Baseline module (pure SW, pure HW, golden reference) -----------------
   std::unique_ptr<Module> base = compileAndOptimize(source, opts.inlineThreshold, opts.limits,
@@ -155,9 +159,9 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
   }
   ScheduleMap baseSchedules;
   if (!verifyOnly) {
-    auto tSched = stopwatchNow();
+    StageSpan schedSpan("schedule");
     baseSchedules = scheduleModule(*base, opts.hls);
-    rep.stages.scheduleMs += msSince(tSched);
+    rep.stages.scheduleMs += schedSpan.closeMs();
     if (stageBreach(opts.limits, "schedule", rep.stages.scheduleMs, rep.error, rep.failureKind))
       return rep;
   }
@@ -188,10 +192,12 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
   // it is identical to recompiling the same source — at half the compile
   // cost per report.
   std::unique_ptr<Module> tm = std::move(base);
-  const auto tDswp = stopwatchNow();
+  StageSpan dswpSpan("dswp");
   DswpResult dswp = runDswp(*tm, opts.dswp);
   rep.stages.pdgMs = dswp.pdgWallMs;
-  rep.stages.dswpMs = msSince(tDswp) - dswp.pdgWallMs;
+  // The pdg sub-spans are disjoint subintervals of the dswp span on the same
+  // clock, so the subtraction cannot go negative.
+  rep.stages.dswpMs = dswpSpan.closeMs() - dswp.pdgWallMs;
   if (stageBreach(opts.limits, "dswp", rep.stages.pdgMs + rep.stages.dswpMs, rep.error,
                   rep.failureKind))
     return rep;
@@ -234,9 +240,9 @@ BenchmarkReport runBenchmark(const std::string& name, const std::string& source,
   // DSWP only adds master/slave functions and redirects call sites in the
   // survivors — their schedules are reused the way SimProgram shares
   // decodes, so each function is scheduled once per report, not per flow.
-  const auto tSched = stopwatchNow();
+  StageSpan schedSpan("schedule");
   ScheduleMap twillSchedules = scheduleModule(*tm, opts.hls, baseSchedules);
-  rep.stages.scheduleMs += msSince(tSched);
+  rep.stages.scheduleMs += schedSpan.closeMs();
   rep.twill = simulateTwill(*tm, dswp, sim, twillSchedules);
   if (!acceptTwillOutcome(rep)) return rep;
 

@@ -9,7 +9,7 @@
 #include "src/exec/core.h"
 #include "src/ir/builder.h"
 #include "src/ir/verifier.h"
-#include "src/support/stopwatch.h"
+#include "src/obs/trace.h"
 #include "src/transforms/passes.h"
 
 namespace twill {
@@ -139,20 +139,33 @@ private:
   }
 
   void allocateChannels() {
+    // The needs sets hash on pointers, so their iteration order follows heap
+    // addresses — stable within a process, but not across --jobs interleavings.
+    // Channel ids must be reproducible (traces label queues by id), so
+    // allocate in instruction-id / argument-index order instead.
+    auto byInstId = [](const std::unordered_set<Instruction*>& s) {
+      std::vector<Instruction*> v(s.begin(), s.end());
+      std::sort(v.begin(), v.end(),
+                [](const Instruction* a, const Instruction* b) { return a->id() < b->id(); });
+      return v;
+    };
     for (unsigned p = 0; p < K_; ++p) {
-      for (Instruction* u : needs_[p].values) {
+      for (Instruction* u : byInstId(needs_[p].values)) {
         int ch = newChannel(valueBits(u), ChannelInfo::Purpose::Data,
                             f_.name() + ":v" + std::to_string(u->id()) + "->" + std::to_string(p));
         valueCh_[{u, p}] = ch;
         producerPlan_[u].push_back({p, ch, /*token=*/false});
       }
-      for (Instruction* u : needs_[p].tokens) {
+      for (Instruction* u : byInstId(needs_[p].tokens)) {
         int ch = newChannel(1, ChannelInfo::Purpose::MemToken,
                             f_.name() + ":m" + std::to_string(u->id()) + "->" + std::to_string(p));
         tokenCh_[{u, p}] = ch;
         producerPlan_[u].push_back({p, ch, /*token=*/true});
       }
-      for (Argument* a : needs_[p].args)
+      std::vector<Argument*> args(needs_[p].args.begin(), needs_[p].args.end());
+      std::sort(args.begin(), args.end(),
+                [](const Argument* a, const Argument* b) { return a->index() < b->index(); });
+      for (Argument* a : args)
         argCh_[{a, p}] = newChannel(valueBits(a), ChannelInfo::Purpose::Arg,
                                     f_.name() + ":arg" + std::to_string(a->index()) + "->" +
                                         std::to_string(p));
@@ -488,9 +501,9 @@ DswpResult runDswp(Module& m, const DswpConfig& config) {
 
     PDG pdg;
     {
-      const auto t0 = stopwatchNow();
+      StageSpan span("pdg");
       pdg.build(*f);
-      result.pdgWallMs += msSince(t0);
+      result.pdgWallMs += span.closeMs();
     }
 
     PartitionConfig pc;

@@ -71,6 +71,11 @@ struct FunctionalSuperModel {
 #define TWILL_SUPER_THREADED 0
 #endif
 
+/// Which dispatcher this build compiled in (surfaced on twilld's
+/// /v1/healthz so a probe can tell the portable fallback from the fast
+/// path without inspecting compiler flags).
+inline const char* superDispatchKind() { return TWILL_SUPER_THREADED ? "threaded" : "portable"; }
+
 template <class Model>
 SuperRunStatus ExecState::runSuper(Model& model) {
   if (frames_.empty()) return trapped_ ? SuperRunStatus::kTrapped : SuperRunStatus::kFinished;

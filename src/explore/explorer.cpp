@@ -2,8 +2,10 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <memory>
 
 #include "src/explore/pool.h"
+#include "src/obs/trace.h"
 #include "src/support/json.h"
 
 namespace twill {
@@ -41,10 +43,22 @@ void takeReport(PointResult& p, BenchmarkReport&& rep) {
 /// which share point.dswp. The anchor (first point) runs the full driver
 /// flow; the rest re-simulate its kept artifacts under their own SimConfig.
 void evalGroup(const ExploreRequest& req, ExploreResult& res, size_t first, size_t count) {
+  // Per-point sim-trace capture: a fresh recorder attached through
+  // SimConfig::trace only (never the thread-local slot), so the captured
+  // events are all cycle-stamped — the JSON is a pure function of the point,
+  // independent of which worker runs the group.
+  auto captureInto = [&req](SimConfig& sim, std::unique_ptr<TraceRecorder>& rec) {
+    if (!req.captureTraces) return;
+    rec = std::make_unique<TraceRecorder>();
+    sim.trace = rec.get();
+  };
   PointResult& anchor = res.points[first];
   DriverOptions opts = optionsFor(req, anchor.point);
   opts.keepTwillArtifacts = count > 1;
+  std::unique_ptr<TraceRecorder> anchorRec;
+  captureInto(opts.sim, anchorRec);
   takeReport(anchor, runBenchmark(res.name, req.source, opts));
+  if (anchorRec) anchor.traceJson = anchorRec->toJson();
   std::shared_ptr<TwillArtifacts> art = std::move(anchor.report.twillArtifacts);
 
   if (count == 1) return;
@@ -59,7 +73,11 @@ void evalGroup(const ExploreRequest& req, ExploreResult& res, size_t first, size
     for (size_t k = 1; k < count; ++k) {
       PointResult& p = res.points[first + k];
       if (simDependent) {
-        takeReport(p, runBenchmark(res.name, req.source, optionsFor(req, p.point)));
+        DriverOptions po = optionsFor(req, p.point);
+        std::unique_ptr<TraceRecorder> rec;
+        captureInto(po.sim, rec);
+        takeReport(p, runBenchmark(res.name, req.source, po));
+        if (rec) p.traceJson = rec->toJson();
       } else {
         p.report = anchor.report;
         p.ok = false;
@@ -81,7 +99,10 @@ void evalGroup(const ExploreRequest& req, ExploreResult& res, size_t first, size
     SimConfig sim = p.point.sim;
     sim.memoryBytes = req.limits.memLimitBytes;
     sim.wallBudgetMs = req.limits.stageTimeoutMs;
+    std::unique_ptr<TraceRecorder> rec;
+    captureInto(sim, rec);
     p.report.twill = simulateTwill(*art->module, art->dswp, sim, art->schedules, &prog);
+    if (rec) p.traceJson = rec->toJson();
     if (acceptTwillOutcome(p.report)) computePower(p.report);
     p.ok = p.report.ok;
     p.error = p.report.error;

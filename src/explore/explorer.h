@@ -45,6 +45,12 @@ struct ExploreRequest {
   /// Debug hook forwarded to DriverOptions: re-introduce the unseeded
   /// initial-count bug shape so verification-failure pruning is testable.
   bool unseedSemaphores = false;
+  /// Capture a per-point sim trace (PointResult::traceJson). The recorder is
+  /// attached through SimConfig::trace only, so every event is stamped in
+  /// sim cycles — the captured JSON is byte-identical across runs and
+  /// --jobs counts, like the exploration document itself. The library stays
+  /// IO-free; the CLI writes the files (--trace-dir).
+  bool captureTraces = false;
 };
 
 /// One evaluated configuration.
@@ -55,6 +61,11 @@ struct PointResult {
   BenchmarkReport report;  // full driver report under this configuration
   Objectives objectives;   // (twill cycles, twill-total area, twill power)
   bool onFrontier = false;
+  /// Chrome trace-event JSON of this point's Twill simulation (sim cycles;
+  /// deterministic). Only with ExploreRequest::captureTraces, and empty for
+  /// points whose failure was copied from the group anchor without a
+  /// simulation of their own.
+  std::string traceJson;
 };
 
 struct ExploreResult {

@@ -4,7 +4,7 @@
 
 #include "src/frontend/lexer.h"
 #include "src/frontend/parser.h"
-#include "src/support/stopwatch.h"
+#include "src/obs/trace.h"
 
 namespace twill {
 namespace {
@@ -883,18 +883,20 @@ bool Lowerer::run(const TranslationUnit& tu) {
 bool compileC(const std::string& source, Module& m, DiagEngine& diag, CompileTimes* times,
               const ResourceLimits* limits) {
   const ResourceLimits lim = limits ? *limits : ResourceLimits{};
-  const auto t0 = stopwatchNow();
+  StageSpan parseSpan("parse");
   Lexer lexer(source, diag, &lim);
   std::vector<Token> toks = lexer.tokenize();
   if (diag.hasErrors()) return false;
   Parser parser(std::move(toks), diag, &lim);
   TranslationUnit tu = parser.parse();
-  if (times) times->parseMs = msSince(t0);
+  const double parseMs = parseSpan.closeMs();
+  if (times) times->parseMs = parseMs;
   if (diag.hasErrors()) return false;
-  const auto t1 = stopwatchNow();
+  StageSpan lowerSpan("lower");
   Lowerer lower(m, diag);
   bool ok = lower.run(tu);
-  if (times) times->lowerMs = msSince(t1);
+  const double lowerMs = lowerSpan.closeMs();
+  if (times) times->lowerMs = lowerMs;
   if (ok && m.instructionCount() > lim.maxIrInstructions) {
     diag.resourceError({}, "lowered module exceeds the resource limit of " +
                                std::to_string(lim.maxIrInstructions) + " IR instructions (" +

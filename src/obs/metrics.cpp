@@ -1,0 +1,113 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace twill {
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name, const std::string& help,
+                                                 Kind kind) {
+  Family& f = families_[name];
+  if (f.help.empty()) {
+    f.help = help;
+    f.kind = kind;
+  }
+  return f;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                  const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Child& c = family(name, help, Kind::Counter).children[labels];
+  if (!c.counter) c.counter = std::make_unique<Counter>();
+  return *c.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Child& c = family(name, help, Kind::Gauge).children[labels];
+  if (!c.gauge) c.gauge = std::make_unique<Gauge>();
+  return *c.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help,
+                                      const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Child& c = family(name, help, Kind::Histogram).children[labels];
+  if (!c.histogram) c.histogram = std::make_unique<Histogram>();
+  return *c.histogram;
+}
+
+namespace {
+
+// `name{labels,extra}` / `name{labels}` / `name{extra}` / `name`.
+std::string seriesRef(const std::string& name, const std::string& labels,
+                      const std::string& extra = "") {
+  std::string out = name;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::renderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[64];
+  auto u64 = [&](uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out += buf;
+  };
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " ";
+    out += fam.kind == Kind::Counter ? "counter" : fam.kind == Kind::Gauge ? "gauge" : "histogram";
+    out += "\n";
+    for (const auto& [labels, child] : fam.children) {
+      switch (fam.kind) {
+        case Kind::Counter:
+          out += seriesRef(name, labels) + " ";
+          u64(child.counter->value());
+          out += "\n";
+          break;
+        case Kind::Gauge:
+          out += seriesRef(name, labels) + " ";
+          std::snprintf(buf, sizeof(buf), "%" PRId64 "\n", child.gauge->value());
+          out += buf;
+          break;
+        case Kind::Histogram: {
+          const Histogram& h = *child.histogram;
+          uint64_t cumulative = 0;
+          for (unsigned i = 0; i < Histogram::kFiniteBuckets; ++i) {
+            cumulative += h.bucketCount(i);
+            std::snprintf(buf, sizeof(buf), "le=\"%" PRIu64 "\"", Histogram::bound(i));
+            out += seriesRef(name + "_bucket", labels, buf) + " ";
+            u64(cumulative);
+            out += "\n";
+          }
+          cumulative += h.bucketCount(Histogram::kFiniteBuckets);
+          out += seriesRef(name + "_bucket", labels, "le=\"+Inf\"") + " ";
+          u64(cumulative);
+          out += "\n";
+          out += seriesRef(name + "_sum", labels) + " ";
+          u64(h.sum());
+          out += "\n";
+          out += seriesRef(name + "_count", labels) + " ";
+          u64(cumulative);
+          out += "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace twill

@@ -1,0 +1,152 @@
+#include "src/obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/support/json.h"
+
+namespace twill {
+
+uint64_t traceNowUs() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - epoch)
+                                   .count());
+}
+
+namespace {
+
+std::atomic<uint64_t> g_recorderSerial{1};
+
+thread_local TraceRecorder* tlsTrace = nullptr;
+
+}  // namespace
+
+TraceRecorder* currentTrace() { return tlsTrace; }
+void setCurrentTrace(TraceRecorder* rec) { tlsTrace = rec; }
+
+TraceRecorder::TraceRecorder() : serial_(g_recorderSerial.fetch_add(1)) {
+  strings_.emplace_back();  // id 0: the reserved "absent" string
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::StrId TraceRecorder::intern(const std::string& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = intern_.find(s);
+  if (it != intern_.end()) return it->second;
+  const StrId id = static_cast<StrId>(strings_.size());
+  strings_.push_back(s);
+  intern_.emplace(s, id);
+  return id;
+}
+
+void TraceRecorder::setProcessName(uint32_t pid, const std::string& name) {
+  const StrId n = intern(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Meta& m : meta_)
+    if (m.pid == pid && m.tid == UINT32_MAX) return;  // already named
+  meta_.push_back({pid, UINT32_MAX, n});
+}
+
+void TraceRecorder::setThreadName(uint32_t pid, uint32_t tid, const std::string& name) {
+  const StrId n = intern(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Meta& m : meta_)
+    if (m.pid == pid && m.tid == tid) return;
+  meta_.push_back({pid, tid, n});
+}
+
+TraceRecorder::Buffer& TraceRecorder::buffer() {
+  // One buffer per (recorder, thread), found through a single-entry
+  // thread-local cache keyed by the recorder's process-unique serial (an
+  // address could be reused by a later recorder; the serial cannot). Only
+  // the owning thread appends to a buffer, so recording is lock-free after
+  // the first event; export runs after every writer is done by contract.
+  thread_local uint64_t cachedSerial = 0;
+  thread_local Buffer* cachedBuf = nullptr;
+  if (cachedSerial != serial_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<Buffer>());
+    cachedBuf = buffers_.back().get();
+    cachedSerial = serial_;
+  }
+  return *cachedBuf;
+}
+
+void TraceRecorder::span(uint32_t pid, uint32_t tid, StrId cat, StrId name, uint64_t beginTs,
+                         uint64_t endTs, StrId detail) {
+  Buffer& b = buffer();
+  b.events.push_back({'B', pid, tid, beginTs, cat, name, detail, 0});
+  b.events.push_back({'E', pid, tid, endTs, cat, name, kNoStr, 0});
+}
+
+void TraceRecorder::instant(uint32_t pid, uint32_t tid, StrId cat, StrId name, uint64_t ts) {
+  buffer().events.push_back({'I', pid, tid, ts, cat, name, kNoStr, 0});
+}
+
+void TraceRecorder::counter(uint32_t pid, StrId name, StrId series, uint64_t ts, int64_t value) {
+  buffer().events.push_back({'C', pid, 0, ts, kNoStr, name, series, value});
+}
+
+std::string TraceRecorder::toJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  char buf[96];
+  auto sep = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+  for (const Meta& m : meta_) {
+    sep();
+    std::snprintf(buf, sizeof(buf), "{\"ph\":\"M\",\"pid\":%u,", m.pid);
+    out += buf;
+    if (m.tid != UINT32_MAX) {
+      std::snprintf(buf, sizeof(buf), "\"tid\":%u,", m.tid);
+      out += buf;
+    }
+    out += m.tid == UINT32_MAX ? "\"name\":\"process_name\"" : "\"name\":\"thread_name\"";
+    out += ",\"args\":{\"name\":" + jsonQuote(strings_[m.name]) + "}}";
+  }
+  for (const auto& bptr : buffers_) {
+    for (const Event& e : bptr->events) {
+      sep();
+      std::snprintf(buf, sizeof(buf), "{\"ph\":\"%c\",\"pid\":%u,\"tid\":%u,\"ts\":%" PRIu64,
+                    e.phase, e.pid, e.tid, e.ts);
+      out += buf;
+      if (e.cat != kNoStr) out += ",\"cat\":" + jsonQuote(strings_[e.cat]);
+      if (e.name != kNoStr) out += ",\"name\":" + jsonQuote(strings_[e.name]);
+      if (e.phase == 'I') out += ",\"s\":\"t\"";
+      if (e.phase == 'C') {
+        std::snprintf(buf, sizeof(buf), ":%" PRId64 "}", e.value);
+        out += ",\"args\":{" + jsonQuote(strings_[e.key]) + buf;
+      } else if (e.key != kNoStr) {
+        out += ",\"args\":{\"detail\":" + jsonQuote(strings_[e.key]) + "}";
+      }
+      out += "}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceRecorder::writeFile(const std::string& path, std::string& error) const {
+  const std::string doc = toJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    error = "cannot write '" + path + "'";
+    return false;
+  }
+  const bool wrote = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    error = "failed writing '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace twill

@@ -1,0 +1,198 @@
+// Low-overhead tracing for the Twill pipeline: spans, instants and counter
+// tracks recorded into per-thread buffers and exported as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+// Two clock domains share one trace, separated by Chrome process id:
+//  * kTracePidCompile / kTracePidServe — wall-clock microseconds
+//    (traceNowUs), for the compile pipeline and the daemon's job lifecycle.
+//  * kTracePidSim — **simulated cycles**. The simulators stamp every event
+//    with the sim clock, never the wall clock, and run on one OS thread, so
+//    a sim trace is a pure function of (module, SimConfig): byte-identical
+//    across runs and `--jobs` counts (explore_cli_test pins this).
+//
+// Overhead discipline: tracing defaults off everywhere. The compile/serve
+// hooks (TraceSpan, StageSpan) check a thread-local recorder pointer and do
+// nothing when it is null; the sim hooks check SimConfig::trace the same
+// way (bench/micro_primitives.cpp BM_SimTwill* shows the disabled cost).
+// Spans are emitted retroactively — one span() call appends the B and E
+// events together at close time — so every early-exit path still produces a
+// balanced trace (the trace-smoke CI step asserts every B has an E).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace twill {
+
+/// Chrome process ids: one per clock domain / pipeline layer.
+inline constexpr uint32_t kTracePidCompile = 1;  // wall us: frontend/passes/dswp/schedule
+inline constexpr uint32_t kTracePidSim = 2;      // sim cycles: deterministic
+inline constexpr uint32_t kTracePidServe = 3;    // wall us: twilld job lifecycle
+
+/// Microseconds since a process-global steady_clock epoch: the one wall
+/// clock behind every compile/serve timestamp *and* the StageTimes wall-ms
+/// fields (StageSpan), so the report's `stages` object and the trace derive
+/// from the same source.
+uint64_t traceNowUs();
+
+class TraceRecorder {
+ public:
+  /// Interned-string handle; 0 is the reserved "absent" id.
+  using StrId = uint32_t;
+  static constexpr StrId kNoStr = 0;
+
+  TraceRecorder();
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Interns `s`, returning a handle usable from any thread. Hot event
+  /// sites intern once up front and reuse the id.
+  StrId intern(const std::string& s);
+
+  /// Names a Chrome process/thread row (emitted as 'M' metadata events).
+  /// Idempotent: renaming the same (pid[,tid]) is a no-op, so every
+  /// simulator run can name its rows unconditionally.
+  void setProcessName(uint32_t pid, const std::string& name);
+  void setThreadName(uint32_t pid, uint32_t tid, const std::string& name);
+
+  /// Retroactive span: appends the B and E events together, guaranteeing a
+  /// balanced trace on every control path. `detail` (optional) becomes
+  /// args.detail on the B event.
+  void span(uint32_t pid, uint32_t tid, StrId cat, StrId name, uint64_t beginTs, uint64_t endTs,
+            StrId detail = kNoStr);
+
+  /// Thread-scoped instant event ('I').
+  void instant(uint32_t pid, uint32_t tid, StrId cat, StrId name, uint64_t ts);
+
+  /// Counter sample ('C'): one point of the `name` counter track; `series`
+  /// is the args key (Perfetto stacks multiple series of one track).
+  void counter(uint32_t pid, StrId name, StrId series, uint64_t ts, int64_t value);
+
+  /// The whole trace as a Chrome trace-event JSON document: metadata events
+  /// first (insertion order), then each buffer in registration order.
+  /// Event order within the document is deterministic for single-threaded
+  /// recording; viewers sort by ts regardless.
+  std::string toJson() const;
+
+  /// toJson() to a file. False (with `error`) on any I/O failure.
+  bool writeFile(const std::string& path, std::string& error) const;
+
+ private:
+  struct Event {
+    char phase;  // 'B', 'E', 'I', 'C'
+    uint32_t pid = 0;
+    uint32_t tid = 0;
+    uint64_t ts = 0;
+    StrId cat = kNoStr;
+    StrId name = kNoStr;
+    StrId key = kNoStr;  // B: detail key's value; C: series name
+    int64_t value = 0;   // C only
+  };
+  struct Buffer {
+    std::vector<Event> events;
+  };
+
+  Buffer& buffer();  // this thread's buffer (registered on first use)
+
+  const uint64_t serial_;  // process-unique; keys the thread-local buffer cache
+  mutable std::mutex mu_;  // guards intern_/strings_/buffers_/meta_ registration
+  std::unordered_map<std::string, StrId> intern_;
+  std::vector<std::string> strings_;           // id -> text; [0] is ""
+  std::vector<std::unique_ptr<Buffer>> buffers_;  // registration order
+  struct Meta {
+    uint32_t pid;
+    uint32_t tid;  // UINT32_MAX: process_name
+    StrId name;
+  };
+  std::vector<Meta> meta_;
+};
+
+/// The calling thread's installed recorder (null = tracing off). Compile
+/// and serve hooks route through this so deep pipeline code needs no
+/// plumbed-through pointer.
+TraceRecorder* currentTrace();
+void setCurrentTrace(TraceRecorder* rec);
+
+/// Installs `rec` as the calling thread's recorder for the scope.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceRecorder* rec) : prev_(currentTrace()) { setCurrentTrace(rec); }
+  ~TraceScope() { setCurrentTrace(prev_); }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceRecorder* prev_;
+};
+
+/// Wall-clock span against currentTrace(); a no-op (one pointer-null check)
+/// when tracing is off. For fine-grained instrumentation (per-pass spans)
+/// where nobody reads the elapsed time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "pass", uint32_t pid = kTracePidCompile)
+      : rec_(currentTrace()) {
+    if (rec_) {
+      pid_ = pid;
+      cat_ = rec_->intern(cat);
+      name_ = rec_->intern(name);
+      begin_ = traceNowUs();
+    }
+  }
+  ~TraceSpan() {
+    if (rec_) rec_->span(pid_, 0, cat_, name_, begin_, traceNowUs());
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* rec_;
+  uint32_t pid_ = kTracePidCompile;
+  uint64_t begin_ = 0;
+  TraceRecorder::StrId cat_ = TraceRecorder::kNoStr;
+  TraceRecorder::StrId name_ = TraceRecorder::kNoStr;
+};
+
+/// Compile-stage span that always measures (the StageTimes wall-ms fields
+/// read it) and additionally records a trace span when a recorder is
+/// installed — one clock source for the report's `stages` object and the
+/// trace, replacing the per-site Stopwatch accumulation.
+class StageSpan {
+ public:
+  explicit StageSpan(const char* name) : rec_(currentTrace()), begin_(traceNowUs()) {
+    if (rec_) {
+      cat_ = rec_->intern("stage");
+      name_ = rec_->intern(name);
+    }
+  }
+  /// Ends the span: emits the trace event (if tracing) and returns the
+  /// elapsed wall milliseconds. Idempotent; later calls return the frozen
+  /// value.
+  double closeMs() {
+    if (!closed_) {
+      closed_ = true;
+      const uint64_t end = traceNowUs();
+      elapsedMs_ = static_cast<double>(end - begin_) / 1000.0;
+      if (rec_) rec_->span(kTracePidCompile, 0, cat_, name_, begin_, end);
+    }
+    return elapsedMs_;
+  }
+  ~StageSpan() { closeMs(); }
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+ private:
+  TraceRecorder* rec_;
+  uint64_t begin_;
+  double elapsedMs_ = 0;
+  bool closed_ = false;
+  TraceRecorder::StrId cat_ = TraceRecorder::kNoStr;
+  TraceRecorder::StrId name_ = TraceRecorder::kNoStr;
+};
+
+}  // namespace twill

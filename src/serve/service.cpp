@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/exec/superblock.h"
 #include "src/support/json.h"
 
 namespace twill {
@@ -52,6 +53,41 @@ bool parseJobId(const std::string& s, uint64_t& id) {
 }  // namespace
 
 TwillService::TwillService(const ServiceConfig& cfg) : cfg_(cfg) {
+  // Register every family up front: the returned references are stable, so
+  // request handling and the job workers only ever touch atomics.
+  MetricsRegistry& r = registry_;
+  mSubmitted_ = &r.counter("twilld_jobs_submitted_total", "Jobs accepted for execution (202)");
+  mCompleted_ = &r.counter("twilld_jobs_completed_total", "Jobs finished, any outcome");
+  mRejected_ =
+      &r.counter("twilld_requests_rejected_total", "Malformed or oversized submissions (4xx)");
+  mFullHits_ = &r.counter("twilld_cache_hits_total", "Cache hits by level", "level=\"full\"");
+  mArtifactHits_ =
+      &r.counter("twilld_cache_hits_total", "Cache hits by level", "level=\"artifact\"");
+  mMisses_ = &r.counter("twilld_cache_misses_total", "Full compile+sim runs");
+  mEvictResponse_ =
+      &r.counter("twilld_cache_evictions_total", "LRU cache evictions", "cache=\"response\"");
+  mEvictArtifact_ =
+      &r.counter("twilld_cache_evictions_total", "LRU cache evictions", "cache=\"artifact\"");
+  static const char* const kKindNames[5] = {"none", "compile", "verify", "sim", "resource"};
+  for (int i = 0; i < 5; ++i)
+    mOutcome_[i] = &r.counter("twilld_jobs_outcome_total", "Completed jobs by failure kind",
+                              std::string("failure_kind=\"") + kKindNames[i] + "\"");
+  mBytesIn_ = &r.counter("twilld_http_bytes_in_total", "Request body bytes received");
+  mBytesOut_ = &r.counter("twilld_http_bytes_out_total", "Response body bytes sent");
+  mQueueDepth_ = &r.gauge("twilld_pool_queue_depth", "Jobs waiting for a worker");
+  mInFlight_ = &r.gauge("twilld_pool_in_flight", "Jobs currently executing on a worker");
+  mRespEntries_ = &r.gauge("twilld_cache_response_entries", "Response cache entries");
+  mArtEntries_ = &r.gauge("twilld_cache_artifact_entries", "Artifact cache entries");
+  static const char* const kEndpointNames[kNumEndpoints] = {
+      "/v1/jobs", "/v1/jobs/{id}", "/v1/jobs/{id}/report", "/v1/stats",
+      "/v1/healthz", "/v1/metrics", "other"};
+  for (unsigned i = 0; i < kNumEndpoints; ++i) {
+    const std::string label = std::string("endpoint=\"") + kEndpointNames[i] + "\"";
+    endpoints_[i].requests =
+        &r.counter("twilld_http_requests_total", "HTTP requests by endpoint", label);
+    endpoints_[i].latencyUs = &r.histogram("twilld_http_request_duration_us",
+                                           "Request handling latency in microseconds", label);
+  }
   pool_ = std::make_unique<WorkerPool>(cfg_.jobs < 1 ? 1 : cfg_.jobs);
 }
 
@@ -61,8 +97,33 @@ TwillService::~TwillService() {
 }
 
 ServiceStats TwillService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  // Counter reads are atomic; no lock. The snapshot is not a consistent cut
+  // across counters — callers only ever look at it when the service is
+  // drained or compare individual monotone counters.
+  ServiceStats s;
+  s.submitted = mSubmitted_->value();
+  s.completed = mCompleted_->value();
+  s.rejectedRequests = mRejected_->value();
+  s.cacheFullHits = mFullHits_->value();
+  s.cacheArtifactHits = mArtifactHits_->value();
+  s.cacheMisses = mMisses_->value();
+  s.ok = mOutcome_[0]->value();
+  s.failCompile = mOutcome_[1]->value();
+  s.failVerify = mOutcome_[2]->value();
+  s.failSim = mOutcome_[3]->value();
+  s.failResource = mOutcome_[4]->value();
+  return s;
+}
+
+void TwillService::countOutcome(FailureKind kind) {
+  mCompleted_->inc();
+  switch (kind) {
+    case FailureKind::None: mOutcome_[0]->inc(); break;
+    case FailureKind::Compile: mOutcome_[1]->inc(); break;
+    case FailureKind::Verify: mOutcome_[2]->inc(); break;
+    case FailureKind::Sim: mOutcome_[3]->inc(); break;
+    case FailureKind::Resource: mOutcome_[4]->inc(); break;
+  }
 }
 
 void TwillService::drain() {
@@ -75,10 +136,22 @@ void TwillService::drain() {
 }
 
 HttpResponse TwillService::handle(const HttpRequest& req) {
+  const uint64_t startUs = traceNowUs();
+  Endpoint ep = kEpOther;
+  HttpResponse resp = route(req, ep);
+  endpoints_[ep].requests->inc();
+  endpoints_[ep].latencyUs->observe(traceNowUs() - startUs);
+  mBytesIn_->inc(req.body.size());
+  mBytesOut_->inc(resp.body.size());
+  return resp;
+}
+
+HttpResponse TwillService::route(const HttpRequest& req, Endpoint& ep) {
   // Route on the path alone; queries are not part of the v1 surface.
   std::string path = req.target.substr(0, req.target.find('?'));
 
   if (path == "/v1/jobs") {
+    ep = kEpJobs;
     if (req.method != "POST") return jsonError(405, "use POST to submit a job");
     return submitJob(req);
   }
@@ -91,30 +164,62 @@ HttpResponse TwillService::handle(const HttpRequest& req) {
       wantReport = true;
       rest = rest.substr(0, slash);
     }
+    ep = wantReport ? kEpJobReport : kEpJobStatus;
     uint64_t id;
     if (!parseJobId(rest, id)) return jsonError(404, "malformed job id");
     if (req.method != "GET") return jsonError(405, "use GET to poll a job");
     return wantReport ? jobReport(id) : jobStatus(id);
   }
   if (path == "/v1/stats") {
+    ep = kEpStats;
     if (req.method != "GET") return jsonError(405, "use GET");
     return statsResponse();
   }
-  if (path == "/v1/healthz") {
+  if (path == "/v1/metrics") {
+    ep = kEpMetrics;
     if (req.method != "GET") return jsonError(405, "use GET");
+    return metricsResponse();
+  }
+  if (path == "/v1/healthz") {
+    ep = kEpHealthz;
+    if (req.method != "GET") return jsonError(405, "use GET");
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema_version", kReportSchemaVersion);
+    w.field("ok", true);
+#ifdef NDEBUG
+    w.field("build", "release");
+#else
+    w.field("build", "debug");
+#endif
+    w.field("dispatcher", superDispatchKind());
+    w.endObject();
     HttpResponse resp;
-    resp.body = "{\n  \"ok\": true\n}\n";
+    resp.body = w.str() + "\n";
     return resp;
   }
   return jsonError(404, "no such endpoint");
+}
+
+HttpResponse TwillService::metricsResponse() {
+  // The entry gauges mirror container sizes that only change under mu_;
+  // refresh them at scrape time instead of on every mutation.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mRespEntries_->set(static_cast<int64_t>(responses_.size()));
+    mArtEntries_->set(static_cast<int64_t>(artifacts_.size()));
+  }
+  HttpResponse resp;
+  resp.contentType = "text/plain; version=0.0.4";
+  resp.body = registry_.renderPrometheus();
+  return resp;
 }
 
 HttpResponse TwillService::submitJob(const HttpRequest& req) {
   CompileRequest parsed;
   std::string error;
   if (req.body.empty() || !parseCompileRequest(req.body, parsed, error)) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.rejectedRequests;
+    mRejected_->inc();
     return jsonError(400, req.body.empty() ? "empty request body" : error);
   }
   // Server-side ceilings: requests only ever tighten them.
@@ -131,7 +236,16 @@ HttpResponse TwillService::submitJob(const HttpRequest& req) {
     Job& job = jobs_[id];
     job.id = id;
     job.request = std::move(parsed);
-    ++stats_.submitted;
+    if (!cfg_.traceDir.empty()) {
+      // The recorder is born at submission so the queued span covers the
+      // real wait, not just the time after a worker picked the job up.
+      job.trace = std::make_shared<TraceRecorder>();
+      job.submitUs = traceNowUs();
+    }
+    // Counted before the pool submission so the gauge can never dip
+    // negative when the worker outraces this thread.
+    mSubmitted_->inc();
+    mQueueDepth_->add(1);
   }
   pool_->submit([this, id] { runJob(id); });
 
@@ -196,32 +310,34 @@ HttpResponse TwillService::statsResponse() {
     if (job.state == JobState::Queued) ++queued;
     if (job.state == JobState::Running) ++running;
   }
+  // Same counters the /v1/metrics endpoint renders — the document keeps its
+  // exact historical field set and order.
   JsonWriter w;
   w.beginObject();
   w.field("schema_version", kReportSchemaVersion);
   w.key("jobs");
   w.beginObject();
-  w.field("submitted", stats_.submitted);
-  w.field("completed", stats_.completed);
+  w.field("submitted", mSubmitted_->value());
+  w.field("completed", mCompleted_->value());
   w.field("queued", queued);
   w.field("running", running);
-  w.field("rejected_requests", stats_.rejectedRequests);
+  w.field("rejected_requests", mRejected_->value());
   w.endObject();
   w.key("cache");
   w.beginObject();
-  w.field("full_hits", stats_.cacheFullHits);
-  w.field("artifact_hits", stats_.cacheArtifactHits);
-  w.field("misses", stats_.cacheMisses);
+  w.field("full_hits", mFullHits_->value());
+  w.field("artifact_hits", mArtifactHits_->value());
+  w.field("misses", mMisses_->value());
   w.field("response_entries", static_cast<uint64_t>(responses_.size()));
   w.field("artifact_entries", static_cast<uint64_t>(artifacts_.size()));
   w.endObject();
   w.key("outcomes");
   w.beginObject();
-  w.field("ok", stats_.ok);
-  w.field("compile", stats_.failCompile);
-  w.field("verify", stats_.failVerify);
-  w.field("sim", stats_.failSim);
-  w.field("resource", stats_.failResource);
+  w.field("ok", mOutcome_[0]->value());
+  w.field("compile", mOutcome_[1]->value());
+  w.field("verify", mOutcome_[2]->value());
+  w.field("sim", mOutcome_[3]->value());
+  w.field("resource", mOutcome_[4]->value());
   w.endObject();
   w.endObject();
   HttpResponse resp;
@@ -230,14 +346,54 @@ HttpResponse TwillService::statsResponse() {
 }
 
 void TwillService::runJob(uint64_t id) {
+  mQueueDepth_->add(-1);
+  mInFlight_->add(1);
+  // The in-flight decrement happens at each completion point *before*
+  // drainCv_ is notified, so after drain() the gauge is exactly zero (the
+  // concurrency test scrapes it right after draining).
+
   CompileRequest req;
+  std::shared_ptr<TraceRecorder> trace;
+  uint64_t submitUs = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = jobs_.find(id);
-    if (it == jobs_.end()) return;  // retention dropped it before we ran
+    if (it == jobs_.end()) {  // retention dropped it before we ran
+      mInFlight_->add(-1);
+      return;
+    }
     it->second.state = JobState::Running;
     req = it->second.request;
+    trace = it->second.trace;
+    submitUs = it->second.submitUs;
   }
+
+  // Per-job trace: the queued span is emitted retroactively now that it
+  // ended; the run span closes (and the file is written) on every return
+  // path below. The TraceScope makes the compile-stage spans land here, and
+  // cfg.trace (set on the sim paths) adds the cycle-stamped sim rows.
+  const uint64_t runStartUs = traceNowUs();
+  if (trace) {
+    trace->setProcessName(kTracePidServe, "twilld (wall us)");
+    trace->setThreadName(kTracePidServe, 0, "job " + std::to_string(id));
+    const TraceRecorder::StrId catJob = trace->intern("job");
+    trace->span(kTracePidServe, 0, catJob, trace->intern("queued"), submitUs, runStartUs);
+  }
+  TraceScope traceScope(trace.get());
+  struct JobTraceCloser {
+    TraceRecorder* trace;
+    const std::string& dir;
+    uint64_t id;
+    uint64_t startUs;
+    ~JobTraceCloser() {
+      if (!trace) return;
+      const TraceRecorder::StrId catJob = trace->intern("job");
+      trace->span(kTracePidServe, 0, catJob, trace->intern("run"), startUs, traceNowUs());
+      std::string error;  // best-effort: a full disk must not fail the job
+      trace->writeFile(dir + "/job-" + std::to_string(id) + ".trace.json", error);
+    }
+  } traceCloser{trace.get(), cfg_.traceDir, id, runStartUs};
+
   const std::string fullKey = requestCacheKey(req);
   const std::string compileKey = compileCacheKey(req);
 
@@ -247,7 +403,7 @@ void TwillService::runJob(uint64_t id) {
     std::lock_guard<std::mutex> lock(mu_);
     auto hit = responses_.find(fullKey);
     if (hit != responses_.end()) {
-      ++stats_.cacheFullHits;
+      mFullHits_->inc();
       responseUse_[fullKey] = ++useClock_;
       auto it = jobs_.find(id);
       if (it != jobs_.end()) {
@@ -262,15 +418,10 @@ void TwillService::runJob(uint64_t id) {
                           : job.httpStatus == 413 ? FailureKind::Resource
                                                   : FailureKind::Sim;
         job.state = JobState::Done;
-        ++stats_.completed;
-        switch (job.failureKind) {
-          case FailureKind::None: ++stats_.ok; break;
-          case FailureKind::Compile: ++stats_.failCompile; break;
-          case FailureKind::Verify: ++stats_.failVerify; break;
-          case FailureKind::Sim: ++stats_.failSim; break;
-          case FailureKind::Resource: ++stats_.failResource; break;
-        }
+        job.trace.reset();  // the closer's reference writes the file
+        countOutcome(job.failureKind);
       }
+      mInFlight_->add(-1);
       drainCv_.notify_all();
       return;
     }
@@ -298,6 +449,7 @@ void TwillService::runJob(uint64_t id) {
         SimConfig sim = req.options.sim;
         sim.memoryBytes = req.options.limits.memLimitBytes;
         sim.wallBudgetMs = req.options.limits.stageTimeoutMs;
+        sim.trace = trace.get();  // this path bypasses the driver's hookup
         rep.twill = simulateTwill(*art.module, art.dswp, sim, art.schedules, entry->prog.get());
         if (acceptTwillOutcome(rep) && req.options.runPureSW && req.options.runPureHW)
           computePower(rep);
@@ -306,10 +458,7 @@ void TwillService::runJob(uint64_t id) {
       // failure) — the anchor outcome is sim-axis-independent and is reused
       // verbatim.
       rep.twillArtifacts.reset();
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.cacheArtifactHits;
-      }
+      mArtifactHits_->inc();
       finishJob(id, fullKey, rep);
       return;
     }
@@ -320,9 +469,9 @@ void TwillService::runJob(uint64_t id) {
   run.options.keepTwillArtifacts =
       run.options.runTwill && !run.options.verifyOnly;
   BenchmarkReport rep = runCompileRequest(run);
+  mMisses_->inc();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.cacheMisses;
     auto fresh = std::make_shared<CacheEntry>();
     fresh->source = req.source;
     fresh->anchor = rep;  // artifacts (if any) stay on the cached anchor
@@ -351,22 +500,14 @@ void TwillService::finishJob(uint64_t id, const std::string& fullKey,
     job.httpStatus = status;
     job.responseJson = doc;
     job.request = CompileRequest();  // the source is no longer needed
+    job.trace.reset();  // runJob's closer still holds a reference
   }
-  ++stats_.completed;
-  if (rep.ok)
-    ++stats_.ok;
-  else
-    switch (rep.failureKind) {
-      case FailureKind::Compile: ++stats_.failCompile; break;
-      case FailureKind::Verify: ++stats_.failVerify; break;
-      case FailureKind::Sim: ++stats_.failSim; break;
-      case FailureKind::Resource: ++stats_.failResource; break;
-      case FailureKind::None: break;
-    }
+  countOutcome(rep.ok ? FailureKind::None : rep.failureKind);
   // Cache the response under the full key (the level-1 hit path).
   responses_[fullKey] = {status, doc};
   responseUse_[fullKey] = ++useClock_;
   evictIfNeeded();
+  mInFlight_->add(-1);
   drainCv_.notify_all();
 }
 
@@ -383,12 +524,14 @@ void TwillService::evictIfNeeded() {
     }
     responseUse_.erase(victim->first);
     responses_.erase(victim);
+    mEvictResponse_->inc();
   }
   while (artifacts_.size() > cfg_.maxCacheEntries) {
     auto victim = artifacts_.begin();
     for (auto it = artifacts_.begin(); it != artifacts_.end(); ++it)
       if (it->second->lastUse < victim->second->lastUse) victim = it;
     artifacts_.erase(victim);
+    mEvictArtifact_->inc();
   }
   // Bound the job table: drop the oldest completed jobs past the retention
   // window (clients fetch promptly; an evicted id answers 404).

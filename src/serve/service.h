@@ -43,6 +43,8 @@
 
 #include "src/driver/request.h"
 #include "src/explore/pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/http.h"
 #include "src/sim/system.h"
 
@@ -63,12 +65,20 @@ struct ServiceConfig {
   /// Completed jobs retained for report fetches; the oldest are dropped
   /// past this (a later fetch gets 404 — clients poll then fetch promptly).
   size_t maxRetainedJobs = 1024;
+  /// When non-empty, every job writes a Chrome trace-event JSON file
+  /// (`<traceDir>/job-<id>.trace.json`) covering its queued->running->done
+  /// lifecycle (wall us) plus the compile stages and the cycle-stamped sim
+  /// events of its run. The directory must exist; tracing is off otherwise.
+  std::string traceDir;
 };
 
 /// The FailureKind -> HTTP status table (see the header comment). `None`
 /// maps to 200.
 int httpStatusForFailure(FailureKind kind);
 
+/// Counter snapshot (the /v1/stats payload, unserialized). The live values
+/// are held in the service's MetricsRegistry; this struct is assembled on
+/// demand so existing consumers keep their field names.
 struct ServiceStats {
   uint64_t submitted = 0;       // jobs accepted (202)
   uint64_t completed = 0;       // jobs finished (any outcome)
@@ -114,6 +124,11 @@ class TwillService {
     FailureKind failureKind = FailureKind::None;
     int httpStatus = 0;
     std::string responseJson;  // reportToJson document
+    // Per-job trace capture (ServiceConfig::traceDir): recorder created at
+    // submission so the queued span starts at the true enqueue time; the
+    // worker writes the file and drops the recorder at completion.
+    std::shared_ptr<TraceRecorder> trace;
+    uint64_t submitUs = 0;
   };
 
   /// One cached compile: the anchor report (artifacts attached when the
@@ -128,13 +143,29 @@ class TwillService {
     std::mutex mu;
   };
 
+  /// Endpoint classes for the per-endpoint request counters / latency
+  /// histograms (kOther collects unknown paths so every request is counted).
+  enum Endpoint : unsigned {
+    kEpJobs = 0,
+    kEpJobStatus,
+    kEpJobReport,
+    kEpStats,
+    kEpHealthz,
+    kEpMetrics,
+    kEpOther,
+    kNumEndpoints
+  };
+
+  HttpResponse route(const HttpRequest& req, Endpoint& ep);
   HttpResponse submitJob(const HttpRequest& req);
   HttpResponse jobStatus(uint64_t id);
   HttpResponse jobReport(uint64_t id);
   HttpResponse statsResponse();
+  HttpResponse metricsResponse();
   void runJob(uint64_t id);
   void finishJob(uint64_t id, const std::string& fullKey, const BenchmarkReport& rep);
   void evictIfNeeded();  // callers hold mu_
+  void countOutcome(FailureKind kind);
 
   ServiceConfig cfg_;
   mutable std::mutex mu_;
@@ -147,7 +178,31 @@ class TwillService {
   // Artifact cache: compile key -> entry (shared_ptr so a re-sim can run
   // outside mu_ while eviction drops the map reference).
   std::unordered_map<std::string, std::shared_ptr<CacheEntry>> artifacts_;
-  ServiceStats stats_;
+  // All service counters live in the registry (rendered on /v1/metrics);
+  // the raw pointers are stable for the registry's lifetime, so the hot
+  // paths increment atomics without touching the family map. /v1/stats is
+  // assembled from the same counters — one source of truth.
+  MetricsRegistry registry_;
+  Counter* mSubmitted_;
+  Counter* mCompleted_;
+  Counter* mRejected_;
+  Counter* mFullHits_;
+  Counter* mArtifactHits_;
+  Counter* mMisses_;
+  Counter* mEvictResponse_;
+  Counter* mEvictArtifact_;
+  Counter* mOutcome_[5];  // indexed by FailureKind order: none..resource
+  Counter* mBytesIn_;
+  Counter* mBytesOut_;
+  Gauge* mQueueDepth_;
+  Gauge* mInFlight_;
+  Gauge* mRespEntries_;
+  Gauge* mArtEntries_;
+  struct EndpointMetrics {
+    Counter* requests;
+    Histogram* latencyUs;
+  };
+  EndpointMetrics endpoints_[kNumEndpoints];
   std::condition_variable drainCv_;
   // Last member: workers touch everything above, so they must die first.
   std::unique_ptr<WorkerPool> pool_;

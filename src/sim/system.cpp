@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/exec/superblock.h"
+#include "src/obs/trace.h"
 #include "src/support/stopwatch.h"
 
 namespace twill {
@@ -188,6 +189,17 @@ public:
     last = state_.step();
     const StepResult& r = last;
     lastBlocked = r.status == StepStatus::Blocked;
+    if (trace_) {
+      // Stall span: opens at the first blocked attempt, closes (and is
+      // emitted retroactively, in sim cycles) when the wait resolves.
+      if (!wasBlocked && lastBlocked) {
+        stallStart_ = now;
+        inStall_ = true;
+      } else if (wasBlocked && !lastBlocked && inStall_) {
+        trace_->span(kTracePidSim, token_, traceCat_, traceStall_, stallStart_, now);
+        inStall_ = false;
+      }
+    }
     if (wasBlocked && !lastBlocked && fabric_ && prevChannel >= 0) {
       // The wait was satisfied: unpark, so the next block on this channel
       // registers (and gets woken) afresh.
@@ -245,6 +257,27 @@ public:
     busyUntil = now + cost;
     busyCycles += cost;
     return true;
+  }
+
+  /// Arms the cycle-domain trace hooks (pre-interned ids so the hot step
+  /// path never touches the intern table).
+  void setTrace(TraceRecorder* rec, TraceRecorder::StrId cat, TraceRecorder::StrId stallName,
+                TraceRecorder::StrId runName) {
+    trace_ = rec;
+    traceCat_ = cat;
+    traceStall_ = stallName;
+    traceRun_ = runName;
+  }
+
+  /// Emits the thread's pending stall span (if parked) and its whole-run
+  /// span; called once per simulation on every exit path (TraceCloser).
+  void closeTrace(uint64_t endCycle) {
+    if (!trace_) return;
+    if (inStall_) {
+      trace_->span(kTracePidSim, token_, traceCat_, traceStall_, stallStart_, endCycle);
+      inStall_ = false;
+    }
+    trace_->span(kTracePidSim, token_, traceCat_, traceRun_, 0, std::max(busyUntil, endCycle));
   }
 
   /// True when the next instruction can run on the superblock tier (not a
@@ -365,12 +398,50 @@ private:
   bool pipelinedMode_ = false;
   PortModel localMem_{2};  // dual-port BRAM for the pure-HW flow
 
+  TraceRecorder* trace_ = nullptr;
+  TraceRecorder::StrId traceCat_ = TraceRecorder::kNoStr;
+  TraceRecorder::StrId traceStall_ = TraceRecorder::kNoStr;
+  TraceRecorder::StrId traceRun_ = TraceRecorder::kNoStr;
+  uint64_t stallStart_ = 0;
+  bool inStall_ = false;
+
   std::unique_ptr<ThreadPort> port_;
   FunctionalChannels nullChans_;  // for baseline runs without a fabric
   ExecState state_;
   Fabric* fabric_;
   bool isHW_;
   uint32_t token_;
+};
+
+/// Burst-vs-per-inst phase spans on the scheduler's dedicated trace row:
+/// the Twill scheduler alternates between the exact per-instruction machinery
+/// and the solo-burst fast path; the phase track shows which one the clock
+/// is spent in. All no-ops when `rec` is null; zero-length phases are
+/// suppressed.
+struct PhaseTracer {
+  TraceRecorder* rec = nullptr;
+  uint32_t tid = 0;
+  TraceRecorder::StrId cat = TraceRecorder::kNoStr;
+  TraceRecorder::StrId burstName = TraceRecorder::kNoStr;
+  TraceRecorder::StrId perInstName = TraceRecorder::kNoStr;
+  uint64_t phaseStart = 0;
+  uint64_t burstStart = 0;
+
+  void beginBurst(uint64_t cycle) {
+    if (!rec) return;
+    if (cycle > phaseStart) rec->span(kTracePidSim, tid, cat, perInstName, phaseStart, cycle);
+    burstStart = cycle;
+  }
+  void endBurst(uint64_t cycle) {
+    if (!rec) return;
+    if (cycle > burstStart) rec->span(kTracePidSim, tid, cat, burstName, burstStart, cycle);
+    phaseStart = cycle;
+  }
+  void close(uint64_t cycle) {
+    if (!rec) return;
+    if (cycle > phaseStart) rec->span(kTracePidSim, tid, cat, perInstName, phaseStart, cycle);
+    phaseStart = cycle;
+  }
 };
 
 /// Single-thread loop of the pure-SW/HW baselines on the superblock tier.
@@ -501,6 +572,62 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
   const auto wallStart = stopwatchNow();
   uint64_t nextWallCheck = kWallCheckCycles;
 
+  // --- Trace plumbing -------------------------------------------------------
+  // All sim event names are interned once here; the hot loops only test the
+  // `rec` pointer. Every timestamp below is the sim cycle counter, so with a
+  // recorder attached the emitted event stream is a pure function of
+  // (module, cfg) — byte-identical across runs and host thread counts.
+  TraceRecorder* const rec = cfg.trace;
+  TraceRecorder::StrId catThread = TraceRecorder::kNoStr, catSched = TraceRecorder::kNoStr,
+                       nameStall = TraceRecorder::kNoStr, nameRun = TraceRecorder::kNoStr,
+                       nameWake = TraceRecorder::kNoStr, seriesItems = TraceRecorder::kNoStr;
+  std::unordered_map<int, TraceRecorder::StrId> chanNames;
+  PhaseTracer phases;
+  if (rec) {
+    catThread = rec->intern("thread");
+    catSched = rec->intern("sched");
+    nameStall = rec->intern("stall");
+    nameRun = rec->intern("run");
+    nameWake = rec->intern("wake");
+    seriesItems = rec->intern("items");
+    rec->setProcessName(kTracePidSim, "sim (cycles)");
+    for (size_t i = 0; i < order.size(); ++i)
+      rec->setThreadName(kTracePidSim, static_cast<uint32_t>(i),
+                         std::string(order[i].isHW ? "HW " : "SW ") + order[i].fn->name());
+    rec->setThreadName(kTracePidSim, static_cast<uint32_t>(all.size()), "scheduler");
+    for (const auto& ch : dswp.channels)
+      chanNames[ch.id] = rec->intern("ch" + std::to_string(ch.id) + " occupancy");
+    for (SimThread* t : all) t->setTrace(rec, catThread, nameStall, nameRun);
+    phases.rec = rec;
+    phases.tid = static_cast<uint32_t>(all.size());
+    phases.cat = catSched;
+    phases.burstName = rec->intern("burst");
+    phases.perInstName = rec->intern("per-inst");
+  }
+  // Closes every open span (thread run/stall, scheduler phase) on all exit
+  // paths — deadlock, trap, cycle-limit, wall-breach and success alike — so
+  // the trace is structurally balanced no matter how the run ends.
+  struct TraceCloser {
+    std::vector<SimThread*>& all;
+    PhaseTracer& phases;
+    const uint64_t& cycle;
+    ~TraceCloser() {
+      for (SimThread* t : all) t->closeTrace(cycle);
+      phases.close(cycle);
+    }
+  } traceCloser{all, phases, cycle};
+  // Occupancy sample after a completed Produce/Consume: one point of the
+  // channel's counter track (in-flight elements included).
+  auto noteChannelOp = [&](SimThread* t, uint64_t at) {
+    if (!rec) return;
+    const StepResult& r = t->last;
+    if (r.status != StepStatus::Ran || !r.dinst) return;
+    if (r.op != Opcode::Produce && r.op != Opcode::Consume) return;
+    HwQueue& q = fabric.queue(r.dinst->channel);
+    rec->counter(kTracePidSim, chanNames[r.dinst->channel], seriesItems, at,
+                 static_cast<int64_t>(q.enqueues() - q.dequeues()));
+  };
+
   // Wake min-heap: (cycle, token) entries for parked threads whose wait is
   // (or becomes) satisfiable at a known future cycle. Entries are consumed
   // lazily; stale ones (thread already running again) are dropped on pop.
@@ -536,7 +663,11 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
     if (r.status == StepStatus::Blocked) {
       if (r.op == Opcode::Consume && t->justParked && t->waitChannel >= 0) {
         HwQueue& q = fabric.queue(t->waitChannel);
-        if (!q.empty()) wakeHeap.push({q.frontVisibleAt(), t->token()});
+        if (!q.empty()) {
+          const uint64_t vis = q.frontVisibleAt();
+          wakeHeap.push({vis, t->token()});
+          if (rec) rec->instant(kTracePidSim, t->token(), catSched, nameWake, vis);
+        }
       }
       return;
     }
@@ -548,6 +679,7 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
         q.consumerWaiters().drain([&](uint32_t tok) {
           all[tok]->waitReadyAt = vis;
           wakeHeap.push({vis, tok});
+          if (rec) rec->instant(kTracePidSim, tok, catSched, nameWake, vis);
         });
         break;
       }
@@ -556,6 +688,7 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
         q.producerWaiters().drain([&](uint32_t tok) {
           all[tok]->waitReadyAt = cycle;
           wakeHeap.push({cycle, tok});
+          if (rec) rec->instant(kTracePidSim, tok, catSched, nameWake, cycle);
         });
         break;
       }
@@ -563,6 +696,7 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
         fabric.semaphore(r.dinst->channel).lowerWaiters().drain([&](uint32_t tok) {
           all[tok]->waitReadyAt = cycle;
           wakeHeap.push({cycle, tok});
+          if (rec) rec->instant(kTracePidSim, tok, catSched, nameWake, cycle);
         });
         break;
       }
@@ -637,6 +771,7 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
         if (cur->step(cycle)) progress = true;
         if (cur->last.status != StepStatus::Ran || cur->last.dinst->channel >= 0)
           afterStep(cur);
+        noteChannelOp(cur, cycle);
         // The hardware scheduler snoops the bus: it switches the processor
         // out when the active thread blocks, and on quantum expiry (§4.4).
         // The decision follows the step attempt so a blocked thread still
@@ -681,6 +816,7 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
       if (cycle >= t->busyUntil && t->waitSatisfied(cycle)) {
         if (t->step(cycle)) progress = true;
         if (t->last.status != StepStatus::Ran || t->last.dinst->channel >= 0) afterStep(t);
+        noteChannelOp(t, cycle);
         if (t->dead) continue;  // finished or trapped on this very step
       }
       if (t->busyUntil <= next) anyReady = true;
@@ -787,6 +923,7 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
       if (canBurst && solo != nullptr) {
         uint64_t burstEnd =
             std::min({validWakeTop(), lastProgress + cfg.deadlockWindow + 1, cycleLimit});
+        phases.beginBurst(cycle);
         while (cycle < burstEnd) {
           if (cycle < solo->busyUntil) {
             if (solo->busyUntil >= burstEnd) break;
@@ -804,6 +941,7 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
             if (cfg.queueLatency < 1 || q.full()) break;
             const bool hadWaiters = !q.consumerWaiters().empty();
             if (solo->step(cycle)) lastProgress = cycle;
+            noteChannelOp(solo, cycle);
             if (hadWaiters) {
               afterStep(solo);
               const uint64_t w = validWakeTop();
@@ -815,6 +953,7 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
             HwQueue& q = fabric.queue(pd->channel);
             if (!q.frontVisible(cycle) || !q.producerWaiters().empty()) break;
             if (solo->step(cycle)) lastProgress = cycle;
+            noteChannelOp(solo, cycle);
           } else if (nextOp == Opcode::SemRaise || nextOp == Opcode::SemLower) {
             // Safe only when nobody is parked on the semaphore (a raise
             // would wake parked lowerers this very cycle).
@@ -849,6 +988,7 @@ SimOutcome simulateTwill(Module& m, const DswpResult& dswp, const SimConfig& cfg
             break;
           }
         }
+        phases.endBurst(cycle);
         if (sawTrap) {
           out.message = trapMessage();
           return out;
@@ -894,8 +1034,22 @@ SimOutcome simulatePureSW(Module& m, const SimConfig& cfg) {
     return out;
   }
   DecodedProgram prog(m, layout);
-  SimThread t(prog, mem, nullptr, main, /*isHW=*/false, /*token=*/0);
+  // The token doubles as the trace row id; without a fabric it has no other
+  // use, so the baseline rows get fixed ids clear of Twill thread tokens.
+  SimThread t(prog, mem, nullptr, main, /*isHW=*/false, /*token=*/1000);
   bool wallBreach = false;
+  // The baselines run a single context on a dedicated trace row; a whole-run
+  // span (in cycles) is emitted on every exit path by the closer below.
+  if (cfg.trace) {
+    cfg.trace->setProcessName(kTracePidSim, "sim (cycles)");
+    cfg.trace->setThreadName(kTracePidSim, 1000, "pure-SW");
+    t.setTrace(cfg.trace, cfg.trace->intern("thread"), cfg.trace->intern("stall"),
+               cfg.trace->intern("run"));
+  }
+  struct Closer {
+    SimThread& t;
+    ~Closer() { t.closeTrace(t.busyUntil); }
+  } closer{t};
   if (!runPureLoop(t, cfg, wallBreach)) {
     out.resourceBreach = wallBreach;
     out.message = wallBreach ? "wall-clock budget exceeded (" +
@@ -930,8 +1084,18 @@ SimOutcome simulatePureHW(Module& m, const ScheduleMap& schedules, const SimConf
     return out;
   }
   DecodedProgram prog(m, layout, &schedules);
-  SimThread t(prog, mem, nullptr, main, /*isHW=*/true, /*token=*/0);
+  SimThread t(prog, mem, nullptr, main, /*isHW=*/true, /*token=*/1001);
   bool wallBreach = false;
+  if (cfg.trace) {
+    cfg.trace->setProcessName(kTracePidSim, "sim (cycles)");
+    cfg.trace->setThreadName(kTracePidSim, 1001, "pure-HW");
+    t.setTrace(cfg.trace, cfg.trace->intern("thread"), cfg.trace->intern("stall"),
+               cfg.trace->intern("run"));
+  }
+  struct Closer {
+    SimThread& t;
+    ~Closer() { t.closeTrace(t.busyUntil); }
+  } closer{t};
   if (!runPureLoop(t, cfg, wallBreach)) {
     out.resourceBreach = wallBreach;
     out.message = wallBreach ? "wall-clock budget exceeded (" +

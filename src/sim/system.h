@@ -26,6 +26,8 @@
 
 namespace twill {
 
+class TraceRecorder;
+
 struct SimConfig {
   unsigned queueCapacity = 8;
   unsigned queueLatency = RuntimeTiming::kQueueOp;  // 2-cycle minimum (§4.3)
@@ -43,6 +45,11 @@ struct SimConfig {
   /// Checked coarsely (every few million cycles), so a breach is detected
   /// within one check interval, not on the exact millisecond.
   double wallBudgetMs = 0;
+  /// Optional trace sink (null = tracing off; hooks reduce to one pointer
+  /// check). Every sim event is timestamped in **simulated cycles**, never
+  /// wall time, so a captured sim trace is a pure function of
+  /// (module, config) — byte-identical across runs and worker counts.
+  TraceRecorder* trace = nullptr;
 };
 
 struct SimOutcome {

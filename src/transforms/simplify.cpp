@@ -10,6 +10,7 @@
 #include "src/ir/builder.h"
 #include "src/ir/eval.h"
 #include "src/ir/verifier.h"
+#include "src/obs/trace.h"
 #include "src/transforms/passes.h"
 
 namespace twill {
@@ -468,54 +469,105 @@ void runDefaultPipeline(Module& m, unsigned inlineThreshold, uint64_t maxIrInstr
   // simplifycfg / gvn-ish folding / adce / loop-simplify, then the custom
   // globals pass and cleanups (§5.2). Under TWILL_VERIFY_IR every pass is
   // followed by a full structural/SSA verification of what it touched.
+  // Each pass runs under a TraceSpan so a `--trace` capture shows which pass
+  // dominates a compile; the verification that follows a pass is charged to
+  // the pipeline, not the pass (it is a debugging aid, not pipeline cost).
   for (auto& f : m.functions()) {
-    simplifyCFG(*f);
+    {
+      TraceSpan t("simplifycfg");
+      simplifyCFG(*f);
+    }
     verifyAfterPass(*f, "simplifycfg");
-    mem2reg(*f);
+    {
+      TraceSpan t("mem2reg");
+      mem2reg(*f);
+    }
     verifyAfterPass(*f, "mem2reg");
-    mergeReturns(*f, m);
+    {
+      TraceSpan t("mergereturn");
+      mergeReturns(*f, m);
+    }
     verifyAfterPass(*f, "mergereturn");
-    lowerSwitch(*f, m);
+    {
+      TraceSpan t("lowerswitch");
+      lowerSwitch(*f, m);
+    }
     verifyAfterPass(*f, "lowerswitch");
   }
-  inlineFunctions(m, inlineThreshold, maxIrInstructions);
+  {
+    TraceSpan t("inline");
+    inlineFunctions(m, inlineThreshold, maxIrInstructions);
+  }
   verifyAfterPass(m, "inline");
-  removeDeadFunctions(m);
+  {
+    TraceSpan t("remove-dead-functions");
+    removeDeadFunctions(m);
+  }
   verifyAfterPass(m, "remove-dead-functions");
   for (auto& f : m.functions()) {
-    simplifyCFG(*f);
+    {
+      TraceSpan t("simplifycfg");
+      simplifyCFG(*f);
+    }
     verifyAfterPass(*f, "simplifycfg");
-    mem2reg(*f);  // inlining exposes new promotable allocas
+    {
+      TraceSpan t("mem2reg");  // inlining exposes new promotable allocas
+      mem2reg(*f);
+    }
     verifyAfterPass(*f, "mem2reg");
-    constantFold(*f, m);
+    {
+      TraceSpan t("constant-fold");
+      constantFold(*f, m);
+    }
     verifyAfterPass(*f, "constant-fold");
-    dce(*f);
+    {
+      TraceSpan t("dce");
+      dce(*f);
+    }
     verifyAfterPass(*f, "dce");
-    simplifyCFG(*f);
-    constantFold(*f, m);
-    dce(*f);
+    {
+      TraceSpan t("simplifycfg+fold+dce");
+      simplifyCFG(*f);
+      constantFold(*f, m);
+      dce(*f);
+    }
     verifyAfterPass(*f, "simplifycfg+fold+dce");
   }
-  globalsToArgs(m);
+  {
+    TraceSpan t("globals-to-args");
+    globalsToArgs(m);
+  }
   verifyAfterPass(m, "globals-to-args");
   for (auto& f : m.functions()) {
-    constantFold(*f, m);
-    dce(*f);
-    simplifyCFG(*f);
+    {
+      TraceSpan t("fold+dce+simplifycfg");
+      constantFold(*f, m);
+      dce(*f);
+      simplifyCFG(*f);
+    }
     verifyAfterPass(*f, "fold+dce+simplifycfg");
-    loopSimplify(*f, m);
+    {
+      TraceSpan t("loop-simplify");
+      loopSimplify(*f, m);
+    }
     verifyAfterPass(*f, "loop-simplify");
-    mergeReturns(*f, m);  // loop-simplify cannot add returns, but stay safe
+    {
+      TraceSpan t("mergereturn");  // loop-simplify cannot add returns, but stay safe
+      mergeReturns(*f, m);
+    }
     verifyAfterPass(*f, "mergereturn");
   }
 }
 
 void runCleanupPipeline(Module& m) {
   for (auto& f : m.functions()) {
-    simplifyCFG(*f);
-    constantFold(*f, m);
-    dce(*f);
-    simplifyCFG(*f);
+    {
+      TraceSpan t("cleanup");
+      simplifyCFG(*f);
+      constantFold(*f, m);
+      dce(*f);
+      simplifyCFG(*f);
+    }
     verifyAfterPass(*f, "cleanup");
   }
 }

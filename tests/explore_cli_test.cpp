@@ -3,6 +3,7 @@
 // that parallel runs reproduce serial output byte for byte.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -83,6 +84,35 @@ TEST(TwillExploreCliTest, JobsTwoMatchesSerialByteForByte) {
   EXPECT_NE(a.find("\"points\""), std::string::npos);
   EXPECT_NE(a.find("\"frontier\""), std::string::npos);
   EXPECT_NE(a.find("\"points_ok\": 4"), std::string::npos) << a;
+}
+
+TEST(TwillExploreCliTest, TraceDirOutputIsJobsInvariant) {
+  // Traces are stamped in sim cycles only, so like the exploration report
+  // they must be byte-identical for any --jobs value.
+  const std::string dir1 = tempPath("_traces_j1");
+  const std::string dir2 = tempPath("_traces_j2");
+  RunResult r1 = run("mkdir -p " + dir1 + " && " + TWILL_EXPLORE_PATH + kTinyGrid +
+                     " --jobs 1 --out /dev/null --trace-dir " + dir1);
+  ASSERT_EQ(r1.exitCode, 0) << r1.out;
+  RunResult r2 = run("mkdir -p " + dir2 + " && " + TWILL_EXPLORE_PATH + kTinyGrid +
+                     " --jobs 2 --out /dev/null --trace-dir " + dir2);
+  ASSERT_EQ(r2.exitCode, 0) << r2.out;
+  // 2 partition values x 2 queue capacities = 4 evaluated points.
+  for (int p = 0; p < 4; ++p) {
+    const std::string name = "/mips-p" + std::to_string(p) + ".trace.json";
+    const std::string a = slurp(dir1 + name);
+    const std::string b = slurp(dir2 + name);
+    ASSERT_FALSE(a.empty()) << name << " missing or empty";
+    // Compare via EXPECT_TRUE: traces run to tens of MB, and on mismatch
+    // gtest's EXPECT_EQ unified diff is O(lines^2) — report the first
+    // divergence instead.
+    const size_t firstDiff =
+        std::mismatch(a.begin(), a.begin() + std::min(a.size(), b.size()), b.begin()).first -
+        a.begin();
+    EXPECT_TRUE(a == b) << name << " must not depend on --jobs (sizes " << a.size() << " vs "
+                        << b.size() << ", first divergence at byte " << firstDiff << ")";
+    EXPECT_EQ(a.compare(0, 17, "{\"traceEvents\": ["), 0) << name;
+  }
 }
 
 TEST(TwillExploreCliTest, WritesCsv) {

@@ -282,6 +282,149 @@ TEST(ServeTest, RoutingErrors) {
   EXPECT_EQ(svc.handle(post("/v1/stats", "{}")).status, 405);  // POST on GET-only
 }
 
+// --- service: observability -------------------------------------------------
+
+/// Value of a label-less or fully-labelled series in a Prometheus text
+/// document (exact match of everything before the space). UINT64_MAX when
+/// the series is absent.
+uint64_t promValue(const std::string& text, const std::string& series) {
+  const std::string needle = series + " ";
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n')
+      return std::stoull(text.substr(pos + needle.size()));
+    pos += needle.size();
+  }
+  return UINT64_MAX;
+}
+
+TEST(ServeTest, HealthzReportsSchemaBuildAndDispatcher) {
+  TwillService svc{ServiceConfig{}};
+  HttpResponse health = svc.handle(get("/v1/healthz"));
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"schema_version\": 1"), std::string::npos) << health.body;
+  EXPECT_NE(health.body.find("\"ok\": true"), std::string::npos) << health.body;
+  EXPECT_NE(health.body.find("\"build\": "), std::string::npos) << health.body;
+  const bool threaded = health.body.find("\"dispatcher\": \"threaded\"") != std::string::npos;
+  const bool portable = health.body.find("\"dispatcher\": \"portable\"") != std::string::npos;
+  EXPECT_TRUE(threaded || portable) << health.body;
+}
+
+TEST(ServeTest, MetricsEndpointRendersTheRequiredFamilies) {
+  TwillService svc{ServiceConfig{}};
+  (void)submitAndFetch(svc, sourceRequest(kQuickProgram));
+  (void)submitAndFetch(svc, sourceRequest(kQuickProgram));  // full cache hit
+  (void)svc.handle(post("/v1/jobs", "{not json"));          // rejected
+  HttpResponse metrics = svc.handle(get("/v1/metrics"));
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.contentType, "text/plain; version=0.0.4");
+  const std::string& text = metrics.body;
+
+  EXPECT_EQ(promValue(text, "twilld_jobs_submitted_total"), 2u) << text;
+  EXPECT_EQ(promValue(text, "twilld_jobs_completed_total"), 2u);
+  EXPECT_EQ(promValue(text, "twilld_requests_rejected_total"), 1u);
+  EXPECT_EQ(promValue(text, "twilld_cache_hits_total{level=\"full\"}"), 1u);
+  EXPECT_EQ(promValue(text, "twilld_cache_hits_total{level=\"artifact\"}"), 0u);
+  EXPECT_EQ(promValue(text, "twilld_cache_misses_total"), 1u);
+  EXPECT_EQ(promValue(text, "twilld_jobs_outcome_total{failure_kind=\"none\"}"), 2u);
+  EXPECT_EQ(promValue(text, "twilld_pool_queue_depth"), 0u);
+  EXPECT_EQ(promValue(text, "twilld_pool_in_flight"), 0u);
+  EXPECT_EQ(promValue(text, "twilld_cache_response_entries"), 1u);
+  EXPECT_NE(promValue(text, "twilld_http_bytes_in_total"), UINT64_MAX);
+  EXPECT_NE(promValue(text, "twilld_http_bytes_out_total"), UINT64_MAX);
+  EXPECT_NE(promValue(text, "twilld_cache_evictions_total{cache=\"response\"}"), UINT64_MAX);
+  // Per-endpoint latency histograms: /v1/jobs saw 3 requests (2 accepted +
+  // 1 rejected), and every HELP/TYPE header renders exactly once.
+  EXPECT_EQ(promValue(text, "twilld_http_requests_total{endpoint=\"/v1/jobs\"}"), 3u);
+  EXPECT_EQ(promValue(text, "twilld_http_request_duration_us_count{endpoint=\"/v1/jobs\"}"),
+            3u);
+  EXPECT_NE(text.find("# TYPE twilld_http_request_duration_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("twilld_http_request_duration_us_bucket{endpoint=\"/v1/jobs\",le=\"+Inf\"} 3"),
+            std::string::npos);
+
+  // The sacred /v1/stats document still carries its exact field set.
+  HttpResponse stats = svc.handle(get("/v1/stats"));
+  for (const char* key : {"\"submitted\"", "\"completed\"", "\"queued\"", "\"running\"",
+                          "\"rejected_requests\"", "\"full_hits\"", "\"artifact_hits\"",
+                          "\"misses\"", "\"response_entries\"", "\"artifact_entries\"",
+                          "\"ok\"", "\"compile\"", "\"verify\"", "\"sim\"", "\"resource\""})
+    EXPECT_NE(stats.body.find(key), std::string::npos) << key << " missing: " << stats.body;
+}
+
+// The metrics-under-concurrency contract: totals are exact after a drain,
+// no matter how many threads hammered the API (runs under TSan in CI, so
+// this doubles as the data-race proof for the registry and the service).
+TEST(ServeTest, MetricsStayExactUnderConcurrentSubmissions) {
+  constexpr int kThreads = 4, kPerThread = 8;
+  ServiceConfig cfg;
+  cfg.jobs = 3;
+  TwillService svc{cfg};
+  std::atomic<bool> stop{false};
+  // A scraper races the submitters so rendering overlaps sampling.
+  std::thread scraper([&svc, &stop] {
+    while (!stop.load()) (void)svc.handle(get("/v1/metrics"));
+  });
+  std::vector<std::thread> posters;
+  for (int t = 0; t < kThreads; ++t)
+    posters.emplace_back([&svc] {
+      for (int i = 0; i < kPerThread; ++i)
+        EXPECT_EQ(svc.handle(post("/v1/jobs", sourceRequest(kQuickProgram))).status, 202);
+    });
+  for (auto& th : posters) th.join();
+  stop.store(true);
+  scraper.join();
+  svc.drain();
+
+  const std::string text = svc.handle(get("/v1/metrics")).body;
+  constexpr uint64_t kTotal = static_cast<uint64_t>(kThreads * kPerThread);
+  EXPECT_EQ(promValue(text, "twilld_jobs_submitted_total"), kTotal);
+  EXPECT_EQ(promValue(text, "twilld_jobs_completed_total"), kTotal);
+  EXPECT_EQ(promValue(text, "twilld_jobs_outcome_total{failure_kind=\"none\"}"), kTotal);
+  EXPECT_EQ(promValue(text, "twilld_http_requests_total{endpoint=\"/v1/jobs\"}"), kTotal);
+  EXPECT_EQ(promValue(text, "twilld_http_request_duration_us_count{endpoint=\"/v1/jobs\"}"),
+            kTotal);
+  EXPECT_EQ(promValue(text, "twilld_pool_queue_depth"), 0u);
+  EXPECT_EQ(promValue(text, "twilld_pool_in_flight"), 0u);
+  // One miss, the rest answered from the response cache.
+  EXPECT_EQ(promValue(text, "twilld_cache_misses_total") +
+                promValue(text, "twilld_cache_hits_total{level=\"full\"}"),
+            kTotal);
+
+  // Histogram buckets are cumulative: counts must be monotone in le order.
+  const std::string prefix = "twilld_http_request_duration_us_bucket{endpoint=\"/v1/jobs\",";
+  uint64_t prev = 0;
+  size_t pos = 0, buckets = 0;
+  while ((pos = text.find(prefix, pos)) != std::string::npos) {
+    const size_t space = text.find(' ', pos);
+    const uint64_t v = std::stoull(text.substr(space + 1));
+    EXPECT_GE(v, prev) << "cumulative bucket counts must be monotone";
+    prev = v;
+    ++buckets;
+    pos = space;
+  }
+  EXPECT_GE(buckets, 2u);
+  EXPECT_EQ(prev, kTotal) << "the +Inf bucket must equal the series count";
+}
+
+TEST(ServeTest, TraceDirWritesOneTracePerJob) {
+  ServiceConfig cfg;
+  cfg.traceDir = testing::TempDir();
+  TwillService svc{cfg};
+  (void)submitAndFetch(svc, sourceRequest(kQuickProgram));
+  (void)submitAndFetch(svc, sourceRequest(kQuickProgram));  // cached: still traced
+  for (const char* name : {"job-1.trace.json", "job-2.trace.json"}) {
+    std::ifstream f(cfg.traceDir + name);
+    ASSERT_TRUE(f.good()) << "missing " << name;
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const std::string doc = ss.str();
+    EXPECT_EQ(doc.compare(0, 17, "{\"traceEvents\": ["), 0) << name;
+    EXPECT_NE(doc.find("\"queued\""), std::string::npos) << name;
+    EXPECT_NE(doc.find("\"run\""), std::string::npos) << name;
+    std::remove((cfg.traceDir + name).c_str());
+  }
+}
+
 // --- real-socket server -----------------------------------------------------
 
 /// One HTTP exchange over a real socket: connect, write `raw`, read to EOF.

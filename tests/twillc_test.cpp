@@ -156,6 +156,31 @@ TEST(TwillcTest, WritesJsonToOutFile) {
   EXPECT_NE(contents.find("\"power\""), std::string::npos);
 }
 
+TEST(TwillcTest, TraceFlagWritesABalancedChromeTrace) {
+  std::string src = writeTempSource(kQuickstartProgram);
+  std::string tracePath = tempPath("_trace.json");
+  std::remove(tracePath.c_str());
+  RunResult r = runTwillc("--json --trace " + tracePath + " " + src);
+  ASSERT_EQ(r.exitCode, 0) << r.out;
+  std::ifstream f(tracePath);
+  ASSERT_TRUE(f.good()) << "--trace must write the file";
+  std::string trace((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(trace.compare(0, 17, "{\"traceEvents\": ["), 0) << trace.substr(0, 40);
+  EXPECT_TRUE(looksLikeValidJson(trace));
+  // Structurally sound: every span begin has an end, and both the compile
+  // (pid 1, wall us) and sim (pid 2, cycles) clock domains are present.
+  auto count = [&trace](const char* needle) {
+    size_t n = 0;
+    for (size_t p = trace.find(needle); p != std::string::npos; p = trace.find(needle, p + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_GT(count("\"ph\":\"B\""), 0u);
+  EXPECT_EQ(count("\"ph\":\"B\""), count("\"ph\":\"E\""));
+  EXPECT_GT(count("\"pid\":1,"), 0u);
+  EXPECT_GT(count("\"pid\":2,"), 0u);
+}
+
 TEST(TwillcTest, SimKnobsAreAccepted) {
   std::string src = writeTempSource(kQuickstartProgram);
   RunResult r = runTwillc("--json --queue-capacity 16 --queue-latency 4 --partitions 2 " + src);

@@ -50,6 +50,39 @@ def compare(base, new, path, drifts, walls):
         drifts.append(f"{path}: {base!r} -> {new!r}")
 
 
+def kernel_wall_table(base, new):
+    """One line per kernel: end-to-end report wall time, baseline vs new.
+
+    Printed even when every field matches, so the job log always shows
+    where the wall clock went. Returns an error string (instead of raising
+    KeyError) when either artifact is structurally short of a kernel list
+    with `report.name` / `report.stages` — a truncated or pre-stages
+    baseline is a gate failure with an actionable message, not a traceback.
+    """
+    for label, doc in (("baseline", base), ("new run", new)):
+        if not isinstance(doc.get("kernels"), list):
+            return None, f"{label}: no 'kernels' list — not a bench_main artifact?"
+        for i, k in enumerate(doc["kernels"]):
+            report = k.get("report")
+            if not isinstance(report, dict) or "name" not in report:
+                return None, f"{label}: kernels[{i}] has no report.name"
+            if not isinstance(report.get("stages"), dict):
+                return None, (f"{label}: kernel '{report.get('name', i)}' has no 'stages' "
+                              "object — regenerate it with a current bench_main")
+    lines = []
+    base_by_name = {k["report"]["name"]: k for k in base["kernels"]}
+    for k in new["kernels"]:
+        name = k["report"]["name"]
+        b = base_by_name.get(name)
+        if b is None:
+            lines.append(f"  {name:<12} (not in baseline)")
+            continue
+        bw, nw = b.get("report_wall_ms", 0.0), k.get("report_wall_ms", 0.0)
+        delta = f"{(nw / bw - 1.0) * 100.0:+6.1f}%" if bw > 0 else "   n/a"
+        lines.append(f"  {name:<12} {bw:9.2f} ms -> {nw:9.2f} ms  {delta}")
+    return lines, None
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
@@ -62,6 +95,14 @@ def main():
         base = json.load(f)
     with open(args.new) as f:
         new = json.load(f)
+
+    table, table_error = kernel_wall_table(base, new)
+    if table_error:
+        print(f"FAIL: {table_error}")
+        return 1
+    print("Per-kernel wall (baseline -> new; informational, never gates):")
+    for line in table:
+        print(line)
 
     drifts, walls = [], []
     compare(base, new, "", drifts, walls)

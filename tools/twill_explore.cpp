@@ -50,6 +50,10 @@ void printUsage(std::FILE* to) {
                "                         for any N)\n"
                "  --out FILE             write the JSON report to FILE (default stdout)\n"
                "  --csv FILE             also write a flat CSV of every point\n"
+               "  --trace-dir DIR        write one Chrome trace-event JSON per evaluated\n"
+               "                         point (<kernel>-p<index>.trace.json, sim-cycle\n"
+               "                         timestamps, byte-identical for any --jobs);\n"
+               "                         DIR must already exist\n"
                "  --inline-threshold N   inliner size bound (default 100)\n"
                "  --unseed-semaphores    debug: zero all semaphore initial counts\n"
                "                         after extraction (must fail verification)\n"
@@ -82,6 +86,7 @@ int main(int argc, char** argv) {
   std::string sourcePath;
   std::string outPath;
   std::string csvPath;
+  std::string traceDir;
   unsigned jobs = 1;
   unsigned inlineThreshold = 100;
   bool unseedSemaphores = false;
@@ -142,6 +147,8 @@ int main(int argc, char** argv) {
       outPath = needValue(i, "--out");
     } else if (arg == "--csv") {
       csvPath = needValue(i, "--csv");
+    } else if (arg == "--trace-dir") {
+      traceDir = needValue(i, "--trace-dir");
     } else if (arg == "--unseed-semaphores") {
       unseedSemaphores = true;
     } else if (arg[0] != '-') {
@@ -184,6 +191,7 @@ int main(int argc, char** argv) {
     req.space = space;
     req.inlineThreshold = inlineThreshold;
     req.unseedSemaphores = unseedSemaphores;
+    req.captureTraces = !traceDir.empty();
     reqs.push_back(std::move(req));
   } else {
     if (kernelNames.empty())
@@ -200,6 +208,7 @@ int main(int argc, char** argv) {
       req.source = k->source;
       req.space = space;
       req.inlineThreshold = inlineThreshold;
+      req.captureTraces = !traceDir.empty();
       reqs.push_back(std::move(req));
     }
   }
@@ -215,6 +224,20 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!csvPath.empty() && !writeFileOrDie(csvPath, twill::exploreToCsv(results), "CSV")) return 1;
+  if (!traceDir.empty()) {
+    // One file per point that actually simulated (copied compile failures
+    // have no trace); names use the enumeration index, which is stable for
+    // a fixed grid.
+    for (const auto& res : results) {
+      for (size_t i = 0; i < res.points.size(); ++i) {
+        const auto& p = res.points[i];
+        if (p.traceJson.empty()) continue;
+        const std::string path =
+            traceDir + "/" + res.name + "-p" + std::to_string(i) + ".trace.json";
+        if (!writeFileOrDie(path, p.traceJson, "trace")) return 1;
+      }
+    }
+  }
 
   bool allOk = true;
   bool sawCompile = false, sawVerify = false, sawSim = false, sawResource = false;

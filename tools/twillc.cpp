@@ -17,12 +17,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "src/chstone/kernels.h"
 #include "src/driver/driver.h"
 #include "src/driver/request.h"
+#include "src/obs/trace.h"
 
 namespace {
 
@@ -38,6 +40,11 @@ void printUsage(std::FILE* to) {
                "  --json                 machine-readable JSON report\n"
                "  --out FILE             write the report to FILE instead of stdout\n"
                "  --name NAME            report name (default: source file stem)\n"
+               "  --trace FILE           record a Chrome trace-event JSON file covering\n"
+               "                         the compile pipeline (wall us) and the\n"
+               "                         simulators (sim cycles); load it in Perfetto\n"
+               "                         or chrome://tracing. Off by default; the\n"
+               "                         report is unaffected either way.\n"
                "\n"
                "input:\n"
                "  --kernel NAME          use the built-in CHStone kernel NAME instead\n"
@@ -149,6 +156,7 @@ int main(int argc, char** argv) {
   twill::DriverOptions opts;
   bool json = false;
   std::string outPath;
+  std::string tracePath;
   std::string name;
   std::string kernelName;
   std::string inputPath;
@@ -213,6 +221,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--out") {
       outPath = needValue(i, "--out");
+    } else if (arg == "--trace") {
+      tracePath = needValue(i, "--trace");
     } else if (arg == "--name") {
       name = needValue(i, "--name");
     } else if (arg == "--kernel") {
@@ -330,7 +340,26 @@ int main(int argc, char** argv) {
     if (name.empty()) name = inputPath == "-" ? "stdin" : stemOf(inputPath);
   }
 
-  twill::BenchmarkReport r = twill::runBenchmark(name, source, opts);
+  // With --trace, a recorder is installed for the whole run: the compile
+  // hooks find it through the thread-local slot and the driver forwards it
+  // to the simulators (SimConfig::trace).
+  std::unique_ptr<twill::TraceRecorder> trace;
+  if (!tracePath.empty()) {
+    trace = std::make_unique<twill::TraceRecorder>();
+    trace->setProcessName(twill::kTracePidCompile, "compile (wall us)");
+  }
+  twill::BenchmarkReport r;
+  {
+    twill::TraceScope scope(trace.get());
+    r = twill::runBenchmark(name, source, opts);
+  }
+  if (trace) {
+    std::string error;
+    if (!trace->writeFile(tracePath, error)) {
+      std::fprintf(stderr, "twillc: %s\n", error.c_str());
+      return 1;
+    }
+  }
 
   // In human mode a failed run produces no report, so don't open (and
   // truncate) --out unless something will be written.

@@ -35,7 +35,10 @@ void printUsage(std::FILE* to) {
                "                           fetch the report (same document as\n"
                "                           `twillc --json`)\n"
                "  GET  /v1/stats           cache hit/miss and outcome counters\n"
-               "  GET  /v1/healthz         liveness probe\n"
+               "  GET  /v1/metrics         Prometheus text exposition (latency\n"
+               "                           histograms, cache/outcome counters,\n"
+               "                           worker-pool gauges)\n"
+               "  GET  /v1/healthz         liveness probe (build + dispatcher info)\n"
                "\n"
                "options:\n"
                "  --host ADDR            listen address (default 127.0.0.1)\n"
@@ -52,6 +55,10 @@ void printUsage(std::FILE* to) {
                "                         request's own)\n"
                "  --cache-entries N      response/artifact cache capacity\n"
                "                         (default 64)\n"
+               "  --trace-dir DIR        write one Chrome trace-event JSON per job\n"
+               "                         (job-<id>.trace.json: queued/run spans in\n"
+               "                         wall us + the job's compile stages and\n"
+               "                         cycle-stamped sim rows); DIR must exist\n"
                "\n"
                "SIGINT/SIGTERM shut the daemon down cleanly (exit 0).\n");
 }
@@ -124,6 +131,8 @@ int main(int argc, char** argv) {
       scfg.maxMemoryBytes = static_cast<uint32_t>(mb << 20);
     } else if (arg == "--cache-entries") {
       scfg.maxCacheEntries = parseUnsigned(i, "--cache-entries");
+    } else if (arg == "--trace-dir") {
+      scfg.traceDir = needValue(i, "--trace-dir");
     } else {
       std::fprintf(stderr, "twilld: unknown option '%s'\n", arg.c_str());
       printUsage(stderr);

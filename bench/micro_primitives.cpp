@@ -4,6 +4,8 @@
 // give a wall-clock view of the compiler itself.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "src/chstone/kernels.h"
 #include "src/dswp/extract.h"
 #include "src/exec/superblock.h"
@@ -188,6 +190,47 @@ void BM_CompileKernel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CompileKernel)->DenseRange(0, 7);
+
+// Arena payoff #1: module teardown. Builds a fully optimized kernel module
+// per iteration outside the timed region would be ideal, but benchmark has no
+// per-iteration setup hook; instead time build+teardown and compare against
+// BM_CompileKernel (build only) to read off the teardown share — it should be
+// a destructor sweep plus a handful of slab frees, not a def-use graph walk.
+void BM_ModuleTeardown(benchmark::State& state) {
+  const KernelInfo& k = chstoneKernels()[static_cast<size_t>(state.range(0))];
+  state.SetLabel(k.name);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto m = std::make_unique<Module>();
+    DiagEngine diag;
+    compileC(k.source, *m, diag);
+    runDefaultPipeline(*m);
+    bytes = m->arena().bytesAllocated();
+    m.reset();  // the measured teardown
+    benchmark::ClobberMemory();
+  }
+  state.counters["arena_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes), benchmark::Counter::kDefaults);
+}
+BENCHMARK(BM_ModuleTeardown)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+// Arena payoff #2: the full compile path the bench gate sums — parse, lower,
+// optimize, extract, cleanup — end to end on one kernel per iteration.
+void BM_DswpExtractCompile(benchmark::State& state) {
+  const KernelInfo& k = chstoneKernels()[static_cast<size_t>(state.range(0))];
+  state.SetLabel(k.name);
+  for (auto _ : state) {
+    Module m;
+    DiagEngine diag;
+    compileC(k.source, m, diag);
+    runDefaultPipeline(m);
+    DswpConfig cfg;
+    DswpResult r = runDswp(m, cfg);
+    benchmark::DoNotOptimize(r.totalQueues());
+    benchmark::DoNotOptimize(m.instructionCount());
+  }
+}
+BENCHMARK(BM_DswpExtractCompile)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
 
 void BM_OptimizeAndExtract(benchmark::State& state) {
   const KernelInfo& k = chstoneKernels()[static_cast<size_t>(state.range(0))];

@@ -85,33 +85,39 @@ const AliasAnalysis::BaseSet& AliasAnalysis::basesOf(Value* p) {
   BaseSet bs;
   std::unordered_set<const Value*> visiting;
   collect(p, bs, visiting);
+  // Anything escapable in the set? Arguments/Unknown can point at globals,
+  // at other arguments, and at escaped allocas — but never at non-escaped
+  // allocas. Cached so pairwise checks never re-walk `concrete`.
+  bs.escapable = bs.hasArg || bs.hasUnknown;
+  if (!bs.escapable) {
+    for (const Value* v : bs.concrete) {
+      if (isa<GlobalVar>(v)) {
+        bs.escapable = true;
+        break;
+      }
+      if (auto* ai = dyn_cast<Instruction>(v); ai && escaped_.count(ai)) {
+        bs.escapable = true;
+        break;
+      }
+    }
+  }
   return cache_.emplace(p, std::move(bs)).first->second;
+}
+
+bool AliasAnalysis::mayAlias(const BaseSet& a, const BaseSet& b) {
+  if ((a.hasArg || a.hasUnknown) && b.escapable) return true;
+  if ((b.hasArg || b.hasUnknown) && a.escapable) return true;
+  const BaseSet& small = a.concrete.size() <= b.concrete.size() ? a : b;
+  const BaseSet& large = &small == &a ? b : a;
+  for (const Value* v : small.concrete)
+    if (large.concrete.count(v)) return true;
+  return false;
 }
 
 bool AliasAnalysis::mayAlias(Value* p1, Value* p2) {
   const BaseSet& a = basesOf(p1);
   const BaseSet& b = basesOf(p2);
-
-  auto overlapsEscapable = [&](const BaseSet& s) {
-    // Arguments/Unknown can point at globals, at other arguments, and at
-    // escaped allocas — but never at non-escaped allocas.
-    if (s.hasArg || s.hasUnknown) return true;
-    return false;
-  };
-  auto anyEscapable = [&](const BaseSet& s) {
-    if (s.hasArg || s.hasUnknown) return true;
-    for (const Value* v : s.concrete) {
-      if (isa<GlobalVar>(v)) return true;
-      if (auto* ai = dyn_cast<Instruction>(v); ai && escaped_.count(ai)) return true;
-    }
-    return false;
-  };
-
-  if (overlapsEscapable(a) && anyEscapable(b)) return true;
-  if (overlapsEscapable(b) && anyEscapable(a)) return true;
-  for (const Value* v : a.concrete)
-    if (b.concrete.count(v)) return true;
-  return false;
+  return mayAlias(a, b);
 }
 
 }  // namespace twill

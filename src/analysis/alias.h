@@ -20,22 +20,33 @@ class AliasAnalysis {
 public:
   explicit AliasAnalysis(Function& f) : fn_(f) { computeEscapes(); }
 
+  struct BaseSet {
+    std::unordered_set<const Value*> concrete;  // GlobalVars and Allocas
+    bool hasArg = false;     // some pointer argument
+    bool hasUnknown = false; // inttoptr of arbitrary data, etc.
+    /// Does anything here overlap escapable memory (globals, arguments,
+    /// escaped allocas)? Cached when the set is built so the O(pairs)
+    /// mayAlias sweep in PDG construction never re-walks `concrete`.
+    bool escapable = false;
+  };
+
   /// May the memory accessed through `p1` overlap the memory accessed
   /// through `p2`? (Both are pointer-typed values.)
   bool mayAlias(Value* p1, Value* p2);
+
+  /// Pairwise check over base sets already resolved via basesOf() — lets a
+  /// caller comparing m ops pairwise pay m cache lookups instead of m^2.
+  static bool mayAlias(const BaseSet& a, const BaseSet& b);
+
+  /// The (cached) base-object set `p` can point into. The reference stays
+  /// valid for the analysis' lifetime.
+  const BaseSet& basesOf(Value* p);
 
   /// True if this alloca's address escapes the function (passed to a call or
   /// stored into memory) — escaped allocas may alias argument pointers.
   bool escapes(const Instruction* alloca) const { return escaped_.count(alloca) != 0; }
 
 private:
-  struct BaseSet {
-    std::unordered_set<const Value*> concrete;  // GlobalVars and Allocas
-    bool hasArg = false;     // some pointer argument
-    bool hasUnknown = false; // inttoptr of arbitrary data, etc.
-  };
-
-  const BaseSet& basesOf(Value* p);
   void collect(Value* p, BaseSet& out, std::unordered_set<const Value*>& visiting);
   void computeEscapes();
 

@@ -11,16 +11,24 @@ std::vector<BasicBlock*> postOrder(Function& f) {
   std::vector<BasicBlock*> post;
   if (!f.entry()) return post;
   std::unordered_set<BasicBlock*> seen;
-  std::vector<std::pair<BasicBlock*, size_t>> stack{{f.entry(), 0}};
+  // Successor lists live in the stack frame: successors() materializes a
+  // vector, so calling it once per visit step (not once per frame) was the
+  // dominant cost of every CFG walk built on this.
+  struct Frame {
+    BasicBlock* bb;
+    std::vector<BasicBlock*> succs;
+    size_t i = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({f.entry(), f.entry()->successors(), 0});
   seen.insert(f.entry());
   while (!stack.empty()) {
-    auto& [bb, i] = stack.back();
-    auto succs = bb->successors();
-    if (i < succs.size()) {
-      BasicBlock* s = succs[i++];
-      if (seen.insert(s).second) stack.push_back({s, 0});
+    Frame& fr = stack.back();
+    if (fr.i < fr.succs.size()) {
+      BasicBlock* s = fr.succs[fr.i++];
+      if (seen.insert(s).second) stack.push_back({s, s->successors(), 0});
     } else {
-      post.push_back(bb);
+      post.push_back(fr.bb);
       stack.pop_back();
     }
   }
@@ -36,7 +44,7 @@ std::vector<BasicBlock*> reversePostOrder(Function& f) {
 std::vector<BasicBlock*> exitBlocks(Function& f) {
   std::vector<BasicBlock*> exits;
   for (auto& bb : f.blocks())
-    if (bb->terminator() && bb->terminator()->op() == Opcode::Ret) exits.push_back(bb.get());
+    if (bb->terminator() && bb->terminator()->op() == Opcode::Ret) exits.push_back(bb);
   return exits;
 }
 

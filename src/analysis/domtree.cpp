@@ -21,7 +21,7 @@ void DomTree::build(Function& f, bool postDom) {
   fn_ = &f;
   order_.clear();
   number_.clear();
-  idom_.clear();
+  idomIdx_.clear();
   frontiers_.clear();
   frontiersBuilt_ = false;
 
@@ -32,18 +32,24 @@ void DomTree::build(Function& f, bool postDom) {
   } else {
     std::vector<BasicBlock*> postOrderRev;
     std::unordered_set<BasicBlock*> seen;
-    std::vector<std::pair<BasicBlock*, size_t>> stack;
+    // Predecessor lists live in the stack frame — materializing them once
+    // per visit step instead of once per frame dominated this walk.
+    struct Frame {
+      BasicBlock* bb;
+      std::vector<BasicBlock*> preds;
+      size_t i = 0;
+    };
+    std::vector<Frame> stack;
     for (BasicBlock* e : exitBlocks(f)) {
       if (!seen.insert(e).second) continue;
-      stack.push_back({e, 0});
+      stack.push_back({e, e->predecessors(), 0});
       while (!stack.empty()) {
-        auto& [bb, i] = stack.back();
-        auto ss = bb->predecessors();
-        if (i < ss.size()) {
-          BasicBlock* s = ss[i++];
-          if (seen.insert(s).second) stack.push_back({s, 0});
+        Frame& fr = stack.back();
+        if (fr.i < fr.preds.size()) {
+          BasicBlock* s = fr.preds[fr.i++];
+          if (seen.insert(s).second) stack.push_back({s, s->predecessors(), 0});
         } else {
-          postOrderRev.push_back(bb);
+          postOrderRev.push_back(fr.bb);
           stack.pop_back();
         }
       }
@@ -55,102 +61,116 @@ void DomTree::build(Function& f, bool postDom) {
   if (order_.empty()) return;
 
   // Roots: entry (forward) / every exit block (postdom; idom = virtual root).
-  std::unordered_set<BasicBlock*> roots;
+  idomIdx_.assign(order_.size(), kUnsetIdom);
+  std::vector<uint8_t> isRoot(order_.size(), 0);
   if (!post_) {
-    roots.insert(f.entry());
-    idom_[f.entry()] = nullptr;
+    int e = number_.at(f.entry());
+    isRoot[e] = 1;
+    idomIdx_[e] = -1;
   } else {
     for (BasicBlock* e : exitBlocks(f)) {
-      roots.insert(e);
-      idom_[e] = nullptr;
+      auto it = number_.find(e);
+      if (it == number_.end()) continue;
+      isRoot[it->second] = 1;
+      idomIdx_[it->second] = -1;
+    }
+  }
+
+  // Direction-predecessors as order indices, resolved once: the fixpoint
+  // below revisits them every round, and hashing a pointer per edge per
+  // round was the dominant cost of building the tree.
+  std::vector<std::vector<int>> predIdx(order_.size());
+  for (size_t i = 0; i < order_.size(); ++i) {
+    for (BasicBlock* p : preds(order_[i])) {
+      auto it = number_.find(p);
+      if (it != number_.end()) predIdx[i].push_back(it->second);
     }
   }
 
   bool changed = true;
   while (changed) {
     changed = false;
-    for (BasicBlock* bb : order_) {
-      if (roots.count(bb)) continue;
-      BasicBlock* newIdom = nullptr;
+    for (size_t i = 0; i < order_.size(); ++i) {
+      if (isRoot[i]) continue;
+      int newIdom = kUnsetIdom;
       bool found = false;  // at least one processed predecessor contributed
-      for (BasicBlock* p : preds(bb)) {
-        if (!number_.count(p)) continue;   // unreachable in this direction
-        if (idom_.count(p) == 0) continue;  // not processed yet
+      for (int p : predIdx[i]) {
+        if (idomIdx_[p] == kUnsetIdom && !isRoot[p]) continue;  // not processed yet
         if (!found) {
           newIdom = p;
           found = true;
-        } else if (newIdom) {
+        } else if (newIdom != -1) {
           // In the postdominator direction two ancestors can meet only at
-          // the virtual root; `intersect` then yields nullptr, which is a
+          // the virtual root; `intersectIdx` then yields -1, which is a
           // valid idom (the virtual root).
-          newIdom = intersect(p, newIdom);
+          newIdom = intersectIdx(p, newIdom);
         }
       }
       if (!found) continue;
-      auto it = idom_.find(bb);
-      if (it == idom_.end() || it->second != newIdom) {
-        idom_[bb] = newIdom;
+      if (idomIdx_[i] != newIdom) {
+        idomIdx_[i] = newIdom;
         changed = true;
       }
     }
   }
 }
 
-BasicBlock* DomTree::intersect(BasicBlock* a, BasicBlock* b) const {
-  // Walk up the tree by order number until the fingers meet; nullptr is the
+int DomTree::intersectIdx(int a, int b) const {
+  // Walk up the tree by order number until the fingers meet; -1 is the
   // virtual root (postdom) or entry's idom (forward) and acts as bottom.
   while (a != b) {
-    if (!a || !b) return nullptr;
-    int na = number_.at(a);
-    int nb = number_.at(b);
-    if (na > nb) {
-      auto it = idom_.find(a);
-      a = it == idom_.end() ? nullptr : it->second;
-    } else {
-      auto it = idom_.find(b);
-      b = it == idom_.end() ? nullptr : it->second;
-    }
+    if (a < 0 || b < 0) return -1;
+    if (a > b)
+      a = idomIdx_[a];
+    else
+      b = idomIdx_[b];
   }
   return a;
 }
 
 BasicBlock* DomTree::idom(BasicBlock* bb) const {
-  auto it = idom_.find(bb);
-  return it == idom_.end() ? nullptr : it->second;
+  auto it = number_.find(bb);
+  if (it == number_.end()) return nullptr;
+  int idx = idomIdx_[it->second];
+  return idx < 0 ? nullptr : order_[idx];
 }
 
 bool DomTree::dominates(BasicBlock* a, BasicBlock* b) const {
-  if (!isReachable(a) || !isReachable(b)) return false;
-  BasicBlock* x = b;
-  while (x) {
-    if (x == a) return true;
-    auto it = idom_.find(x);
-    if (it == idom_.end()) return false;
-    x = it->second;
+  auto ia = number_.find(a);
+  auto ib = number_.find(b);
+  if (ia == number_.end() || ib == number_.end()) return false;
+  int x = ib->second;
+  while (x >= 0) {
+    if (x == ia->second) return true;
+    x = idomIdx_[x];
   }
   return false;
 }
 
 BasicBlock* DomTree::nearestCommonDominator(BasicBlock* a, BasicBlock* b) const {
-  if (!isReachable(a) || !isReachable(b)) return nullptr;
-  return intersect(const_cast<BasicBlock*>(a), const_cast<BasicBlock*>(b));
+  auto ia = number_.find(a);
+  auto ib = number_.find(b);
+  if (ia == number_.end() || ib == number_.end()) return nullptr;
+  int r = intersectIdx(ia->second, ib->second);
+  return r < 0 ? nullptr : order_[r];
 }
 
 void DomTree::buildFrontiers() {
   frontiersBuilt_ = true;
   for (BasicBlock* bb : order_) frontiers_[bb];  // materialize empty sets
-  for (BasicBlock* bb : order_) {
+  for (size_t i = 0; i < order_.size(); ++i) {
+    BasicBlock* bb = order_[i];
     auto ps = preds(bb);
     if (ps.size() < 2) continue;
+    const int stop = idomIdx_[i];
     for (BasicBlock* p : ps) {
-      if (!number_.count(p)) continue;
-      BasicBlock* runner = p;
-      BasicBlock* stop = idom(bb);
-      while (runner && runner != stop) {
-        auto& fr = frontiers_[runner];
+      auto it = number_.find(p);
+      if (it == number_.end()) continue;
+      int runner = it->second;
+      while (runner >= 0 && runner != stop) {
+        auto& fr = frontiers_[order_[runner]];
         if (std::find(fr.begin(), fr.end(), bb) == fr.end()) fr.push_back(bb);
-        auto it = idom_.find(runner);
-        runner = it == idom_.end() ? nullptr : it->second;
+        runner = idomIdx_[runner];
       }
     }
   }

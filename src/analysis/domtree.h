@@ -45,13 +45,20 @@ public:
 private:
   std::vector<BasicBlock*> preds(BasicBlock* bb) const;
   std::vector<BasicBlock*> succs(BasicBlock* bb) const;
-  BasicBlock* intersect(BasicBlock* a, BasicBlock* b) const;
+  /// Intersect over order indices; -1 is the virtual root / bottom. The
+  /// whole tree is stored as order indices so the fixpoint, dominance
+  /// queries and frontier walks run on flat arrays instead of hashing a
+  /// pointer per hop.
+  int intersectIdx(int a, int b) const;
 
   bool post_ = false;
   Function* fn_ = nullptr;
-  std::vector<BasicBlock*> order_;                       // RPO in direction
-  std::unordered_map<BasicBlock*, int> number_;          // order index
-  std::unordered_map<BasicBlock*, BasicBlock*> idom_;    // block -> idom
+  std::vector<BasicBlock*> order_;               // RPO in direction
+  std::unordered_map<BasicBlock*, int> number_;  // block -> order index
+  // order index -> idom order index; -1 = root (nullptr idom), kUnsetIdom =
+  // never processed (unreachable corner cases).
+  static constexpr int kUnsetIdom = -2;
+  std::vector<int> idomIdx_;
   std::unordered_map<BasicBlock*, std::vector<BasicBlock*>> frontiers_;
   bool frontiersBuilt_ = false;
   void buildFrontiers();

@@ -27,8 +27,8 @@ void PDG::build(Function& f) {
 
   for (auto& bb : f.blocks()) {
     for (auto& inst : *bb) {
-      nodes_.push_back(inst.get());
-      byId_[inst->id()] = inst.get();
+      nodes_.push_back(inst);
+      byId_[inst->id()] = inst;
     }
   }
 
@@ -54,7 +54,7 @@ void PDG::buildControlDeps(Function& f) {
   // that B postdominates S but B does not postdominate A. Computed via the
   // postdominance frontier formulation over all edges.
   for (auto& bbPtr : f.blocks()) {
-    BasicBlock* a = bbPtr.get();
+    BasicBlock* a = bbPtr;
     Instruction* term = a->terminator();
     if (!term || term->numSuccessors() < 2) continue;
     for (unsigned i = 0; i < term->numSuccessors(); ++i) {
@@ -68,7 +68,7 @@ void PDG::buildControlDeps(Function& f) {
         auto& deps = blockCtrlDeps_[runner];
         if (std::find(deps.begin(), deps.end(), term) == deps.end()) {
           deps.push_back(term);
-          for (auto& inst : *runner) addEdge(term, inst.get(), DepKind::Control);
+          for (auto& inst : *runner) addEdge(term, inst, DepKind::Control);
         }
         runner = pdom_.idom(runner);
       }
@@ -78,7 +78,7 @@ void PDG::buildControlDeps(Function& f) {
   // block is control-dependent on itself (classic for self-loop headers),
   // the walk above stops early. Handle the self-dependence case directly.
   for (auto& bbPtr : f.blocks()) {
-    BasicBlock* a = bbPtr.get();
+    BasicBlock* a = bbPtr;
     Instruction* term = a->terminator();
     if (!term || term->numSuccessors() < 2 || !pdom_.isReachable(a)) continue;
     for (unsigned i = 0; i < term->numSuccessors(); ++i) {
@@ -90,7 +90,7 @@ void PDG::buildControlDeps(Function& f) {
         auto& deps = blockCtrlDeps_[a];
         if (std::find(deps.begin(), deps.end(), term) == deps.end()) {
           deps.push_back(term);
-          for (auto& inst : *a) addEdge(term, inst.get(), DepKind::Control);
+          for (auto& inst : *a) addEdge(term, inst, DepKind::Control);
         }
       }
     }
@@ -105,59 +105,113 @@ void PDG::buildMemoryDeps(Function& f, AliasAnalysis& aa) {
     bool reads;
     bool writes;
     Value* ptr;  // nullptr = unknown everything (calls)
+    const AliasAnalysis::BaseSet* bases = nullptr;  // resolved once, not per pair
   };
   std::vector<MemOp> ops;
   for (auto& bb : f.blocks()) {
     for (auto& inst : *bb) {
       switch (inst->op()) {
-        case Opcode::Load: ops.push_back({inst.get(), true, false, inst->operand(0)}); break;
-        case Opcode::Store: ops.push_back({inst.get(), false, true, inst->operand(1)}); break;
-        case Opcode::Call: ops.push_back({inst.get(), true, true, nullptr}); break;
+        case Opcode::Load: ops.push_back({inst, true, false, inst->operand(0), nullptr}); break;
+        case Opcode::Store: ops.push_back({inst, false, true, inst->operand(1), nullptr}); break;
+        case Opcode::Call: ops.push_back({inst, true, true, nullptr, nullptr}); break;
         default: break;
       }
     }
   }
+  for (MemOp& op : ops)
+    if (op.ptr) op.bases = &aa.basesOf(op.ptr);
 
   auto commonLoop = [&](BasicBlock* a, BasicBlock* b) -> bool {
     for (Loop* l = loops_.loopFor(a); l; l = l->parent)
       if (l->contains(b)) return true;
     return false;
   };
-  auto precedesInBlock = [](Instruction* a, Instruction* b) {
-    for (auto& i : *a->parent()) {
-      if (i.get() == a) return true;
-      if (i.get() == b) return false;
+  // build() renumbered the function before collecting ops, so ids are in
+  // program order and same-block precedence is an id comparison.
+  auto precedesInBlock = [](Instruction* a, Instruction* b) { return a->id() < b->id(); };
+
+  // The pair sweep below only depends on the *blocks* through loop
+  // membership, reachability and dominance — all walks over hash maps.
+  // Memoize them per ordered block pair, over a dense renaming of just the
+  // blocks that hold memory ops (m ops cluster in few blocks, so this turns
+  // O(pairs) chain walks into O(distinct block pairs)).
+  std::unordered_map<BasicBlock*, unsigned> blockIdx;
+  for (MemOp& op : ops) {
+    auto [it, fresh] = blockIdx.emplace(op.inst->parent(), blockIdx.size());
+    (void)fresh;
+  }
+  const size_t nb = blockIdx.size();
+  // Bits: 1 = loopTogether, 2 = ba dominates bb, 4 = bb dominates ba
+  // (dominance taken as false when either block is unreachable, matching
+  // DomTree::dominates). 0xFF = not computed yet. The flat table is nb^2
+  // bytes, so a hostile input spreading memory ops over thousands of blocks
+  // falls back to a sparse map instead of an O(blocks^2) allocation.
+  constexpr size_t kFlatRelLimit = 2048;
+  std::vector<uint8_t> rel;
+  std::unordered_map<uint64_t, uint8_t> relSparse;
+  if (nb <= kFlatRelLimit) rel.assign(nb * nb, 0xFF);
+  auto computeRel = [&](BasicBlock* ba, BasicBlock* bb) -> uint8_t {
+    uint8_t r = 0;
+    if (commonLoop(ba, bb)) r |= 1;
+    if (dom_.isReachable(ba) && dom_.isReachable(bb)) {
+      if (dom_.dominates(ba, bb)) r |= 2;
+      if (dom_.dominates(bb, ba)) r |= 4;
     }
-    return false;
+    return r;
+  };
+  auto relOf = [&](BasicBlock* ba, unsigned ia, BasicBlock* bb, unsigned ib) -> uint8_t {
+    if (!rel.empty()) {
+      uint8_t& slot = rel[ia * nb + ib];
+      if (slot == 0xFF) slot = computeRel(ba, bb);
+      return slot;
+    }
+    auto [it, fresh] = relSparse.emplace((static_cast<uint64_t>(ia) << 32) | ib, 0);
+    if (fresh) it->second = computeRel(ba, bb);
+    return it->second;
+  };
+  std::vector<unsigned> opBlock(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) opBlock[i] = blockIdx[ops[i].inst->parent()];
+
+  auto conflict = [&](size_t i, size_t j) {
+    const MemOp& a = ops[i];
+    const MemOp& b = ops[j];
+    if (a.bases && b.bases && !AliasAnalysis::mayAlias(*a.bases, *b.bases)) return;
+
+    BasicBlock* ba = a.inst->parent();
+    BasicBlock* bb = b.inst->parent();
+    const uint8_t r = relOf(ba, opBlock[i], bb, opBlock[j]);
+    const bool loopTogether = (r & 1) != 0;
+    if (ba == bb) {
+      Instruction* first = precedesInBlock(a.inst, b.inst) ? a.inst : b.inst;
+      Instruction* second = first == a.inst ? b.inst : a.inst;
+      addEdge(first, second, DepKind::Memory);
+      // Loop-carried reverse dependence fuses the pair into one SCC.
+      if (loopTogether) addEdge(second, first, DepKind::Memory);
+    } else if ((r & 2) && !loopTogether) {
+      addEdge(a.inst, b.inst, DepKind::Memory);
+    } else if ((r & 4) && !loopTogether) {
+      addEdge(b.inst, a.inst, DepKind::Memory);
+    } else {
+      // Incomparable or loop-interleaved: order is dynamic; fuse.
+      addEdge(a.inst, b.inst, DepKind::Memory);
+      addEdge(b.inst, a.inst, DepKind::Memory);
+    }
   };
 
+  // Read-read pairs never conflict, so a reader only needs to meet writers.
+  // Pairs are visited in the same ascending (i, j) order the full O(m^2)
+  // sweep produced — only never-conflicting pairs are skipped — so the edge
+  // list (and everything downstream of its order) is unchanged.
+  std::vector<size_t> writerIdx;
+  for (size_t i = 0; i < ops.size(); ++i)
+    if (ops[i].writes) writerIdx.push_back(i);
+  size_t wstart = 0;  // first writer index > i, maintained as i ascends
   for (size_t i = 0; i < ops.size(); ++i) {
-    for (size_t j = i + 1; j < ops.size(); ++j) {
-      const MemOp& a = ops[i];
-      const MemOp& b = ops[j];
-      if (!a.writes && !b.writes) continue;  // read-read never conflicts
-      if (a.ptr && b.ptr && !aa.mayAlias(a.ptr, b.ptr)) continue;
-
-      BasicBlock* ba = a.inst->parent();
-      BasicBlock* bb = b.inst->parent();
-      bool loopTogether = commonLoop(ba, bb);
-      if (ba == bb) {
-        Instruction* first = precedesInBlock(a.inst, b.inst) ? a.inst : b.inst;
-        Instruction* second = first == a.inst ? b.inst : a.inst;
-        addEdge(first, second, DepKind::Memory);
-        // Loop-carried reverse dependence fuses the pair into one SCC.
-        if (loopTogether) addEdge(second, first, DepKind::Memory);
-      } else if (dom_.isReachable(ba) && dom_.isReachable(bb) && dom_.dominates(ba, bb) &&
-                 !loopTogether) {
-        addEdge(a.inst, b.inst, DepKind::Memory);
-      } else if (dom_.isReachable(ba) && dom_.isReachable(bb) && dom_.dominates(bb, ba) &&
-                 !loopTogether) {
-        addEdge(b.inst, a.inst, DepKind::Memory);
-      } else {
-        // Incomparable or loop-interleaved: order is dynamic; fuse.
-        addEdge(a.inst, b.inst, DepKind::Memory);
-        addEdge(b.inst, a.inst, DepKind::Memory);
-      }
+    while (wstart < writerIdx.size() && writerIdx[wstart] <= i) ++wstart;
+    if (ops[i].writes) {
+      for (size_t j = i + 1; j < ops.size(); ++j) conflict(i, j);
+    } else {
+      for (size_t w = wstart; w < writerIdx.size(); ++w) conflict(i, writerIdx[w]);
     }
   }
 }

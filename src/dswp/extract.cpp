@@ -16,11 +16,17 @@ namespace twill {
 namespace {
 
 /// Everything one partition needs from the rest of its function.
+/// Values and tokens are dense id-indexed bitmaps (the PDG renumbered, so
+/// ids are dense) plus an unordered insertion list for enumeration — the
+/// emission loop membership-tests every instruction per partition, which a
+/// byte read wins over a pointer hash.
 struct PartitionNeeds {
   std::unordered_set<BasicBlock*> blocks;
-  std::unordered_set<Instruction*> values;  // cross-edge producers consumed
-  std::unordered_set<Instruction*> tokens;  // memory-dependence tokens consumed
-  std::unordered_set<Argument*> args;       // arguments consumed (slaves only)
+  std::vector<uint8_t> valueIn;          // id -> consumed here?
+  std::vector<Instruction*> valueList;   // cross-edge producers consumed
+  std::vector<uint8_t> tokenIn;          // id -> token consumed here?
+  std::vector<Instruction*> tokenList;   // memory-dependence tokens consumed
+  std::unordered_set<Argument*> args;    // arguments consumed (slaves only)
 };
 
 class FunctionExtractor {
@@ -35,6 +41,11 @@ public:
         channels_(channels) {
     K_ = parts.numPartitions();
     exitBlock_ = findExitBlock();
+    // Flatten the assignment map once: owner() runs per instruction per
+    // partition across both phases, and ids are dense (the PDG renumbered).
+    ownerById_.assign(f.numValueSlots(), 0);
+    for (auto& bb : f.blocks())
+      for (auto& inst : *bb) ownerById_[inst->id()] = parts.assignment.at(inst);
   }
 
   struct Output {
@@ -53,11 +64,11 @@ public:
   }
 
 private:
-  unsigned owner(const Instruction* inst) const { return parts_.assignment.at(inst); }
+  unsigned owner(const Instruction* inst) const { return ownerById_[inst->id()]; }
 
   BasicBlock* findExitBlock() const {
     for (auto& bb : f_.blocks())
-      if (bb->terminator() && bb->terminator()->op() == Opcode::Ret) return bb.get();
+      if (bb->terminator() && bb->terminator()->op() == Opcode::Ret) return bb;
     assert(false && "function has no ret (mergeReturns must run first)");
     return nullptr;
   }
@@ -65,23 +76,30 @@ private:
   // --- Phase 1: per-partition needs (fixpoint over included blocks) --------
   void computeNeeds() {
     needs_.assign(K_, {});
+    const size_t slots = f_.numValueSlots();
     for (unsigned p = 0; p < K_; ++p) {
       PartitionNeeds& n = needs_[p];
+      n.valueIn.assign(slots, 0);
+      n.tokenIn.assign(slots, 0);
       std::vector<BasicBlock*> work;
       auto includeBlock = [&](BasicBlock* bb) {
         if (n.blocks.insert(bb).second) work.push_back(bb);
       };
       auto needValue = [&](Instruction* u) {
         if (owner(u) == p) return;
-        if (n.values.insert(u).second) includeBlock(u->parent());
+        if (!n.valueIn[u->id()]) {
+          n.valueIn[u->id()] = 1;
+          n.valueList.push_back(u);
+          includeBlock(u->parent());
+        }
       };
 
       includeBlock(f_.entry());
       includeBlock(exitBlock_);
       for (auto& bb : f_.blocks()) {
         for (auto& inst : *bb) {
-          if (owner(inst.get()) != p) continue;
-          includeBlock(bb.get());
+          if (owner(inst) != p) continue;
+          includeBlock(bb);
           if (inst->isPhi())
             for (BasicBlock* pred : bb->predecessors()) includeBlock(pred);
           for (unsigned i = 0; i < inst->numOperands(); ++i) {
@@ -98,8 +116,12 @@ private:
       for (const PDGEdge& e : pdg_.edges()) {
         if (e.kind != DepKind::Memory) continue;
         if (owner(e.to) != p || owner(e.from) == p) continue;
-        if (n.values.count(e.from)) continue;
-        if (n.tokens.insert(e.from).second) includeBlock(e.from->parent());
+        if (n.valueIn[e.from->id()]) continue;
+        if (!n.tokenIn[e.from->id()]) {
+          n.tokenIn[e.from->id()] = 1;
+          n.tokenList.push_back(e.from);
+          includeBlock(e.from->parent());
+        }
       }
       // Closure: control dependences of included blocks, and conditions of
       // replicated branches.
@@ -117,7 +139,7 @@ private:
         // Owned PHIs in a block included later still demand their preds.
         for (auto& inst : *bb) {
           if (!inst->isPhi()) break;
-          if (owner(inst.get()) == p)
+          if (owner(inst) == p)
             for (BasicBlock* pred : bb->predecessors()) includeBlock(pred);
         }
       }
@@ -143,20 +165,20 @@ private:
     // addresses — stable within a process, but not across --jobs interleavings.
     // Channel ids must be reproducible (traces label queues by id), so
     // allocate in instruction-id / argument-index order instead.
-    auto byInstId = [](const std::unordered_set<Instruction*>& s) {
-      std::vector<Instruction*> v(s.begin(), s.end());
+    auto byInstId = [](const std::vector<Instruction*>& s) {
+      std::vector<Instruction*> v(s);
       std::sort(v.begin(), v.end(),
                 [](const Instruction* a, const Instruction* b) { return a->id() < b->id(); });
       return v;
     };
     for (unsigned p = 0; p < K_; ++p) {
-      for (Instruction* u : byInstId(needs_[p].values)) {
+      for (Instruction* u : byInstId(needs_[p].valueList)) {
         int ch = newChannel(valueBits(u), ChannelInfo::Purpose::Data,
                             f_.name() + ":v" + std::to_string(u->id()) + "->" + std::to_string(p));
         valueCh_[{u, p}] = ch;
         producerPlan_[u].push_back({p, ch, /*token=*/false});
       }
-      for (Instruction* u : byInstId(needs_[p].tokens)) {
+      for (Instruction* u : byInstId(needs_[p].tokenList)) {
         int ch = newChannel(1, ChannelInfo::Purpose::MemToken,
                             f_.name() + ":m" + std::to_string(u->id()) + "->" + std::to_string(p));
         tokenCh_[{u, p}] = ch;
@@ -203,10 +225,14 @@ private:
     const bool isMaster = p == parts_.master;
     Function* np = m_.createFunction(f_.name() + "_dswp_" + std::to_string(p),
                                      isMaster ? f_.retType() : m_.types().voidTy());
-    std::unordered_map<Value*, Value*> vmap;
+    // Original-value -> clone map, split by key kind: instructions go in a
+    // dense id-indexed vector (the fixup pass below queries it per operand),
+    // arguments in a small side map.
+    std::vector<Value*> instMap(f_.numValueSlots(), nullptr);
+    std::unordered_map<Value*, Value*> argMap;
     if (isMaster)
       for (unsigned i = 0; i < f_.numArgs(); ++i)
-        vmap[f_.arg(i)] = np->addArg(f_.arg(i)->type(), f_.arg(i)->name());
+        argMap[f_.arg(i)] = np->addArg(f_.arg(i)->type(), f_.arg(i)->name());
 
     // Slave wrapper: dispatch loop around the body.
     IRBuilder b(m_);
@@ -224,8 +250,8 @@ private:
     // Clone included blocks in original order.
     std::unordered_map<BasicBlock*, BasicBlock*> blockMap;
     for (auto& bb : f_.blocks())
-      if (n.blocks.count(bb.get()))
-        blockMap[bb.get()] = np->createBlock(bb->name() + ".p" + std::to_string(p));
+      if (n.blocks.count(bb))
+        blockMap[bb] = np->createBlock(bb->name() + ".p" + std::to_string(p));
     if (!isMaster) finish = np->createBlock("finish");
 
     if (!isMaster) {
@@ -239,7 +265,7 @@ private:
 
     // Emit blocks.
     for (auto& bbPtr : f_.blocks()) {
-      BasicBlock* bb = bbPtr.get();
+      BasicBlock* bb = bbPtr;
       if (!n.blocks.count(bb)) continue;
       BasicBlock* cb = blockMap.at(bb);
       b.setInsertPoint(cb);
@@ -256,7 +282,7 @@ private:
             for (unsigned sp = 0; sp < K_; ++sp) {
               auto it = argCh_.find({a, sp});
               if (it == argCh_.end()) continue;
-              Value* v = vmap.at(a);
+              Value* v = argMap.at(a);
               if (a->type()->isPtr()) v = b.castTo(Opcode::PtrToInt, v, m_.types().i32());
               b.produce(it->second, v);
             }
@@ -269,9 +295,9 @@ private:
             if (it == argCh_.end()) continue;
             if (a->type()->isPtr()) {
               Instruction* raw = b.consume(it->second, m_.types().i32());
-              vmap[a] = b.castTo(Opcode::IntToPtr, raw, a->type());
+              argMap[a] = b.castTo(Opcode::IntToPtr, raw, a->type());
             } else {
-              vmap[a] = b.consume(it->second, a->type());
+              argMap[a] = b.consume(it->second, a->type());
             }
           }
         }
@@ -280,23 +306,23 @@ private:
       // Pass 1: clone owned PHIs (must stay first in the block).
       for (auto& inst : *bb) {
         if (!inst->isPhi()) break;
-        if (owner(inst.get()) != p) continue;
-        auto phi = std::make_unique<Instruction>(Opcode::Phi, inst->type());
+        if (owner(inst) != p) continue;
+        Instruction* phi = m_.createInstruction(Opcode::Phi, inst->type());
         for (unsigned i = 0; i < inst->numIncoming(); ++i)
           phi->addIncoming(inst->incomingValue(i), inst->incomingBlock(i));  // fixed up later
-        vmap[inst.get()] = cb->append(std::move(phi));
+        instMap[inst->id()] = cb->append(phi);
       }
       b.setInsertPoint(cb);
 
       // Pass 2: everything else in original order.
       for (auto& instPtr : *bb) {
-        Instruction* inst = instPtr.get();
+        Instruction* inst = instPtr;
         if (inst->isTerminator()) break;  // handled below
         bool ownedPhi = inst->isPhi() && owner(inst) == p;
         if (!ownedPhi) {
           if (owner(inst) == p) {
             // Clone with original operands; a final fixup pass remaps them.
-            auto clone = std::make_unique<Instruction>(inst->op(), inst->type());
+            Instruction* clone = m_.createInstruction(inst->op(), inst->type());
             for (unsigned i = 0; i < inst->numOperands(); ++i)
               clone->addOperand(inst->operand(i));
             if (inst->op() == Opcode::Alloca)
@@ -306,19 +332,19 @@ private:
               clone->setChannel(inst->channel());
             if (inst->op() == Opcode::Call) clone->setCallee(inst->callee());
             clone->setName(inst->name());
-            vmap[inst] = cb->append(std::move(clone));
+            instMap[inst->id()] = cb->append(clone);
             b.setInsertPoint(cb);
           } else {
-            if (n.values.count(inst)) {
+            if (n.valueIn[inst->id()]) {
               // Consume the producer's value at its replicated site.
               if (inst->type()->isPtr()) {
                 Instruction* raw = b.consume(valueCh_.at({inst, p}), m_.types().i32());
-                vmap[inst] = b.castTo(Opcode::IntToPtr, raw, inst->type());
+                instMap[inst->id()] = b.castTo(Opcode::IntToPtr, raw, inst->type());
               } else {
-                vmap[inst] = b.consume(valueCh_.at({inst, p}), inst->type());
+                instMap[inst->id()] = b.consume(valueCh_.at({inst, p}), inst->type());
               }
             }
-            if (n.tokens.count(inst)) b.consume(tokenCh_.at({inst, p}), m_.types().i1());
+            if (n.tokenIn[inst->id()]) b.consume(tokenCh_.at({inst, p}), m_.types().i1());
           }
         }
         // Producer side: emit produces right after the defining instruction
@@ -330,7 +356,7 @@ private:
               if (pt.token) {
                 b.produce(pt.channel, m_.i1Const(true));
               } else {
-                Value* v = vmap.at(inst);
+                Value* v = instMap[inst->id()];
                 if (inst->type()->isPtr()) v = b.castTo(Opcode::PtrToInt, v, m_.types().i32());
                 b.produce(pt.channel, v);
               }
@@ -375,22 +401,23 @@ private:
       }
     }
 
-    // Fixup pass: remap every operand and PHI incoming through vmap/blockMap.
+    // Fixup pass: remap every operand and PHI incoming through
+    // instMap/argMap/blockMap.
     for (auto& cbPtr : np->blocks()) {
       for (auto& inst : *cbPtr) {
         for (unsigned i = 0; i < inst->numOperands(); ++i) {
           Value* op = inst->operand(i);
-          auto vit = vmap.find(op);
-          if (vit != vmap.end() && vit->second != op) {
-            inst->setOperand(i, vit->second);
-            continue;
-          }
-          // Unmapped original instruction/argument operand is a bug — catch
-          // it loudly in tests.
           if (auto* oi = dyn_cast<Instruction>(op)) {
             if (oi->parent() && oi->parent()->parent() == &f_) {
-              assert(vmap.count(oi) && "cross-partition operand without a consume");
+              Value* mapped = instMap[oi->id()];
+              // An unmapped original instruction operand is a bug — catch
+              // it loudly in tests.
+              assert(mapped && "cross-partition operand without a consume");
+              if (mapped) inst->setOperand(i, mapped);
             }
+          } else if (isa<Argument>(op)) {
+            auto vit = argMap.find(op);
+            if (vit != argMap.end()) inst->setOperand(i, vit->second);
           }
         }
         if (inst->isPhi()) {
@@ -429,6 +456,7 @@ private:
   std::vector<ChannelInfo>& channels_;
   unsigned K_ = 1;
   BasicBlock* exitBlock_ = nullptr;
+  std::vector<unsigned> ownerById_;  // dense id -> partition (see ctor)
   std::vector<PartitionNeeds> needs_;
   std::unordered_map<std::pair<const Instruction*, unsigned>, int, PairHashI> valueCh_;
   std::unordered_map<std::pair<const Instruction*, unsigned>, int, PairHashI> tokenCh_;
@@ -444,7 +472,7 @@ std::vector<Instruction*> callSites(Module& m, Function* callee) {
   for (auto& f : m.functions())
     for (auto& bb : f->blocks())
       for (auto& inst : *bb)
-        if (inst->op() == Opcode::Call && inst->callee() == callee) sites.push_back(inst.get());
+        if (inst->op() == Opcode::Call && inst->callee() == callee) sites.push_back(inst);
   return sites;
 }
 
@@ -491,9 +519,10 @@ DswpResult runDswp(Module& m, const DswpConfig& config) {
     };
     Function* main = m.findFunction("main");
     if (main) dfs(main);
-    for (auto& f : m.functions()) dfs(f.get());
+    for (auto& f : m.functions()) dfs(f);
   }
 
+  std::vector<Function*> createdFns;  // partition functions needing cleanup
   for (Function* f : order) {
     const bool isMain = f->name() == "main";
     FunctionStats stats;
@@ -509,19 +538,16 @@ DswpResult runDswp(Module& m, const DswpConfig& config) {
     PartitionConfig pc;
     pc.swFraction = config.swFraction;
     pc.forceMasterSW = isMain;
+    auto sccs = computeSCCs(pdg);  // shared: K selection + partitioning
     if (config.numPartitions > 0) {
       pc.numPartitions = config.numPartitions;
+    } else if (f->instructionCount() < config.minInstructions) {
+      pc.numPartitions = 1;
     } else {
-      size_t size = f->instructionCount();
-      if (size < config.minInstructions) {
-        pc.numPartitions = 1;
-      } else {
-        auto sccs = computeSCCs(pdg);
-        pc.numPartitions = std::min<unsigned>(
-            config.maxPartitions, std::max<unsigned>(1, static_cast<unsigned>(sccs.size() / 6)));
-      }
+      pc.numPartitions = std::min<unsigned>(
+          config.maxPartitions, std::max<unsigned>(1, static_cast<unsigned>(sccs.size() / 6)));
     }
-    PartitionResult parts = partitionFunction(pdg, pc);
+    PartitionResult parts = partitionFunction(pdg, pc, std::move(sccs));
     const unsigned K = parts.numPartitions();
     stats.partitions = K;
     for (unsigned p = 0; p < K; ++p)
@@ -553,6 +579,7 @@ DswpResult runDswp(Module& m, const DswpConfig& config) {
     unsigned queuesBefore = static_cast<unsigned>(result.channels.size());
     FunctionExtractor ex(m, *f, pdg, parts, channelCounter, result.channels);
     auto out = ex.run(guarded, semId);
+    createdFns.insert(createdFns.end(), out.fns.begin(), out.fns.end());
     stats.queues = static_cast<unsigned>(result.channels.size()) - queuesBefore;
 
     // Redirect call sites to the master and register slave threads.
@@ -576,8 +603,10 @@ DswpResult runDswp(Module& m, const DswpConfig& config) {
   // Clean up the extracted functions: replicated control flow leaves behind
   // degenerate branches, pass-through blocks and single-entry PHIs that
   // simplifycfg/constfold/dce remove without touching produce/consume pairs
-  // (those have side effects and are never dead).
-  runCleanupPipeline(m);
+  // (those have side effects and are never dead). Only the partition
+  // functions created above need the sweep — everything else is already at
+  // the runDefaultPipeline fixpoint.
+  runCleanupPipeline(m, createdFns);
   verifyAfterPass(m, "dswp-extract");
   return result;
 }

@@ -14,11 +14,15 @@ uint64_t tripFactor(const LoopInfo& loops, BasicBlock* bb) {
 }
 
 PartitionResult partitionFunction(const PDG& pdg, const PartitionConfig& config) {
+  return partitionFunction(pdg, config, computeSCCs(pdg));
+}
+
+PartitionResult partitionFunction(const PDG& pdg, const PartitionConfig& config,
+                                  std::vector<std::vector<Instruction*>> sccs) {
   PartitionResult out;
   const unsigned K = std::max(1u, config.numPartitions);
 
   // SCCs in topological order (Tarjan yields reverse-topological).
-  std::vector<std::vector<Instruction*>> sccs = computeSCCs(pdg);
   std::reverse(sccs.begin(), sccs.end());
   const size_t n = sccs.size();
 
@@ -42,16 +46,18 @@ PartitionResult partitionFunction(const PDG& pdg, const PartitionConfig& config)
   }
 
   // SCC dependencies over the condensation (for the available-list rule).
-  std::unordered_map<const Instruction*, size_t> sccOf;
+  // Instruction ids are dense (the PDG renumbered), so a flat vector beats
+  // a hash map for the per-edge lookups below.
+  std::vector<size_t> sccOf(pdg.numNodes(), 0);
   for (size_t i = 0; i < n; ++i)
-    for (Instruction* inst : sccs[i]) sccOf[inst] = i;
+    for (Instruction* inst : sccs[i]) sccOf[inst->id()] = i;
   std::vector<unsigned> unmetPreds(n, 0);
   std::vector<std::vector<size_t>> sccSuccs(n);
   {
     std::vector<std::unordered_map<size_t, bool>> seen(n);
     for (const PDGEdge& e : pdg.edges()) {
-      size_t a = sccOf[e.from];
-      size_t b = sccOf[e.to];
+      size_t a = sccOf[e.from->id()];
+      size_t b = sccOf[e.to->id()];
       if (a == b) continue;
       if (!seen[a].emplace(b, true).second) continue;
       sccSuccs[a].push_back(b);

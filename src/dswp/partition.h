@@ -49,8 +49,13 @@ struct PartitionResult {
   unsigned numPartitions() const { return static_cast<unsigned>(isHW.size()); }
 };
 
-/// Runs the partitioning heuristic over a built PDG.
+/// Runs the partitioning heuristic over a built PDG. The second overload
+/// consumes SCCs the caller already computed (in computeSCCs' order) so the
+/// driver's "pick K from the SCC count, then partition" path runs Tarjan
+/// once, not twice.
 PartitionResult partitionFunction(const PDG& pdg, const PartitionConfig& config);
+PartitionResult partitionFunction(const PDG& pdg, const PartitionConfig& config,
+                                  std::vector<std::vector<Instruction*>> sccs);
 
 /// Estimated dynamic weight scale for an instruction: 10^loopDepth, the
 /// trip-count guess used when no profile exists.

@@ -36,7 +36,7 @@ bool Layout::build(Module& m, Memory& mem) {
     const uint64_t esz = g->elemByteSize();
     const uint64_t bytes = esz * g->count();
     if (!fits(addr + bytes, "global '" + g->name() + "'")) return false;
-    globalAddr[g.get()] = static_cast<uint32_t>(addr);
+    globalAddr[g] = static_cast<uint32_t>(addr);
     const auto& init = g->init();
     for (uint32_t i = 0; i < g->count(); ++i) {
       uint32_t v = i < init.size() ? init[i] : 0;
@@ -54,7 +54,7 @@ bool Layout::build(Module& m, Memory& mem) {
         const uint64_t esz = inst->allocaElemBits() == 1 ? 1 : inst->allocaElemBits() / 8;
         const uint64_t bytes = esz * inst->allocaCount();
         if (!fits(addr + bytes, "stack slot in '" + f->name() + "'")) return false;
-        allocaAddr[inst.get()] = static_cast<uint32_t>(addr);
+        allocaAddr[inst] = static_cast<uint32_t>(addr);
         addr += bytes;
       }
     }

@@ -119,7 +119,7 @@ void DecodedProgram::decode(Function* f, DecodedFunction& df) {
       e.trapMsg = addTrap(df, "branch to empty block %" + to->name());
     } else {
       for (auto& instPtr : *to) {
-        Instruction* phi = instPtr.get();
+        Instruction* phi = instPtr;
         if (!phi->isPhi()) break;
         int idx = phi->incomingIndexFor(from);
         if (idx < 0) {
@@ -146,9 +146,9 @@ void DecodedProgram::decode(Function* f, DecodedFunction& df) {
 
   // Pass 2: emit the packed records.
   for (auto& bb : f->blocks()) {
-    curBlock = bb.get();
+    curBlock = bb;
     for (auto& instPtr : *bb) {
-      Instruction* inst = instPtr.get();
+      Instruction* inst = instPtr;
       if (inst->isPhi()) continue;
       DecodedInst d;
       const Opcode op = inst->op();
@@ -163,8 +163,8 @@ void DecodedProgram::decode(Function* f, DecodedFunction& df) {
       }
       if (inst->isTerminator() && sched) {
         d.flags |= DecodedInst::kHasSchedule;
-        d.hlsStatic = sched->staticCyclesFor(bb.get());
-        d.hlsII = sched->pipelinedIIFor(bb.get());
+        d.hlsStatic = sched->staticCyclesFor(bb);
+        d.hlsII = sched->pipelinedIIFor(bb);
       }
 
       if (isBinaryOp(op) || isCompareOp(op)) {
@@ -225,22 +225,22 @@ void DecodedProgram::decode(Function* f, DecodedFunction& df) {
             setOpnd(d, 0, inst->operand(0));
             break;
           case Opcode::Br:
-            d.edge0 = decodeEdge(bb.get(), inst->successor(0), d);
+            d.edge0 = decodeEdge(bb, inst->successor(0), d);
             break;
           case Opcode::CondBr:
             setOpnd(d, 0, inst->operand(0));
-            d.edge0 = decodeEdge(bb.get(), inst->successor(0), d);
-            d.edge1 = decodeEdge(bb.get(), inst->successor(1), d);
+            d.edge0 = decodeEdge(bb, inst->successor(0), d);
+            d.edge1 = decodeEdge(bb, inst->successor(1), d);
             break;
           case Opcode::Switch: {
             d.evalBits = static_cast<uint8_t>(operandBits(inst->operand(0)));
             setOpnd(d, 0, inst->operand(0));
-            d.edge0 = decodeEdge(bb.get(), inst->successor(0), d);  // default
+            d.edge0 = decodeEdge(bb, inst->successor(0), d);  // default
             d.caseBegin = static_cast<uint32_t>(df.cases.size());
             for (unsigned i = 2; i + 1 < inst->numOperands(); i += 2) {
               DecodedCase dc;
               dc.value = static_cast<uint32_t>(cast<Constant>(inst->operand(i))->zext());
-              dc.edge = decodeEdge(bb.get(), static_cast<BasicBlock*>(inst->operand(i + 1)), d);
+              dc.edge = decodeEdge(bb, static_cast<BasicBlock*>(inst->operand(i + 1)), d);
               df.cases.push_back(dc);
             }
             d.caseCount = static_cast<uint32_t>(df.cases.size()) - d.caseBegin;
@@ -346,7 +346,7 @@ std::string ExecState::describeLocation() const {
   if (frames_.empty()) return name_ + ": finished";
   const Frame& fr = frames_.back();
   const DecodedInst& d = fr.fn->insts[fr.pc];
-  std::string s = fr.fn->fn->name();
+  std::string s = fr.fn->fn->name().str();
   if (d.src) {
     s += "/" + d.src->parent()->name();
     s += ": " + printInstruction(d.src);

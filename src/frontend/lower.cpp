@@ -188,7 +188,7 @@ void Lowerer::lowerFunctionBody(const FunctionDecl& fd) {
   lowerStmt(*fd.body);
   popScope();
   // Terminate every dangling block (implicit `return 0` / `return`).
-  for (auto& bb : curFn_->blocks()) ensureTerminated(bb.get());
+  for (auto& bb : curFn_->blocks()) ensureTerminated(bb);
 }
 
 // ---------------------------------------------------------------------------
@@ -405,7 +405,7 @@ void Lowerer::lowerSwitch(const Stmt& s) {
   for (const auto& ce : cases)
     if (ce.isDefault) defaultBB = ce.block;
   {
-    auto sw = std::make_unique<Instruction>(Opcode::Switch, m_.types().voidTy());
+    Instruction* sw = m_.createInstruction(Opcode::Switch, m_.types().voidTy());
     sw->addOperand(v.v);
     sw->addOperand(defaultBB);
     for (const auto& ce : cases) {
@@ -413,7 +413,7 @@ void Lowerer::lowerSwitch(const Stmt& s) {
       sw->addOperand(m_.constant(v.v->type(), ce.value));
       sw->addOperand(ce.block);
     }
-    b_.block()->append(std::move(sw));
+    b_.block()->append(sw);
   }
   // Second pass: lower the statements between labels; fallthrough chains to
   // the next case block.
@@ -859,10 +859,10 @@ Lowerer::RV Lowerer::lowerCall(const Expr& e) {
     RV c = convert(v, fd->params[i].type.decayed(), e.loc);
     args.push_back(c.v);
   }
-  auto inst = std::make_unique<Instruction>(Opcode::Call, callee->retType());
+  Instruction* inst = m_.createInstruction(Opcode::Call, callee->retType());
   for (Value* a : args) inst->addOperand(a);
   inst->setCallee(callee);
-  Instruction* call = b_.block()->insert(b_.block()->end(), std::move(inst));
+  Instruction* call = b_.block()->insert(b_.block()->end(), inst);
   b_.setInsertPoint(b_.block());
   if (fd->retType.isVoid()) return {nullptr, CType::voidTy()};
   return {call, fd->retType};

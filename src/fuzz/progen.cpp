@@ -153,13 +153,80 @@ private:
     out_ += "}\n";
   }
 
+  void stmtSwitch(unsigned depth) {
+    // Dense switch over a masked selector: every case value is reachable and
+    // every arm breaks, so control flow stays structural. lowerSwitch turns
+    // the case list into a compare/branch chain — the heaviest block
+    // insert/erase traffic a frontend construct can generate.
+    const unsigned nCases = 2 + rng_.below(opts_.maxSwitchCases - 1);
+    indent();
+    out_ += "switch ((" + expr(1) + ") & 7) {\n";
+    for (unsigned c = 0; c < nCases; ++c) {
+      indent();
+      out_ += "case " + std::to_string(c) + ":\n";
+      block(depth + 1);
+      ++indent_;
+      indent();
+      out_ += "break;\n";
+      --indent_;
+    }
+    indent();
+    out_ += "default:\n";
+    block(depth + 1);
+    indent();
+    out_ += "}\n";
+  }
+
+  void stmtWhile(unsigned depth, bool doWhile) {
+    // Counted while/do-while: the generator owns the counter (declared here,
+    // bumped as the body's last statement, read-only inside the body), so
+    // termination stays structural just like stmtFor.
+    const std::string iv = "w" + std::to_string(loopCounter_++);
+    const unsigned trip = 1 + rng_.below(opts_.maxLoopTrip);
+    indent();
+    out_ += "int " + iv + " = 0;\n";
+    indent();
+    out_ += doWhile ? "do {\n" : ("while (" + iv + " < " + std::to_string(trip) + ") {\n");
+    locals_.push_back({iv, 0, /*writable=*/false});
+    block(depth + 1);
+    locals_.pop_back();
+    ++indent_;
+    indent();
+    out_ += iv + " = " + iv + " + 1;\n";
+    --indent_;
+    indent();
+    out_ += doWhile ? ("} while (" + iv + " < " + std::to_string(trip) + ");\n") : "}\n";
+  }
+
+  void nestedStmt(unsigned depth) {
+    const bool canSwitch = opts_.maxSwitchCases >= 2;
+    switch (rng_.below(6)) {
+      case 0:
+      case 1: stmtIf(depth); return;
+      case 2:
+      case 3: stmtFor(depth); return;
+      case 4:
+        if (canSwitch) {
+          stmtSwitch(depth);
+          return;
+        }
+        [[fallthrough]];
+      default:
+        if (opts_.genWhileLoops) {
+          stmtWhile(depth, /*doWhile=*/rng_.chance(50));
+          return;
+        }
+        stmtFor(depth);
+    }
+  }
+
   void block(unsigned depth) {
     ++indent_;
     const size_t scopeMark = locals_.size();
     const unsigned n = 1 + rng_.below(opts_.maxStmtsPerBlock);
     for (unsigned s = 0; s < n; ++s) {
       if (depth < opts_.maxBlockDepth && rng_.chance(25)) {
-        rng_.chance(50) ? stmtIf(depth) : stmtFor(depth);
+        nestedStmt(depth);
       } else if (rng_.chance(20)) {
         // Fresh initialized local scoped to this block.
         const std::string name = "t" + std::to_string(localCounter_++);

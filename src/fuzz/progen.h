@@ -22,9 +22,17 @@ struct ProgenOptions {
   unsigned maxFunctions = 4;    // helper functions besides main
   unsigned maxGlobals = 4;      // global scalars + arrays
   unsigned maxStmtsPerBlock = 5;
-  unsigned maxBlockDepth = 3;   // if/for statement nesting
+  unsigned maxBlockDepth = 3;   // if/for/switch/while statement nesting
   unsigned maxExprDepth = 4;
   unsigned maxLoopTrip = 8;     // constant trip count per counted loop
+  /// Dense-`switch` emission: up to this many consecutive cases over a
+  /// masked selector (0 disables). lowerSwitch expands these into long
+  /// compare/branch chains, the densest block-surgery traffic the frontend
+  /// can produce.
+  unsigned maxSwitchCases = 6;
+  /// Counted `while`/`do` loops alongside `for` (their exit tests sit at
+  /// opposite ends, so both rotation shapes reach the loop passes).
+  bool genWhileLoops = true;
 };
 
 /// Generates one self-checking program (main returns a checksum) from

@@ -41,6 +41,9 @@ FunctionSchedule scheduleFunction(Function& f, const HlsConstraints& c) {
   // expensive unit kind across all states; shared units are muxed.
   std::unordered_map<Opcode, unsigned> maxFuUse;
   unsigned maxMemPorts = 0, maxQueuePorts = 0;
+  // Per-opcode static census (first occurrence + instance count), filled in
+  // the main walk so the area loop below never rescans the function.
+  std::unordered_map<Opcode, std::pair<const Instruction*, unsigned>> census;
   // Register estimate: one register per computed value. Consume results
   // live in the HWInterface's receive register (cheap), and PHIs are
   // counted as muxes by hwOpArea, so neither gets a full register here —
@@ -49,24 +52,36 @@ FunctionSchedule scheduleFunction(Function& f, const HlsConstraints& c) {
   size_t valueCount = f.numArgs();
   size_t consumeCount = 0;
 
+  // ready[instr id] = {state in which the value is available, combinational
+  // depth within that state (for chaining)}. Ids are dense after renumber(),
+  // so one flat vector serves every block; readyIn tags which block wrote a
+  // slot, so entries from other blocks (or not-yet-scheduled defs) read as
+  // absent without clearing between blocks.
+  std::vector<std::pair<unsigned, unsigned>> ready(f.numValueSlots());
+  std::vector<const BasicBlock*> readyIn(f.numValueSlots(), nullptr);
+
   for (auto& bbPtr : f.blocks()) {
-    BasicBlock* bb = bbPtr.get();
+    BasicBlock* bb = bbPtr;
     BlockSchedule bs;
     std::vector<StateUse> states(1);
-    // readyState[instr id] = state in which the value is available;
-    // readyDepth = combinational depth within that state (for chaining).
-    std::unordered_map<const Instruction*, std::pair<unsigned, unsigned>> ready;
 
     unsigned extraFixedCycles = 0;  // multi-cycle arithmetic latencies
+    unsigned blockMuls = 0, blockDivs = 0;  // static counts for the II floor
     for (auto& instPtr : *bb) {
-      Instruction* inst = instPtr.get();
+      Instruction* inst = instPtr;
+      auto [cIt, cFresh] = census.emplace(inst->op(), std::make_pair(inst, 0u));
+      (void)cFresh;
+      ++cIt->second.second;
+      if (inst->op() == Opcode::Mul) ++blockMuls;
+      if (isDivOp(inst->op())) ++blockDivs;
       if (!inst->type()->isVoid() && !inst->isPhi()) {
         if (inst->op() == Opcode::Consume) ++consumeCount;
         else ++valueCount;
       }
       if (inst->isPhi()) {
         // PHIs resolve on state 0 entry (register muxes).
-        ready[inst] = {0, 0};
+        ready[inst->id()] = {0, 0};
+        readyIn[inst->id()] = bb;
         bs.stateOf[inst] = 0;
         continue;
       }
@@ -76,13 +91,13 @@ FunctionSchedule scheduleFunction(Function& f, const HlsConstraints& c) {
       for (unsigned i = 0; i < inst->numOperands(); ++i) {
         auto* d = dyn_cast<Instruction>(inst->operand(i));
         if (!d || d->parent() != bb) continue;  // cross-block: in registers
-        auto it = ready.find(d);
-        if (it == ready.end()) continue;
-        if (it->second.first > start) {
-          start = it->second.first;
-          depth = it->second.second;
-        } else if (it->second.first == start) {
-          depth = std::max(depth, it->second.second);
+        if (readyIn[d->id()] != bb) continue;
+        const auto& r = ready[d->id()];
+        if (r.first > start) {
+          start = r.first;
+          depth = r.second;
+        } else if (r.first == start) {
+          depth = std::max(depth, r.second);
         }
       }
       // Resource and chain-depth constraints may push the op later.
@@ -113,15 +128,16 @@ FunctionSchedule scheduleFunction(Function& f, const HlsConstraints& c) {
       ++u.fuUse[op];
 
       bs.stateOf[inst] = start;
+      readyIn[inst->id()] = bb;
       unsigned lat = hwLatency(*inst);
       if (usesMemPort(op) || usesQueuePort(op)) {
         // Dynamic ops: occupy their issue state; the handshake cycles are
         // charged by the executor (bus model). Value available next state.
-        ready[inst] = {start + 1, 0};
+        ready[inst->id()] = {start + 1, 0};
       } else if (lat == 0) {
-        ready[inst] = {start, depth + 1};
+        ready[inst->id()] = {start, depth + 1};
       } else {
-        ready[inst] = {start + lat, 0};
+        ready[inst->id()] = {start + lat, 0};
         extraFixedCycles += lat - 1;  // states advance once; remainder stalls
       }
     }
@@ -131,22 +147,12 @@ FunctionSchedule scheduleFunction(Function& f, const HlsConstraints& c) {
     // One memory port and one runtime call per cycle; two multipliers; a
     // serial (non-pipelined) divider occupies its full latency.
     {
-      unsigned memOps = 0, queueOps = 0, muls = 0, divs = 0;
-      for (auto& instPtr : *bb) {
-        Opcode op = instPtr->op();
-        if (usesMemPort(op)) ++memOps;
-        if (usesQueuePort(op)) ++queueOps;
-        if (op == Opcode::Mul) ++muls;
-        if (isDivOp(op)) ++divs;
-      }
       // Memory and queue ports are charged dynamically by the executor
       // (their bus serialization realizes the port constraint), so the II
       // floor here covers only the fixed-latency shared units.
-      (void)memOps;
-      (void)queueOps;
       unsigned ii = 1;
-      ii = std::max(ii, (muls + c.multipliersPerState - 1) / c.multipliersPerState);
-      ii = std::max(ii, divs * 13);  // serial divider latency (§5.2)
+      ii = std::max(ii, (blockMuls + c.multipliersPerState - 1) / c.multipliersPerState);
+      ii = std::max(ii, blockDivs * 13);  // serial divider latency (§5.2)
       bs.pipelinedII = std::min(ii, bs.staticCycles);
     }
     // Update FU binding maxima.
@@ -171,26 +177,17 @@ FunctionSchedule scheduleFunction(Function& f, const HlsConstraints& c) {
     // are part of the runtime area model), and branches are FSM transitions
     // (counted via the per-state term) — neither is a datapath unit.
     if (usesQueuePort(op) || isTerminatorOp(op)) continue;
-    // One representative instruction of this opcode for the per-unit cost.
-    const Instruction* sample = nullptr;
-    for (auto& bbPtr : f.blocks()) {
-      for (auto& instPtr : *bbPtr)
-        if (instPtr->op() == op) {
-          sample = instPtr.get();
-          break;
-        }
-      if (sample) break;
-    }
-    if (!sample) continue;
+    // One representative instruction of this opcode (first in program
+    // order, from the census) for the per-unit cost.
+    auto cIt = census.find(op);
+    if (cIt == census.end()) continue;
+    const Instruction* sample = cIt->second.first;
     OpArea oa = hwOpArea(*sample);
     area.luts += oa.luts * cnt;
     area.dsps += oa.dsps * cnt;
     // Sharing mux: every extra user of a shared unit costs ~8 LUTs of
-    // steering logic. Count total static instances of this op.
-    unsigned instances = 0;
-    for (auto& bbPtr : f.blocks())
-      for (auto& instPtr : *bbPtr)
-        if (instPtr->op() == op) ++instances;
+    // steering logic, charged against total static instances of this op.
+    const unsigned instances = cIt->second.second;
     if (instances > cnt) area.luts += (instances - cnt) * 8;
   }
   // Registers: roughly one packed 32-bit register per computed value, a
@@ -205,14 +202,14 @@ FunctionSchedule scheduleFunction(Function& f, const HlsConstraints& c) {
 
 ScheduleMap scheduleModule(Module& m, const HlsConstraints& c) {
   ScheduleMap out;
-  for (auto& f : m.functions()) out.emplace(f.get(), scheduleFunction(*f, c));
+  for (auto& f : m.functions()) out.emplace(f, scheduleFunction(*f, c));
   return out;
 }
 
 ScheduleMap scheduleModule(Module& m, const HlsConstraints& c, const ScheduleMap& prior) {
   ScheduleMap out;
   for (auto& fptr : m.functions()) {
-    Function* f = fptr.get();
+    Function* f = fptr;
     auto it = prior.find(f);
     bool reusable = it != prior.end() && it->second.fnName == f->name() &&
                     it->second.instCount == f->instructionCount() &&
@@ -222,7 +219,7 @@ ScheduleMap scheduleModule(Module& m, const HlsConstraints& c, const ScheduleMap
       // at a recycled address (or reshaped by a later cleanup) has blocks
       // the cached schedule has never seen.
       for (auto& bb : f->blocks()) {
-        if (it->second.blocks.find(bb.get()) == it->second.blocks.end()) {
+        if (it->second.blocks.find(bb) == it->second.blocks.end()) {
           reusable = false;
           break;
         }

@@ -1,8 +1,9 @@
-// Basic blocks: doubly-linked lists of instructions ending in a terminator.
+// Basic blocks: intrusive doubly-linked lists of instructions ending in a
+// terminator. Instructions are arena-owned; the block only links them, so
+// append/insert/detach/erase are O(1) and `detach` hands back a plain
+// pointer — no ownership transfers anywhere in the IR.
 #pragma once
 
-#include <list>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,44 +13,45 @@ namespace twill {
 
 class Function;
 
-class BasicBlock : public Value {
+class BasicBlock : public Value, public IntrusiveListNode<BasicBlock> {
 public:
-  using InstList = std::list<std::unique_ptr<Instruction>>;
+  using InstList = IntrusiveList<Instruction>;
   using iterator = InstList::iterator;
   using const_iterator = InstList::const_iterator;
 
-  explicit BasicBlock(std::string name) : Value(Kind::BasicBlock, nullptr) {
-    setName(std::move(name));
+  BasicBlock(Arena& arena, std::string_view name) : Value(arena, Kind::BasicBlock, nullptr) {
+    setName(name);
   }
 
   Function* parent() const { return parent_; }
   void setParent(Function* f) { parent_ = f; }
 
-  iterator begin() { return insts_.begin(); }
-  iterator end() { return insts_.end(); }
-  const_iterator begin() const { return insts_.begin(); }
-  const_iterator end() const { return insts_.end(); }
+  iterator begin() const { return insts_.begin(); }
+  iterator end() const { return insts_.end(); }
   bool empty() const { return insts_.empty(); }
   size_t size() const { return insts_.size(); }
 
-  Instruction* front() const { return insts_.front().get(); }
-  Instruction* back() const { return insts_.back().get(); }
+  Instruction* front() const { return insts_.front(); }
+  Instruction* back() const { return insts_.back(); }
 
   /// The terminator, or nullptr if the block is still being built.
   Instruction* terminator() const {
-    return (!insts_.empty() && insts_.back()->isTerminator()) ? insts_.back().get() : nullptr;
+    Instruction* b = insts_.back();
+    return (b && b->isTerminator()) ? b : nullptr;
   }
 
-  /// Appends and takes ownership.
-  Instruction* append(std::unique_ptr<Instruction> inst);
-  /// Inserts before `pos` and takes ownership.
-  Instruction* insert(iterator pos, std::unique_ptr<Instruction> inst);
-  /// Removes and destroys `inst` (which must have no uses).
+  /// Appends; the instruction stays arena-owned.
+  Instruction* append(Instruction* inst);
+  /// Inserts before `pos`.
+  Instruction* insert(iterator pos, Instruction* inst);
+  /// Unlinks `inst` (which must have no uses) and severs its operand links.
+  /// The node's storage is reclaimed when the module arena is torn down.
   void erase(Instruction* inst);
-  /// Removes `inst` from this block without destroying it.
-  std::unique_ptr<Instruction> detach(Instruction* inst);
+  /// Unlinks `inst` from this block without severing anything; the caller
+  /// re-links it elsewhere (the arena keeps it alive regardless).
+  Instruction* detach(Instruction* inst);
 
-  iterator iteratorTo(Instruction* inst);
+  iterator iteratorTo(Instruction* inst) { return insts_.iteratorTo(inst); }
   /// First non-PHI instruction position.
   iterator firstNonPhi();
 

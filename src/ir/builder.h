@@ -1,8 +1,6 @@
 // IRBuilder: convenience API for creating instructions at an insertion point.
 #pragma once
 
-#include <memory>
-
 #include "src/ir/function.h"
 
 namespace twill {
@@ -26,9 +24,9 @@ public:
 
   // --- Raw creation ---------------------------------------------------------
   Instruction* create(Opcode op, Type* type, std::initializer_list<Value*> ops) {
-    auto inst = std::make_unique<Instruction>(op, type);
+    Instruction* inst = module_.createInstruction(op, type);
     for (Value* v : ops) inst->addOperand(v);
-    return block_->insert(pos_, std::move(inst));
+    return block_->insert(pos_, inst);
   }
 
   // --- Arithmetic -----------------------------------------------------------
@@ -62,10 +60,10 @@ public:
   Instruction* ret(Value* v) { return create(Opcode::Ret, types().voidTy(), {v}); }
   Instruction* phi(Type* type) { return create(Opcode::Phi, type, {}); }
   Instruction* call(Function* callee, std::initializer_list<Value*> args) {
-    auto inst = std::make_unique<Instruction>(Opcode::Call, callee->retType());
+    Instruction* inst = module_.createInstruction(Opcode::Call, callee->retType());
     for (Value* v : args) inst->addOperand(v);
     inst->setCallee(callee);
-    return block_->insert(pos_, std::move(inst));
+    return block_->insert(pos_, inst);
   }
 
   // --- Twill runtime ops ------------------------------------------------------

@@ -1,9 +1,15 @@
 // Functions and the Module that owns them.
+//
+// Memory model: the Module owns one Arena; functions, blocks, instructions,
+// arguments, globals, constants and types are all placement-constructed into
+// it and linked through intrusive lists. Erasing IR only unlinks and severs
+// use edges; destroying the Module drops the arena — one destructor sweep
+// over the nodes' own vectors plus a handful of slab frees, with no def-use
+// graph walking at teardown.
 #pragma once
 
-#include <list>
-#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/ir/basicblock.h"
@@ -12,30 +18,32 @@ namespace twill {
 
 class Module;
 
-class Function : public Value {
+class Function : public Value, public IntrusiveListNode<Function> {
 public:
-  using BlockList = std::list<std::unique_ptr<BasicBlock>>;
+  using BlockList = IntrusiveList<BasicBlock>;
 
-  Function(std::string name, Type* retType, Module* parent)
-      : Value(Kind::Function, nullptr), retType_(retType), parent_(parent) {
-    setName(std::move(name));
+  Function(Arena& arena, std::string_view name, Type* retType, Module* parent)
+      : Value(arena, Kind::Function, nullptr), retType_(retType), parent_(parent) {
+    setName(name);
   }
-  // Instructions reference values across blocks (and module-level constants),
-  // so all operand links must be severed before any member is destroyed.
-  ~Function() override { dropAllReferences(); }
+
+  /// Severs every operand link inside this function. Called by
+  /// Module::eraseFunction so erased bodies disappear from the use lists of
+  /// surviving values; plain teardown doesn't need it (the arena sweep never
+  /// follows use edges).
   void dropAllReferences();
 
   Module* parent() const { return parent_; }
   Type* retType() const { return retType_; }
 
-  Argument* addArg(Type* type, std::string name);
+  Argument* addArg(Type* type, std::string_view name);
   unsigned numArgs() const { return static_cast<unsigned>(args_.size()); }
-  Argument* arg(unsigned i) const { return args_[i].get(); }
+  Argument* arg(unsigned i) const { return args_[i]; }
 
-  BasicBlock* entry() const { return blocks_.empty() ? nullptr : blocks_.front().get(); }
-  BasicBlock* createBlock(std::string name);
+  BasicBlock* entry() const { return blocks_.front(); }
+  BasicBlock* createBlock(std::string_view name);
   /// Creates a block placed immediately after `after` in the block order.
-  BasicBlock* createBlockAfter(BasicBlock* after, std::string name);
+  BasicBlock* createBlockAfter(BasicBlock* after, std::string_view name);
   void eraseBlock(BasicBlock* bb);
 
   BlockList& blocks() { return blocks_; }
@@ -58,35 +66,40 @@ public:
 private:
   Type* retType_;
   Module* parent_;
-  std::vector<std::unique_ptr<Argument>> args_;
+  std::vector<Argument*> args_;
   BlockList blocks_;
   unsigned numSlots_ = 0;
 };
 
 class Module {
 public:
-  Module() = default;
-  // Sever all instruction->constant/global links before members destruct
-  // (members are destroyed in reverse declaration order, constants first).
-  ~Module() {
-    for (auto& f : functions_) f->dropAllReferences();
-  }
+  Module() : types_(arena_) {}
+  // Teardown is the arena sweep: node destructors only release their own
+  // operand/user vectors (never touching other nodes), then the slabs drop.
+  ~Module() = default;
   Module(const Module&) = delete;
   Module& operator=(const Module&) = delete;
 
+  Arena& arena() { return arena_; }
   TypeContext& types() { return types_; }
 
-  Function* createFunction(std::string name, Type* retType);
-  Function* findFunction(const std::string& name) const;
+  Function* createFunction(std::string_view name, Type* retType);
+  Function* findFunction(std::string_view name) const;
   void eraseFunction(Function* f);
 
-  GlobalVar* createGlobal(std::string name, unsigned elemBits, uint32_t count, bool isConst);
-  GlobalVar* findGlobal(const std::string& name) const;
+  /// Arena-places a free-standing instruction; the caller links it into a
+  /// block via append/insert.
+  Instruction* createInstruction(Opcode op, Type* type) {
+    return arena_.create<Instruction>(arena_, op, type);
+  }
 
-  std::list<std::unique_ptr<Function>>& functions() { return functions_; }
-  const std::list<std::unique_ptr<Function>>& functions() const { return functions_; }
-  std::vector<std::unique_ptr<GlobalVar>>& globals() { return globals_; }
-  const std::vector<std::unique_ptr<GlobalVar>>& globals() const { return globals_; }
+  GlobalVar* createGlobal(std::string_view name, unsigned elemBits, uint32_t count, bool isConst);
+  GlobalVar* findGlobal(std::string_view name) const;
+
+  IntrusiveList<Function>& functions() { return functions_; }
+  const IntrusiveList<Function>& functions() const { return functions_; }
+  std::vector<GlobalVar*>& globals() { return globals_; }
+  const std::vector<GlobalVar*>& globals() const { return globals_; }
 
   /// Interned integer constant.
   Constant* constant(Type* type, uint64_t value);
@@ -96,10 +109,24 @@ public:
   size_t instructionCount() const;
 
 private:
+  struct ConstantKey {
+    Type* type;
+    uint64_t value;
+    bool operator==(const ConstantKey& o) const { return type == o.type && value == o.value; }
+  };
+  struct ConstantKeyHash {
+    size_t operator()(const ConstantKey& k) const {
+      uint64_t h = reinterpret_cast<uintptr_t>(k.type) * 0x9E3779B97F4A7C15ull;
+      h ^= k.value + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  Arena arena_;  // declared first: outlives every view the members hold into it
   TypeContext types_;
-  std::list<std::unique_ptr<Function>> functions_;
-  std::vector<std::unique_ptr<GlobalVar>> globals_;
-  std::vector<std::unique_ptr<Constant>> constants_;
+  IntrusiveList<Function> functions_;
+  std::vector<GlobalVar*> globals_;
+  std::unordered_map<ConstantKey, Constant*, ConstantKeyHash> constants_;
 };
 
 }  // namespace twill

@@ -4,6 +4,11 @@
 // the thesis's tool flow needs, plus the four Twill runtime operations the
 // DSWP pass inserts (produce/consume on hardware queues, semaphore
 // raise/lower — §4.2/§4.3 of the thesis).
+//
+// Instructions are arena-placed and chain into their block through intrusive
+// prev/next links: append/insert/detach/erase are O(1) pointer surgery, and
+// no ownership ever transfers — the module arena reclaims everything at
+// teardown.
 #pragma once
 
 #include <cassert>
@@ -12,6 +17,7 @@
 #include <vector>
 
 #include "src/ir/value.h"
+#include "src/support/ilist.h"
 
 namespace twill {
 
@@ -54,10 +60,12 @@ bool isCompareOp(Opcode op);
 bool isCastOp(Opcode op);
 bool isTerminatorOp(Opcode op);
 
-class Instruction : public Value {
+class Instruction : public Value, public IntrusiveListNode<Instruction> {
 public:
-  Instruction(Opcode op, Type* type) : Value(Kind::Instruction, type), op_(op) {}
-  ~Instruction() override { dropOperands(); }
+  Instruction(Arena& arena, Opcode op, Type* type)
+      : Value(arena, Kind::Instruction, type), op_(op) {}
+  // No destructor work: operand links are severed explicitly by erase paths,
+  // and arena teardown only releases this node's own vectors.
 
   Opcode op() const { return op_; }
   BasicBlock* parent() const { return parent_; }

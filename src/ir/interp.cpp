@@ -46,7 +46,7 @@ void RefExecState::enterBlock(Frame& fr, BasicBlock* from, BasicBlock* to) {
   // Evaluate all PHIs of `to` atomically with values from before the edge.
   std::vector<std::pair<Instruction*, uint32_t>> values;
   for (auto& instPtr : *to) {
-    Instruction* phi = instPtr.get();
+    Instruction* phi = instPtr;
     if (!phi->isPhi()) break;
     int idx = phi->incomingIndexFor(from);
     if (idx < 0) {
@@ -64,7 +64,7 @@ std::string RefExecState::describeLocation() const {
   if (frames_.empty()) return name_ + ": finished";
   const Frame& fr = frames_.back();
   std::string s = fr.fn->name() + "/" + fr.block->name();
-  if (fr.ip != fr.block->end()) s += ": " + printInstruction(fr.ip->get());
+  if (fr.ip != fr.block->end()) s += ": " + printInstruction(*fr.ip);
   return s;
 }
 
@@ -81,7 +81,7 @@ StepResult RefExecState::step() {
 
   Frame& fr = frames_.back();
   assert(fr.ip != fr.block->end() && "fell off the end of a block without terminator");
-  Instruction* inst = fr.ip->get();
+  Instruction* inst = *fr.ip;
   const Opcode op = inst->op();
 
   auto ranOk = [&]() -> StepResult {

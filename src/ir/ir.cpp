@@ -19,22 +19,8 @@ std::string Type::str() const {
   return "?";
 }
 
-TypeContext::TypeContext() : void_(new Type(Type::Kind::Void, 0)) {}
-
-Type* TypeContext::intTy(unsigned bits) {
-  assert((bits == 1 || bits == 8 || bits == 16 || bits == 32) && "unsupported integer width");
-  for (auto& t : ints_)
-    if (t->bits() == bits) return t.get();
-  ints_.emplace_back(new Type(Type::Kind::Int, bits));
-  return ints_.back().get();
-}
-
-Type* TypeContext::ptrTy(unsigned pointeeBits) {
-  assert((pointeeBits == 1 || pointeeBits == 8 || pointeeBits == 16 || pointeeBits == 32));
-  for (auto& t : ptrs_)
-    if (t->pointeeBits() == pointeeBits) return t.get();
-  ptrs_.emplace_back(new Type(Type::Kind::Ptr, pointeeBits));
-  return ptrs_.back().get();
+TypeContext::TypeContext(Arena& arena) : arena_(&arena) {
+  void_ = arena_->create<Type>(Type(Type::Kind::Void, 0));
 }
 
 // ---------------------------------------------------------------------------
@@ -216,22 +202,14 @@ void Instruction::setSuccessor(unsigned i, BasicBlock* bb) {
 // BasicBlock
 // ---------------------------------------------------------------------------
 
-Instruction* BasicBlock::append(std::unique_ptr<Instruction> inst) {
+Instruction* BasicBlock::append(Instruction* inst) {
   inst->setParent(this);
-  insts_.push_back(std::move(inst));
-  return insts_.back().get();
+  return insts_.push_back(inst);
 }
 
-Instruction* BasicBlock::insert(iterator pos, std::unique_ptr<Instruction> inst) {
+Instruction* BasicBlock::insert(iterator pos, Instruction* inst) {
   inst->setParent(this);
-  return insts_.insert(pos, std::move(inst))->get();
-}
-
-BasicBlock::iterator BasicBlock::iteratorTo(Instruction* inst) {
-  for (auto it = insts_.begin(); it != insts_.end(); ++it)
-    if (it->get() == inst) return it;
-  assert(false && "instruction not in block");
-  return insts_.end();
+  return insts_.insert(pos, inst);
 }
 
 BasicBlock::iterator BasicBlock::firstNonPhi() {
@@ -242,16 +220,17 @@ BasicBlock::iterator BasicBlock::firstNonPhi() {
 
 void BasicBlock::erase(Instruction* inst) {
   assert(!inst->hasUses() && "erasing an instruction that still has uses");
-  auto it = iteratorTo(inst);
-  insts_.erase(it);
+  assert(inst->parent() == this && "instruction not in block");
+  inst->dropOperands();
+  insts_.remove(inst);
+  inst->setParent(nullptr);
 }
 
-std::unique_ptr<Instruction> BasicBlock::detach(Instruction* inst) {
-  auto it = iteratorTo(inst);
-  std::unique_ptr<Instruction> owned = std::move(*it);
-  insts_.erase(it);
-  owned->setParent(nullptr);
-  return owned;
+Instruction* BasicBlock::detach(Instruction* inst) {
+  assert(inst->parent() == this && "instruction not in block");
+  insts_.remove(inst);
+  inst->setParent(nullptr);
+  return inst;
 }
 
 std::vector<BasicBlock*> BasicBlock::successors() const {
@@ -285,49 +264,40 @@ void Function::dropAllReferences() {
     for (auto& inst : *bb) inst->dropOperands();
 }
 
-Argument* Function::addArg(Type* type, std::string name) {
-  args_.emplace_back(new Argument(type, numArgs(), this));
-  args_.back()->setName(std::move(name));
-  return args_.back().get();
+Argument* Function::addArg(Type* type, std::string_view name) {
+  Argument* a = arena_->create<Argument>(*arena_, type, numArgs(), this);
+  a->setName(name);
+  args_.push_back(a);
+  return a;
 }
 
-BasicBlock* Function::createBlock(std::string name) {
-  blocks_.emplace_back(new BasicBlock(std::move(name)));
-  blocks_.back()->setParent(this);
-  return blocks_.back().get();
+BasicBlock* Function::createBlock(std::string_view name) {
+  BasicBlock* bb = arena_->create<BasicBlock>(*arena_, name);
+  bb->setParent(this);
+  return blocks_.push_back(bb);
 }
 
-BasicBlock* Function::createBlockAfter(BasicBlock* after, std::string name) {
-  auto pos = blocks_.end();
-  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
-    if (it->get() == after) {
-      pos = std::next(it);
-      break;
-    }
-  }
-  auto it = blocks_.insert(pos, std::make_unique<BasicBlock>(std::move(name)));
-  (*it)->setParent(this);
-  return it->get();
+BasicBlock* Function::createBlockAfter(BasicBlock* after, std::string_view name) {
+  BasicBlock* bb = arena_->create<BasicBlock>(*arena_, name);
+  bb->setParent(this);
+  if (after)
+    blocks_.insertAfter(after, bb);
+  else
+    blocks_.push_back(bb);
+  return bb;
 }
 
 void Function::eraseBlock(BasicBlock* bb) {
-  // Drop all instructions first so cross-references inside the block go away.
-  std::vector<Instruction*> insts;
-  for (auto& i : *bb) insts.push_back(i.get());
-  for (auto it = insts.rbegin(); it != insts.rend(); ++it) (*it)->dropOperands();
-  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
-    if (it->get() == bb) {
-      blocks_.erase(it);
-      return;
-    }
-  }
-  assert(false && "block not in function");
+  assert(bb->parent() == this && "block not in function");
+  // Drop all instruction operands first so cross-references out of the block
+  // disappear from surviving values' use lists.
+  for (auto& inst : *bb) inst->dropOperands();
+  blocks_.remove(bb);
+  bb->setParent(nullptr);
 }
 
 unsigned Function::renumber() {
-  unsigned slot = 0;
-  for (auto& a : args_) a->setName(a->name());  // keep names; args use fixed slots
-  slot = numArgs();
+  unsigned slot = numArgs();  // args use fixed slots [0, numArgs)
   unsigned bbId = 0;
   for (auto& bb : blocks_) {
     bb->setId(bbId++);
@@ -350,48 +320,44 @@ size_t Function::instructionCount() const {
   return n;
 }
 
-Function* Module::createFunction(std::string name, Type* retType) {
-  functions_.emplace_back(new Function(std::move(name), retType, this));
-  return functions_.back().get();
+Function* Module::createFunction(std::string_view name, Type* retType) {
+  Function* f = arena_.create<Function>(arena_, name, retType, this);
+  return functions_.push_back(f);
 }
 
-Function* Module::findFunction(const std::string& name) const {
+Function* Module::findFunction(std::string_view name) const {
   for (const auto& f : functions_)
-    if (f->name() == name) return f.get();
+    if (f->name() == name) return f;
   return nullptr;
 }
 
 void Module::eraseFunction(Function* f) {
-  for (auto it = functions_.begin(); it != functions_.end(); ++it) {
-    if (it->get() == f) {
-      // ~Function severs all operand links before destroying blocks, which
-      // keeps cross-block references safe during teardown.
-      functions_.erase(it);
-      return;
-    }
-  }
-  assert(false && "function not in module");
+  // Sever all operand links so the erased body vanishes from the use lists
+  // of constants, globals and any surviving functions' values.
+  f->dropAllReferences();
+  functions_.remove(f);
 }
 
-GlobalVar* Module::createGlobal(std::string name, unsigned elemBits, uint32_t count, bool isConst) {
-  globals_.emplace_back(
-      new GlobalVar(types_.ptrTy(elemBits), std::move(name), elemBits, count, isConst));
-  return globals_.back().get();
+GlobalVar* Module::createGlobal(std::string_view name, unsigned elemBits, uint32_t count,
+                                bool isConst) {
+  GlobalVar* g =
+      arena_.create<GlobalVar>(arena_, types_.ptrTy(elemBits), name, elemBits, count, isConst);
+  globals_.push_back(g);
+  return g;
 }
 
-GlobalVar* Module::findGlobal(const std::string& name) const {
+GlobalVar* Module::findGlobal(std::string_view name) const {
   for (const auto& g : globals_)
-    if (g->name() == name) return g.get();
+    if (g->name() == name) return g;
   return nullptr;
 }
 
 Constant* Module::constant(Type* type, uint64_t value) {
   // Mask to the type's width so interned constants are canonical.
   if (type->isInt() && type->bits() < 64) value &= (1ull << type->bits()) - 1;
-  for (auto& c : constants_)
-    if (c->type() == type && c->zext() == value) return c.get();
-  constants_.emplace_back(new Constant(type, value));
-  return constants_.back().get();
+  Constant*& slot = constants_[ConstantKey{type, value}];
+  if (!slot) slot = arena_.create<Constant>(arena_, type, value);
+  return slot;
 }
 
 size_t Module::instructionCount() const {

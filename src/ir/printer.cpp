@@ -61,7 +61,7 @@ std::string printFunction(const Function* f) {
   os << ") {\n";
   for (const auto& bb : f->blocks()) {
     os << bb->name() << ":\n";
-    for (const auto& inst : *bb) os << "  " << printInstruction(inst.get()) << "\n";
+    for (const auto& inst : *bb) os << "  " << printInstruction(inst) << "\n";
   }
   os << "}\n";
   return os.str();
@@ -79,7 +79,7 @@ std::string printModule(const Module& m) {
     }
     os << "\n";
   }
-  for (const auto& f : m.functions()) os << "\n" << printFunction(f.get());
+  for (const auto& f : m.functions()) os << "\n" << printFunction(f);
   return os.str();
 }
 

@@ -10,9 +10,9 @@
 
 #include <cassert>
 #include <cstdint>
-#include <memory>
 #include <string>
-#include <vector>
+
+#include "src/support/arena.h"
 
 namespace twill {
 
@@ -54,16 +54,25 @@ private:
   unsigned bits_;
 };
 
-/// Owns the unique Type instances for one Module. Types are interned, so
-/// pointer equality is type equality.
+/// Interns the unique Type instances for one Module; the nodes live in the
+/// module's arena (Type is trivially destructible, so teardown is free).
+/// Pointer equality is type equality.
 class TypeContext {
 public:
-  TypeContext();
+  explicit TypeContext(Arena& arena);
 
-  Type* voidTy() { return void_.get(); }
-  Type* intTy(unsigned bits);
+  Type* voidTy() { return void_; }
+  Type* intTy(unsigned bits) {
+    Type*& slot = ints_[widthIndex(bits)];
+    if (!slot) slot = arena_->create<Type>(Type(Type::Kind::Int, bits));
+    return slot;
+  }
   /// Pointer to an integer element of the given width.
-  Type* ptrTy(unsigned pointeeBits);
+  Type* ptrTy(unsigned pointeeBits) {
+    Type*& slot = ptrs_[widthIndex(pointeeBits)];
+    if (!slot) slot = arena_->create<Type>(Type(Type::Kind::Ptr, pointeeBits));
+    return slot;
+  }
 
   Type* i1() { return intTy(1); }
   Type* i8() { return intTy(8); }
@@ -71,9 +80,21 @@ public:
   Type* i32() { return intTy(32); }
 
 private:
-  std::unique_ptr<Type> void_;
-  std::vector<std::unique_ptr<Type>> ints_;  // indexed lookup by width
-  std::vector<std::unique_ptr<Type>> ptrs_;
+  static unsigned widthIndex(unsigned bits) {
+    switch (bits) {
+      case 1: return 0;
+      case 8: return 1;
+      case 16: return 2;
+      case 32: return 3;
+    }
+    assert(false && "unsupported integer width");
+    return 0;
+  }
+
+  Arena* arena_;
+  Type* void_ = nullptr;
+  Type* ints_[4] = {nullptr, nullptr, nullptr, nullptr};
+  Type* ptrs_[4] = {nullptr, nullptr, nullptr, nullptr};
 };
 
 }  // namespace twill

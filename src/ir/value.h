@@ -1,5 +1,11 @@
 // Value hierarchy for the Twill IR: everything an instruction can reference.
 //
+// Ownership: every Value lives in its Module's Arena (src/support/arena.h).
+// Creation goes through Module/Function/BasicBlock factories; "erasing" a
+// node unlinks it and severs its operand links, and the storage is reclaimed
+// wholesale when the Module (and with it the arena) is torn down. Names are
+// interned ArenaStrings in the same arena.
+//
 // Use tracking: every Value keeps the list of instructions that use it, so
 // transforms can replaceAllUsesWith() and DSWP can walk def-use chains when
 // building the Program Dependence Graph.
@@ -10,6 +16,7 @@
 #include <vector>
 
 #include "src/ir/type.h"
+#include "src/support/arena.h"
 
 namespace twill {
 
@@ -24,8 +31,11 @@ public:
   Kind kind() const { return kind_; }
   Type* type() const { return type_; }
 
-  const std::string& name() const { return name_; }
-  void setName(std::string n) { name_ = std::move(n); }
+  ArenaString name() const { return name_; }
+  void setName(std::string_view n) { name_ = ArenaString(*arena_, n); }
+
+  /// The arena this value lives in (its module's arena).
+  Arena& arena() const { return *arena_; }
 
   /// Instructions currently using this value as an operand. May contain an
   /// instruction multiple times if it uses the value in several operand
@@ -41,11 +51,12 @@ public:
   void removeUser(Instruction* i);
 
 protected:
-  Value(Kind kind, Type* type) : kind_(kind), type_(type) {}
+  Value(Arena& arena, Kind kind, Type* type) : kind_(kind), type_(type), arena_(&arena) {}
 
   Kind kind_;
   Type* type_;
-  std::string name_;
+  Arena* arena_;
+  ArenaString name_;
   std::vector<Instruction*> users_;
 };
 
@@ -53,7 +64,8 @@ protected:
 /// consuming operation decides signedness, exactly as in LLVM.
 class Constant : public Value {
 public:
-  Constant(Type* type, uint64_t value) : Value(Kind::Constant, type), value_(value) {}
+  Constant(Arena& arena, Type* type, uint64_t value)
+      : Value(arena, Kind::Constant, type), value_(value) {}
 
   uint64_t zext() const { return value_; }
   /// Sign-extended view at this constant's bit width.
@@ -70,8 +82,8 @@ class Function;
 /// Formal parameter of a Function.
 class Argument : public Value {
 public:
-  Argument(Type* type, unsigned index, Function* parent)
-      : Value(Kind::Argument, type), index_(index), parent_(parent) {}
+  Argument(Arena& arena, Type* type, unsigned index, Function* parent)
+      : Value(arena, Kind::Argument, type), index_(index), parent_(parent) {}
 
   unsigned index() const { return index_; }
   Function* parent() const { return parent_; }
@@ -87,9 +99,10 @@ private:
 /// is a pointer to the element type; the simulator assigns the address.
 class GlobalVar : public Value {
 public:
-  GlobalVar(Type* ptrType, std::string name, unsigned elemBits, uint32_t count, bool isConst)
-      : Value(Kind::Global, ptrType), elemBits_(elemBits), count_(count), isConst_(isConst) {
-    setName(std::move(name));
+  GlobalVar(Arena& arena, Type* ptrType, std::string_view name, unsigned elemBits, uint32_t count,
+            bool isConst)
+      : Value(arena, Kind::Global, ptrType), elemBits_(elemBits), count_(count), isConst_(isConst) {
+    setName(name);
   }
 
   unsigned elemBits() const { return elemBits_; }

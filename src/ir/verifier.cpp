@@ -115,7 +115,7 @@ private:
 
   void checkStructure() {
     std::unordered_set<BasicBlock*> blockSet;
-    for (auto& bb : f_.blocks()) blockSet.insert(bb.get());
+    for (auto& bb : f_.blocks()) blockSet.insert(bb);
     if (!f_.entry()->predecessors().empty())
       error("entry block has predecessors");
     for (auto& bb : f_.blocks()) {
@@ -126,7 +126,7 @@ private:
       if (!bb->terminator()) error("block %" + bb->name() + " lacks a terminator");
       bool seenNonPhi = false;
       for (auto it = bb->begin(); it != bb->end(); ++it) {
-        Instruction* inst = it->get();
+        Instruction* inst = *it;
         if (inst->isTerminator() && inst != bb->back())
           error("terminator in the middle of block %" + bb->name());
         if (inst->isPhi()) {
@@ -134,7 +134,7 @@ private:
         } else {
           seenNonPhi = true;
         }
-        if (inst->parent() != bb.get()) error("instruction parent link broken in %" + bb->name());
+        if (inst->parent() != bb) error("instruction parent link broken in %" + bb->name());
         for (unsigned i = 0; i < inst->numOperands(); ++i) {
           Value* op = inst->operand(i);
           if (!op) {
@@ -232,9 +232,9 @@ private:
 
   void checkSSA(const SimpleDominance& dom) {
     for (auto& bb : f_.blocks()) {
-      if (!dom.reachable(bb.get())) continue;
+      if (!dom.reachable(bb)) continue;
       for (auto& instPtr : *bb) {
-        Instruction* inst = instPtr.get();
+        Instruction* inst = instPtr;
         if (inst->isPhi()) continue;  // phi uses checked on edges
         for (unsigned i = 0; i < inst->numOperands(); ++i) {
           auto* def = dyn_cast<Instruction>(inst->operand(i));
@@ -253,18 +253,18 @@ private:
     if (db != ub) return dom.dominates(db, ub);
     // Same block: def must come first.
     for (auto& i : *db) {
-      if (i.get() == def) return true;
-      if (i.get() == use) return false;
+      if (i == def) return true;
+      if (i == use) return false;
     }
     return false;
   }
 
   void checkPhis(const SimpleDominance& dom) {
     for (auto& bb : f_.blocks()) {
-      if (!dom.reachable(bb.get())) continue;
+      if (!dom.reachable(bb)) continue;
       auto preds = bb->predecessors();
       for (auto& instPtr : *bb) {
-        Instruction* inst = instPtr.get();
+        Instruction* inst = instPtr;
         if (!inst->isPhi()) break;
         if (inst->numIncoming() != preds.size()) {
           error("phi in %" + bb->name() + " has " + std::to_string(inst->numIncoming()) +

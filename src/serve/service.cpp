@@ -78,6 +78,7 @@ TwillService::TwillService(const ServiceConfig& cfg) : cfg_(cfg) {
   mInFlight_ = &r.gauge("twilld_pool_in_flight", "Jobs currently executing on a worker");
   mRespEntries_ = &r.gauge("twilld_cache_response_entries", "Response cache entries");
   mArtEntries_ = &r.gauge("twilld_cache_artifact_entries", "Artifact cache entries");
+  mCacheBytes_ = &r.gauge("twilld_cache_bytes", "Approximate cache footprint in bytes");
   static const char* const kEndpointNames[kNumEndpoints] = {
       "/v1/jobs", "/v1/jobs/{id}", "/v1/jobs/{id}/report", "/v1/stats",
       "/v1/healthz", "/v1/metrics", "other"};
@@ -208,6 +209,7 @@ HttpResponse TwillService::metricsResponse() {
     std::lock_guard<std::mutex> lock(mu_);
     mRespEntries_->set(static_cast<int64_t>(responses_.size()));
     mArtEntries_->set(static_cast<int64_t>(artifacts_.size()));
+    mCacheBytes_->set(static_cast<int64_t>(cacheBytesLocked()));
   }
   HttpResponse resp;
   resp.contentType = "text/plain; version=0.0.4";
@@ -479,6 +481,9 @@ void TwillService::runJob(uint64_t id) {
       fresh->prog = std::make_unique<SimProgram>(*rep.twillArtifacts->module,
                                                  rep.twillArtifacts->schedules);
     fresh->lastUse = ++useClock_;
+    fresh->approxBytes = sizeof(CacheEntry) + req.source.size();
+    if (rep.twillArtifacts && rep.twillArtifacts->module)
+      fresh->approxBytes += rep.twillArtifacts->module->arena().bytesReserved();
     artifacts_[compileKey] = std::move(fresh);
     evictIfNeeded();
   }
@@ -511,6 +516,13 @@ void TwillService::finishJob(uint64_t id, const std::string& fullKey,
   drainCv_.notify_all();
 }
 
+size_t TwillService::cacheBytesLocked() const {
+  size_t total = 0;
+  for (const auto& [key, resp] : responses_) total += key.size() + resp.second.size();
+  for (const auto& [key, entry] : artifacts_) total += key.size() + entry->approxBytes;
+  return total;
+}
+
 void TwillService::evictIfNeeded() {
   while (responses_.size() > cfg_.maxCacheEntries) {
     auto victim = responses_.begin();
@@ -533,6 +545,41 @@ void TwillService::evictIfNeeded() {
     artifacts_.erase(victim);
     mEvictArtifact_->inc();
   }
+  // Byte budget: charge artifact entries their kept module's arena footprint
+  // and response entries their document size; evict the globally least-
+  // recently-used entry (whichever pool holds it) until under budget.
+  if (cfg_.maxCacheBytes) {
+    size_t total = cacheBytesLocked();
+    while (total > cfg_.maxCacheBytes && (!artifacts_.empty() || !responses_.empty())) {
+      auto aVictim = artifacts_.end();
+      for (auto it = artifacts_.begin(); it != artifacts_.end(); ++it)
+        if (aVictim == artifacts_.end() || it->second->lastUse < aVictim->second->lastUse)
+          aVictim = it;
+      auto rVictim = responses_.end();
+      uint64_t rOldest = UINT64_MAX;
+      for (auto it = responses_.begin(); it != responses_.end(); ++it) {
+        const uint64_t use = responseUse_.count(it->first) ? responseUse_[it->first] : 0;
+        if (rVictim == responses_.end() || use < rOldest) {
+          rOldest = use;
+          rVictim = it;
+        }
+      }
+      const bool takeArtifact =
+          aVictim != artifacts_.end() &&
+          (rVictim == responses_.end() || aVictim->second->lastUse <= rOldest);
+      if (takeArtifact) {
+        total -= std::min(total, aVictim->first.size() + aVictim->second->approxBytes);
+        artifacts_.erase(aVictim);
+        mEvictArtifact_->inc();
+      } else {
+        total -= std::min(total, rVictim->first.size() + rVictim->second.second.size());
+        responseUse_.erase(rVictim->first);
+        responses_.erase(rVictim);
+        mEvictResponse_->inc();
+      }
+    }
+  }
+  mCacheBytes_->set(static_cast<int64_t>(cacheBytesLocked()));
   // Bound the job table: drop the oldest completed jobs past the retention
   // window (clients fetch promptly; an evicted id answers 404).
   size_t done = 0;

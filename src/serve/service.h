@@ -62,6 +62,12 @@ struct ServiceConfig {
   /// Response-cache entry cap (artifact entries are bounded by the same
   /// number); least-recently-used entries are evicted.
   size_t maxCacheEntries = 64;
+  /// Approximate byte budget across both cache levels (0 = no byte bound,
+  /// entry counts alone apply). Artifact entries are charged their kept
+  /// module's arena footprint plus the source; response entries their
+  /// document size. When over budget the globally least-recently-used
+  /// entry is evicted, whichever pool it lives in.
+  size_t maxCacheBytes = 0;
   /// Completed jobs retained for report fetches; the oldest are dropped
   /// past this (a later fetch gets 404 — clients poll then fetch promptly).
   size_t maxRetainedJobs = 1024;
@@ -140,6 +146,9 @@ class TwillService {
     BenchmarkReport anchor;
     std::unique_ptr<SimProgram> prog;
     uint64_t lastUse = 0;
+    /// Approximate footprint charged against ServiceConfig::maxCacheBytes:
+    /// the kept module's arena reservation + source, fixed at insertion.
+    size_t approxBytes = 0;
     std::mutex mu;
   };
 
@@ -165,6 +174,7 @@ class TwillService {
   void runJob(uint64_t id);
   void finishJob(uint64_t id, const std::string& fullKey, const BenchmarkReport& rep);
   void evictIfNeeded();  // callers hold mu_
+  size_t cacheBytesLocked() const;  // callers hold mu_
   void countOutcome(FailureKind kind);
 
   ServiceConfig cfg_;
@@ -198,6 +208,7 @@ class TwillService {
   Gauge* mInFlight_;
   Gauge* mRespEntries_;
   Gauge* mArtEntries_;
+  Gauge* mCacheBytes_;
   struct EndpointMetrics {
     Counter* requests;
     Histogram* latencyUs;

@@ -1,0 +1,56 @@
+#include "src/support/arena.h"
+
+#include <cstdlib>
+
+namespace twill {
+
+void Arena::grow(size_t need) {
+  size_t payload = nextSlabBytes_;
+  if (payload < need) {
+    // Oversized request: dedicated slab, growth sequence untouched.
+    payload = need;
+  } else if (nextSlabBytes_ < kMaxSlabBytes) {
+    nextSlabBytes_ *= 2;
+  }
+  auto* slab = static_cast<Slab*>(std::malloc(sizeof(Slab) + payload));
+  slab->prev = slabs_;
+  slab->bytes = payload;
+  slabs_ = slab;
+  cur_ = reinterpret_cast<char*>(slab + 1);
+  end_ = cur_ + payload;
+  bytesReserved_ += payload;
+}
+
+const char* Arena::intern(std::string_view s) {
+  auto it = interned_.find(s);
+  if (it != interned_.end()) return it->data();
+  char* copy = static_cast<char*>(allocate(s.size() + 1, 1));
+  std::memcpy(copy, s.data(), s.size());
+  copy[s.size()] = '\0';
+  interned_.emplace(copy, s.size());
+  return copy;
+}
+
+void Arena::reset() {
+  for (DtorNode* d = dtors_; d; d = d->next) d->fn(d->obj);
+  dtors_ = nullptr;
+  for (Slab* s = slabs_; s;) {
+    Slab* prev = s->prev;
+    std::free(s);
+    s = prev;
+  }
+  slabs_ = nullptr;
+  cur_ = end_ = nullptr;
+  nextSlabBytes_ = kFirstSlabBytes;
+  bytesAllocated_ = bytesReserved_ = 0;
+  objectCount_ = 0;
+  interned_.clear();
+}
+
+size_t Arena::slabCount() const {
+  size_t n = 0;
+  for (Slab* s = slabs_; s; s = s->prev) ++n;
+  return n;
+}
+
+}  // namespace twill

@@ -1,0 +1,206 @@
+// Bump allocator with chunked slabs + string interning: the memory model for
+// module-lifetime IR objects.
+//
+// A Module owns one Arena; every Instruction/BasicBlock/Argument/GlobalVar/
+// Constant/Type node is placement-constructed into it. Nodes are never freed
+// individually — erasing an instruction just unlinks it — and teardown is one
+// sweep: run the registered non-trivial destructors (newest first), then free
+// a handful of slabs. Destructors registered here must only release memory
+// the object itself owns (operand/user vectors); they must never touch other
+// arena objects, whose destruction order is unspecified relative to theirs.
+//
+// ArenaString is the companion identifier type: an interned, NUL-terminated
+// view into the arena. Interning makes name storage free to copy and lets
+// equal names usually compare by pointer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_set>
+#include <utility>
+
+namespace twill {
+
+class Arena {
+ public:
+  static constexpr size_t kFirstSlabBytes = size_t{1} << 16;  // 64 KiB
+  static constexpr size_t kMaxSlabBytes = size_t{1} << 20;    // 1 MiB growth cap
+
+  Arena() = default;
+  ~Arena() { reset(); }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw allocation. `align` must be a power of two.
+  void* allocate(size_t bytes, size_t align) {
+    char* p = alignUp(cur_, align);
+    if (p + bytes > end_) {
+      grow(bytes + align);
+      p = alignUp(cur_, align);
+    }
+    cur_ = p + bytes;
+    bytesAllocated_ += bytes;
+    return p;
+  }
+
+  /// Placement-constructs a T. Non-trivially-destructible types get their
+  /// destructor queued for the teardown sweep (newest first).
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* mem = allocate(sizeof(T), alignof(T));
+    ++objectCount_;
+    T* obj = new (mem) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      auto* node = static_cast<DtorNode*>(allocate(sizeof(DtorNode), alignof(DtorNode)));
+      node->fn = [](void* p) { static_cast<T*>(p)->~T(); };
+      node->obj = obj;
+      node->next = dtors_;
+      dtors_ = node;
+    }
+    return obj;
+  }
+
+  /// Interned copy of `s`: NUL-terminated, stable for the arena's lifetime,
+  /// deduplicated (interning the same contents twice returns the same
+  /// pointer).
+  const char* intern(std::string_view s);
+
+  /// Runs queued destructors (newest first) and frees every slab.
+  void reset();
+
+  // --- Introspection (microbenches, tests) ---------------------------------
+  size_t bytesAllocated() const { return bytesAllocated_; }
+  size_t bytesReserved() const { return bytesReserved_; }
+  size_t objectCount() const { return objectCount_; }
+  size_t slabCount() const;
+
+ private:
+  struct Slab {
+    Slab* prev;
+    size_t bytes;  // payload bytes following this header
+  };
+  struct DtorNode {
+    void (*fn)(void*);
+    void* obj;
+    DtorNode* next;
+  };
+
+  static char* alignUp(char* p, size_t align) {
+    return reinterpret_cast<char*>((reinterpret_cast<uintptr_t>(p) + align - 1) &
+                                   ~uintptr_t(align - 1));
+  }
+  void grow(size_t need);
+
+  char* cur_ = nullptr;
+  char* end_ = nullptr;
+  Slab* slabs_ = nullptr;
+  DtorNode* dtors_ = nullptr;
+  size_t nextSlabBytes_ = kFirstSlabBytes;
+  size_t bytesAllocated_ = 0;
+  size_t bytesReserved_ = 0;
+  size_t objectCount_ = 0;
+  std::unordered_set<std::string_view> interned_;
+};
+
+/// An interned, immutable identifier living in some Arena. Sized so name
+/// reads never strlen; convertible to std::string_view; concatenation with
+/// the usual string spellings yields std::string so call sites read like
+/// they always did.
+class ArenaString {
+ public:
+  constexpr ArenaString() = default;
+  ArenaString(const char* data, size_t size) : data_(data), size_(size) {}
+  ArenaString(Arena& arena, std::string_view s) : data_(arena.intern(s)), size_(s.size()) {}
+
+  const char* c_str() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::string_view view() const { return {data_, size_}; }
+  std::string str() const { return std::string(data_, size_); }
+  operator std::string_view() const { return view(); }
+
+  // Forwarders for the string searches call sites actually perform.
+  size_t rfind(std::string_view s, size_t pos = std::string_view::npos) const {
+    return view().rfind(s, pos);
+  }
+  size_t find(std::string_view s, size_t pos = 0) const { return view().find(s, pos); }
+  std::string_view substr(size_t pos, size_t n = std::string_view::npos) const {
+    return view().substr(pos, n);
+  }
+
+ private:
+  const char* data_ = "";
+  size_t size_ = 0;
+};
+
+inline bool operator==(ArenaString a, ArenaString b) {
+  // Same-arena interning makes equal names pointer-equal; fall back to a
+  // content compare so cross-arena names still behave.
+  return a.c_str() == b.c_str() ? a.size() == b.size() : a.view() == b.view();
+}
+inline bool operator==(ArenaString a, std::string_view b) { return a.view() == b; }
+inline bool operator==(std::string_view a, ArenaString b) { return a == b.view(); }
+inline bool operator!=(ArenaString a, ArenaString b) { return !(a == b); }
+inline bool operator!=(ArenaString a, std::string_view b) { return !(a == b); }
+inline bool operator!=(std::string_view a, ArenaString b) { return !(a == b); }
+inline bool operator<(ArenaString a, ArenaString b) { return a.view() < b.view(); }
+
+inline std::string operator+(const std::string& a, ArenaString b) {
+  std::string out(a);
+  out.append(b.c_str(), b.size());
+  return out;
+}
+inline std::string operator+(std::string&& a, ArenaString b) {
+  a.append(b.c_str(), b.size());
+  return std::move(a);
+}
+inline std::string operator+(const char* a, ArenaString b) {
+  std::string out(a);
+  out.append(b.c_str(), b.size());
+  return out;
+}
+inline std::string operator+(ArenaString a, const std::string& b) {
+  std::string out(a.c_str(), a.size());
+  out += b;
+  return out;
+}
+inline std::string operator+(ArenaString a, const char* b) {
+  std::string out(a.c_str(), a.size());
+  out += b;
+  return out;
+}
+
+template <typename OS>
+inline OS& operator<<(OS& os, ArenaString s) {
+  os << s.view();
+  return os;
+}
+
+/// Minimal std::span stand-in (C++17 tree): a non-owning view over a
+/// contiguous run of T. Used where a pass should see "these functions" rather
+/// than a whole container type.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+  template <typename C, typename = decltype(std::declval<C&>().data())>
+  constexpr Span(C& c) : data_(c.data()), size_(c.size()) {}  // NOLINT(runtime/explicit)
+
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace twill

@@ -1,0 +1,147 @@
+// Intrusive doubly-linked list for arena-placed IR nodes.
+//
+// Nodes carry their own prev/next links (inherit IntrusiveListNode<T>), so
+// insert/detach/erase are O(1) with zero allocation — the list never owns
+// storage; the owning Module's Arena does. Iterators dereference to `T*` (by
+// const reference), which keeps the `for (auto& inst : *bb) inst->...` shape
+// every pass was written against.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+
+namespace twill {
+
+template <typename T>
+class IntrusiveList;
+
+template <typename T>
+class IntrusiveListNode {
+ public:
+  /// True while the node is linked into some IntrusiveList.
+  bool isLinked() const { return ilistPrev_ != nullptr || ilistNext_ != nullptr || ilistHead_; }
+
+ private:
+  friend class IntrusiveList<T>;
+  T* ilistPrev_ = nullptr;
+  T* ilistNext_ = nullptr;
+  bool ilistHead_ = false;  // disambiguates "unlinked" from "sole element"
+};
+
+template <typename T>
+class IntrusiveList {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = T*;
+    using difference_type = std::ptrdiff_t;
+    using pointer = T* const*;
+    using reference = T* const&;
+
+    iterator() = default;
+
+    /// Dereferences to the node pointer, so `(*it)->field` and the range-for
+    /// `for (auto& n : list) n->field` both work.
+    T* const& operator*() const { return node_; }
+    T* operator->() const { return node_; }
+
+    iterator& operator++() {
+      node_ = node_->ilistNext_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    iterator& operator--() {
+      node_ = node_ ? node_->ilistPrev_ : list_->tail_;
+      return *this;
+    }
+    iterator operator--(int) {
+      iterator tmp = *this;
+      --*this;
+      return tmp;
+    }
+    bool operator==(const iterator& o) const { return node_ == o.node_; }
+    bool operator!=(const iterator& o) const { return node_ != o.node_; }
+
+   private:
+    friend class IntrusiveList;
+    iterator(const IntrusiveList* list, T* node) : list_(list), node_(node) {}
+    const IntrusiveList* list_ = nullptr;
+    T* node_ = nullptr;
+  };
+  using const_iterator = iterator;  // shallow constness, like a vector of pointers
+
+  IntrusiveList() = default;
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  iterator begin() const { return {this, head_}; }
+  iterator end() const { return {this, nullptr}; }
+  bool empty() const { return head_ == nullptr; }
+  size_t size() const { return size_; }
+  T* front() const { return head_; }
+  T* back() const { return tail_; }
+
+  T* push_back(T* n) { return insertBefore(nullptr, n); }
+  T* push_front(T* n) { return insertBefore(head_, n); }
+
+  /// Inserts `n` before `pos` (end() appends). Returns `n`.
+  T* insert(iterator pos, T* n) { return insertBefore(*pos, n); }
+
+  /// Inserts `n` immediately after `after` (which must be linked here).
+  T* insertAfter(T* after, T* n) {
+    assert(after && after->isLinked());
+    return insertBefore(after->ilistNext_, n);
+  }
+
+  /// Unlinks `n`; the node itself (arena-owned) stays alive.
+  void remove(T* n) {
+    assert(n->isLinked() && "removing an unlinked node");
+    if (n->ilistPrev_)
+      n->ilistPrev_->ilistNext_ = n->ilistNext_;
+    else
+      head_ = n->ilistNext_;
+    if (n->ilistNext_)
+      n->ilistNext_->ilistPrev_ = n->ilistPrev_;
+    else
+      tail_ = n->ilistPrev_;
+    n->ilistPrev_ = n->ilistNext_ = nullptr;
+    n->ilistHead_ = false;
+    if (head_) head_->ilistHead_ = true;
+    --size_;
+  }
+
+  /// O(1) iterator to a node known to be linked in this list.
+  iterator iteratorTo(T* n) const { return {this, n}; }
+
+ private:
+  T* insertBefore(T* pos, T* n) {
+    assert(!n->isLinked() && "node already linked");
+    T* prev = pos ? pos->ilistPrev_ : tail_;
+    n->ilistPrev_ = prev;
+    n->ilistNext_ = pos;
+    if (prev)
+      prev->ilistNext_ = n;
+    else
+      head_ = n;
+    if (pos)
+      pos->ilistPrev_ = n;
+    else
+      tail_ = n;
+    if (head_) head_->ilistHead_ = true;
+    if (n != head_) n->ilistHead_ = false;
+    ++size_;
+    return n;
+  }
+
+  T* head_ = nullptr;
+  T* tail_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace twill

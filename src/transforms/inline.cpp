@@ -14,19 +14,15 @@ std::vector<Instruction*> callSitesIn(Function& f) {
   std::vector<Instruction*> calls;
   for (auto& bb : f.blocks())
     for (auto& inst : *bb)
-      if (inst->op() == Opcode::Call) calls.push_back(inst.get());
+      if (inst->op() == Opcode::Call) calls.push_back(inst);
   return calls;
 }
 
-/// Clones an instruction with operands remapped through `map` (identity for
-/// unmapped values such as constants and globals).
-std::unique_ptr<Instruction> cloneInstruction(
-    Instruction* inst, const std::unordered_map<Value*, Value*>& map) {
-  auto clone = std::make_unique<Instruction>(inst->op(), inst->type());
-  auto mapped = [&](Value* v) -> Value* {
-    auto it = map.find(v);
-    return it == map.end() ? v : it->second;
-  };
+/// Clones an instruction with operands remapped through `mapped` (identity
+/// for unmapped values such as constants and globals).
+template <class MapFn>
+Instruction* cloneInstruction(Module& m, Instruction* inst, MapFn&& mapped) {
+  Instruction* clone = m.createInstruction(inst->op(), inst->type());
   if (inst->isPhi()) {
     for (unsigned i = 0; i < inst->numIncoming(); ++i)
       clone->addIncoming(mapped(inst->incomingValue(i)),
@@ -58,8 +54,8 @@ bool inlineCall(Module& m, Instruction* call) {
     std::vector<Instruction*> toMove;
     bool after = false;
     for (auto& inst : *pre) {
-      if (after) toMove.push_back(inst.get());
-      if (inst.get() == call) after = true;
+      if (after) toMove.push_back(inst);
+      if (inst == call) after = true;
     }
     for (Instruction* i : toMove) post->append(pre->detach(i));
   }
@@ -73,17 +69,37 @@ bool inlineCall(Module& m, Instruction* call) {
     }
   }
 
-  // Clone callee blocks (empty first, for forward references).
-  std::unordered_map<Value*, Value*> map;
-  for (unsigned i = 0; i < callee->numArgs(); ++i) map[callee->arg(i)] = call->operand(i);
+  // Clone callee blocks (empty first, for forward references). The value
+  // map is split by key kind: instructions in a dense id-indexed vector
+  // (renumber() makes callee ids dense), arguments by index, blocks in a
+  // small hash map — cloning queries the map per operand, so the dense
+  // paths matter.
+  callee->renumber();
+  std::vector<Value*> instMap(callee->numValueSlots(), nullptr);
+  std::vector<Value*> argMap(callee->numArgs(), nullptr);
+  std::unordered_map<BasicBlock*, BasicBlock*> blockMap;
+  for (unsigned i = 0; i < callee->numArgs(); ++i) argMap[i] = call->operand(i);
   std::vector<BasicBlock*> clonedBlocks;
   BasicBlock* insertAfter = pre;
   for (auto& bb : callee->blocks()) {
     BasicBlock* c = caller->createBlockAfter(insertAfter, callee->name() + "." + bb->name());
     insertAfter = c;
-    map[bb.get()] = c;
+    blockMap[bb] = c;
     clonedBlocks.push_back(c);
   }
+  auto mapped = [&](Value* v) -> Value* {
+    if (auto* i = dyn_cast<Instruction>(v)) {
+      Value* mv =
+          (i->parent() && i->parent()->parent() == callee) ? instMap[i->id()] : nullptr;
+      return mv ? mv : v;  // null = cloned later; the second pass fixes it
+    }
+    if (auto* a = dyn_cast<Argument>(v)) return argMap[a->index()];
+    if (auto* bb = dyn_cast<BasicBlock>(v)) {
+      auto it = blockMap.find(bb);
+      return it == blockMap.end() ? v : static_cast<Value*>(it->second);
+    }
+    return v;
+  };
   // Clone instructions.
   std::vector<Instruction*> retInsts;  // cloned rets; values read post-remap
   {
@@ -91,25 +107,21 @@ bool inlineCall(Module& m, Instruction* call) {
     for (auto& bb : callee->blocks()) {
       BasicBlock* c = *cbIt++;
       for (auto& inst : *bb) {
-        std::unique_ptr<Instruction> clone = cloneInstruction(inst.get(), map);
-        Instruction* ci = c->append(std::move(clone));
-        map[inst.get()] = ci;
+        Instruction* ci = c->append(cloneInstruction(m, inst, mapped));
+        instMap[inst->id()] = ci;
         if (ci->op() == Opcode::Ret) retInsts.push_back(ci);
       }
     }
     // Second pass: phis may reference instructions cloned later; fix them.
+    // (Blocks and arguments all resolved during cloning, so only original
+    // instruction operands can still need a remap here.)
     for (BasicBlock* c : clonedBlocks) {
       for (auto& inst : *c) {
         for (unsigned i = 0; i < inst->numOperands(); ++i) {
-          auto it = map.find(inst->operand(i));
-          if (it != map.end() && it->second != inst->operand(i)) inst->setOperand(i, it->second);
-        }
-        if (inst->isPhi()) {
-          for (unsigned i = 0; i < inst->numIncoming(); ++i) {
-            auto it = map.find(inst->incomingBlock(i));
-            if (it != map.end())
-              inst->setIncomingBlock(i, static_cast<BasicBlock*>(it->second));
-          }
+          auto* oi = dyn_cast<Instruction>(inst->operand(i));
+          if (!oi || !oi->parent() || oi->parent()->parent() != callee) continue;
+          Value* mv = instMap[oi->id()];
+          if (mv && mv != oi) inst->setOperand(i, mv);
         }
       }
     }
@@ -118,7 +130,7 @@ bool inlineCall(Module& m, Instruction* call) {
   // Branch from pre into the cloned entry.
   IRBuilder b(m);
   b.setInsertPoint(pre);
-  b.br(static_cast<BasicBlock*>(map[callee->entry()]));
+  b.br(blockMap[callee->entry()]);
 
   // Rewire cloned returns to the continuation and merge return values.
   // (Return values are read only now, after the second remap pass.)
@@ -126,8 +138,7 @@ bool inlineCall(Module& m, Instruction* call) {
   if (retInsts.size() == 1) {
     result = retInsts[0]->numOperands() ? retInsts[0]->operand(0) : nullptr;
   } else if (!retInsts.empty() && !callee->retType()->isVoid()) {
-    auto phi = std::make_unique<Instruction>(Opcode::Phi, callee->retType());
-    Instruction* p = post->insert(post->begin(), std::move(phi));
+    Instruction* p = post->insert(post->begin(), m.createInstruction(Opcode::Phi, callee->retType()));
     for (Instruction* ret : retInsts) p->addIncoming(ret->operand(0), ret->parent());
     result = p;
   }
@@ -169,7 +180,7 @@ bool inlineFunctions(Module& m, unsigned sizeThreshold, uint64_t maxModuleInstru
       for (Instruction* call : callSitesIn(*f)) {
         Function* callee = call->callee();
         if (!callee->entry()) continue;
-        if (callee == f.get()) continue;  // direct recursion: never
+        if (callee == f) continue;  // direct recursion: never
         size_t size = callee->instructionCount();
         bool shouldInline = size <= sizeThreshold || siteCount[callee] == 1;
         if (!shouldInline) continue;
@@ -195,7 +206,7 @@ bool removeDeadFunctions(Module& m) {
       for (Instruction* c : callSitesIn(*f)) called.insert(c->callee());
     std::vector<Function*> dead;
     for (auto& f : m.functions())
-      if (f->name() != "main" && !called.count(f.get())) dead.push_back(f.get());
+      if (f->name() != "main" && !called.count(f)) dead.push_back(f);
     for (Function* f : dead) {
       m.eraseFunction(f);
       changed = true;
@@ -228,8 +239,8 @@ bool globalsToArgs(Module& m) {
   };
   std::vector<DfsNode> stack;
   for (auto& froot : m.functions()) {
-    if (!visited.insert(froot.get()).second) continue;
-    stack.push_back({froot.get(), calleesOf(froot.get()), 0});
+    if (!visited.insert(froot).second) continue;
+    stack.push_back({froot, calleesOf(froot), 0});
     while (!stack.empty()) {
       DfsNode& top = stack.back();
       if (top.next < top.callees.size()) {

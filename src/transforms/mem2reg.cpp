@@ -43,7 +43,7 @@ bool mem2reg(Function& f) {
   std::vector<Instruction*> allocas;
   for (auto& bb : f.blocks())
     for (auto& inst : *bb)
-      if (inst->op() == Opcode::Alloca && isPromotable(inst.get())) allocas.push_back(inst.get());
+      if (inst->op() == Opcode::Alloca && isPromotable(inst)) allocas.push_back(inst);
   if (allocas.empty()) return false;
 
   Module& m = *f.parent();
@@ -70,9 +70,9 @@ bool mem2reg(Function& f) {
       if (!dom.isReachable(bb)) continue;
       for (BasicBlock* df : dom.frontier(bb)) {
         if (!hasPhi.insert(df).second) continue;
-        auto phi = std::make_unique<Instruction>(
-            Opcode::Phi, m.types().intTy(allocas[ai]->allocaElemBits()));
-        Instruction* p = df->insert(df->begin(), std::move(phi));
+        Instruction* p = df->insert(
+            df->begin(),
+            m.createInstruction(Opcode::Phi, m.types().intTy(allocas[ai]->allocaElemBits())));
         phiFor[df][ai] = p;
         if (!defBlocks.count(df)) work.push_back(df);
       }
@@ -107,7 +107,7 @@ bool mem2reg(Function& f) {
     }
     std::vector<Instruction*> toErase;
     for (auto& instPtr : *bb) {
-      Instruction* inst = instPtr.get();
+      Instruction* inst = instPtr;
       if (inst->op() == Opcode::Load) {
         auto* a = dyn_cast<Instruction>(inst->operand(0));
         auto it = a ? allocaIndex.find(a) : allocaIndex.end();

@@ -65,4 +65,10 @@ void runDefaultPipeline(Module& m, unsigned inlineThreshold = 100,
 /// DSWP extractor generates partition functions.
 void runCleanupPipeline(Module& m);
 
+/// Scoped variant: cleans up only `fns` (the functions a transform actually
+/// created or rewrote) instead of sweeping the whole module. Untouched
+/// functions are already at the runDefaultPipeline fixpoint, so skipping
+/// them changes nothing but the time spent.
+void runCleanupPipeline(Module& m, Span<Function* const> fns);
+
 }  // namespace twill

@@ -26,11 +26,14 @@ void removePhiEntries(BasicBlock* succ, BasicBlock* pred) {
 }
 
 bool removeUnreachableBlocks(Function& f) {
-  std::unordered_set<BasicBlock*> reachable;
-  for (BasicBlock* bb : reversePostOrder(f)) reachable.insert(bb);
+  std::vector<BasicBlock*> rpo = reversePostOrder(f);
+  // The walk reaches every block — the common case — so nothing is dead and
+  // the membership set below is never needed.
+  if (rpo.size() == f.numBlocks()) return false;
+  std::unordered_set<BasicBlock*> reachable(rpo.begin(), rpo.end());
   std::vector<BasicBlock*> dead;
   for (auto& bb : f.blocks())
-    if (!reachable.count(bb.get())) dead.push_back(bb.get());
+    if (!reachable.count(bb)) dead.push_back(bb);
   if (dead.empty()) return false;
   // First detach dead blocks from live PHIs, then sever *all* operand links
   // inside the dead region (dead blocks may reference each other's
@@ -57,10 +60,10 @@ bool foldConstantBranches(Function& f, Module& m) {
       BasicBlock* dest = c ? ((c->zext() & 1) ? t : e) : t;
       BasicBlock* dropped = dest == t ? e : t;
       IRBuilder b(m);
-      b.setInsertPoint(bb.get(), bb->iteratorTo(term));
+      b.setInsertPoint(bb, bb->iteratorTo(term));
       b.br(dest);
       term->dropOperands();
-      if (dropped != dest) removePhiEntries(dropped, bb.get());
+      if (dropped != dest) removePhiEntries(dropped, bb);
       bb->erase(term);
       changed = true;
     } else if (term->op() == Opcode::Switch) {
@@ -77,10 +80,10 @@ bool foldConstantBranches(Function& f, Module& m) {
       for (unsigned i = 0; i < term->numSuccessors(); ++i)
         if (term->successor(i) != dest) others.push_back(term->successor(i));
       IRBuilder b(m);
-      b.setInsertPoint(bb.get(), bb->iteratorTo(term));
+      b.setInsertPoint(bb, bb->iteratorTo(term));
       b.br(dest);
       term->dropOperands();
-      for (BasicBlock* o : others) removePhiEntries(o, bb.get());
+      for (BasicBlock* o : others) removePhiEntries(o, bb);
       bb->erase(term);
       changed = true;
     }
@@ -88,33 +91,38 @@ bool foldConstantBranches(Function& f, Module& m) {
   return changed;
 }
 
-/// Folds single-incoming PHIs and PHIs whose incomings are all identical.
-bool foldTrivialPhis(Function& f) {
+/// Folds single-incoming PHIs and PHIs whose incomings are all identical,
+/// within one block.
+bool foldTrivialPhisIn(BasicBlock* bb) {
   bool changed = false;
-  for (auto& bb : f.blocks()) {
-    std::vector<Instruction*> phis;
-    for (auto& inst : *bb) {
-      if (!inst->isPhi()) break;
-      phis.push_back(inst.get());
+  std::vector<Instruction*> phis;
+  for (auto& inst : *bb) {
+    if (!inst->isPhi()) break;
+    phis.push_back(inst);
+  }
+  for (Instruction* phi : phis) {
+    if (phi->numIncoming() == 0) continue;
+    Value* first = phi->incomingValue(0);
+    bool allSame = true;
+    for (unsigned i = 1; i < phi->numIncoming(); ++i) {
+      Value* v = phi->incomingValue(i);
+      if (v != first && v != phi) {
+        allSame = false;
+        break;
+      }
     }
-    for (Instruction* phi : phis) {
-      if (phi->numIncoming() == 0) continue;
-      Value* first = phi->incomingValue(0);
-      bool allSame = true;
-      for (unsigned i = 1; i < phi->numIncoming(); ++i) {
-        Value* v = phi->incomingValue(i);
-        if (v != first && v != phi) {
-          allSame = false;
-          break;
-        }
-      }
-      if (allSame && first != phi) {
-        phi->replaceAllUsesWith(first);
-        bb->erase(phi);
-        changed = true;
-      }
+    if (allSame && first != phi) {
+      phi->replaceAllUsesWith(first);
+      bb->erase(phi);
+      changed = true;
     }
   }
+  return changed;
+}
+
+bool foldTrivialPhis(Function& f) {
+  bool changed = false;
+  for (auto& bb : f.blocks()) changed |= foldTrivialPhisIn(bb);
   return changed;
 }
 
@@ -123,7 +131,7 @@ bool foldTrivialPhis(Function& f) {
 bool mergeBlockChains(Function& f) {
   bool changed = false;
   for (auto it = f.blocks().begin(); it != f.blocks().end();) {
-    BasicBlock* bb = it->get();
+    BasicBlock* bb = *it;
     ++it;
     if (bb == f.entry()) continue;
     auto preds = bb->predecessors();
@@ -131,18 +139,17 @@ bool mergeBlockChains(Function& f) {
     BasicBlock* pred = preds[0];
     if (pred->successors().size() != 1 || pred->successors()[0] != bb) continue;
     if (pred->terminator()->op() != Opcode::Br) continue;
-    // Fold PHIs (single predecessor).
-    foldTrivialPhis(f);
+    // Fold PHIs (single predecessor). Only this block's phis gate the merge;
+    // phis elsewhere are the standalone foldTrivialPhis pass's job (the
+    // simplifyCFG driver loops until neither pass changes anything).
+    foldTrivialPhisIn(bb);
     bool hasPhi = !bb->empty() && bb->front()->isPhi();
     if (hasPhi) continue;  // self-referencing phi edge case; leave it
     // Move instructions.
     Instruction* term = pred->terminator();
     term->dropOperands();
     pred->erase(term);
-    while (!bb->empty()) {
-      std::unique_ptr<Instruction> inst = bb->detach(bb->front());
-      pred->append(std::move(inst));
-    }
+    while (!bb->empty()) pred->append(bb->detach(bb->front()));
     // Successor PHIs refer to bb; now they must refer to pred.
     for (BasicBlock* s : pred->successors()) {
       for (auto& inst : *s) {
@@ -154,7 +161,9 @@ bool mergeBlockChains(Function& f) {
     bb->replaceAllUsesWith(pred);  // stray references (none expected)
     f.eraseBlock(bb);
     changed = true;
-    it = f.blocks().begin();  // restart; iterators were invalidated
+    // `it` already points past bb (intrusive erase only unlinks bb), so the
+    // scan continues forward; chains that merge "backwards" in list order
+    // are picked up by the driver's next fixpoint iteration.
   }
   return changed;
 }
@@ -186,7 +195,7 @@ bool dce(Function& f) {
       for (auto& inst : *bb)
         if (!inst->hasUses() && !inst->hasSideEffects() && !inst->isTerminator() &&
             inst->op() != Opcode::Alloca)
-          dead.push_back(inst.get());
+          dead.push_back(inst);
       for (Instruction* i : dead) {
         bb->erase(i);
         changed = true;
@@ -199,8 +208,8 @@ bool dce(Function& f) {
         if (inst->op() != Opcode::Alloca) continue;
         bool onlyStores = true;
         for (Instruction* u : inst->users())
-          if (!(u->op() == Opcode::Store && u->operand(1) == inst.get())) onlyStores = false;
-        if (onlyStores) deadAllocas.push_back(inst.get());
+          if (!(u->op() == Opcode::Store && u->operand(1) == inst)) onlyStores = false;
+        if (onlyStores) deadAllocas.push_back(inst);
       }
       for (Instruction* a : deadAllocas) {
         std::vector<Instruction*> stores(a->users().begin(), a->users().end());
@@ -224,7 +233,7 @@ bool constantFold(Function& f, Module& m) {
     changed = false;
     for (auto& bb : f.blocks()) {
       std::vector<Instruction*> worklist;
-      for (auto& inst : *bb) worklist.push_back(inst.get());
+      for (auto& inst : *bb) worklist.push_back(inst);
       for (Instruction* inst : worklist) {
         Value* repl = nullptr;
         Opcode op = inst->op();
@@ -431,8 +440,7 @@ bool loopSimplify(Function& f, Module& m) {
       // Hoist header PHI entries for out-of-loop preds into a preheader PHI.
       for (auto& inst : *loop->header) {
         if (!inst->isPhi()) break;
-        auto newPhi = std::make_unique<Instruction>(Opcode::Phi, inst->type());
-        Instruction* np = pre->insert(pre->begin(), std::move(newPhi));
+        Instruction* np = pre->insert(pre->begin(), m.createInstruction(Opcode::Phi, inst->type()));
         for (BasicBlock* e : entries) {
           int idx = inst->incomingIndexFor(e);
           if (idx >= 0) {
@@ -559,17 +567,25 @@ void runDefaultPipeline(Module& m, unsigned inlineThreshold, uint64_t maxIrInstr
   }
 }
 
-void runCleanupPipeline(Module& m) {
-  for (auto& f : m.functions()) {
-    {
-      TraceSpan t("cleanup");
-      simplifyCFG(*f);
-      constantFold(*f, m);
-      dce(*f);
-      simplifyCFG(*f);
-    }
-    verifyAfterPass(*f, "cleanup");
+namespace {
+void cleanupFunction(Module& m, Function& f) {
+  {
+    TraceSpan t("cleanup");
+    simplifyCFG(f);
+    constantFold(f, m);
+    dce(f);
+    simplifyCFG(f);
   }
+  verifyAfterPass(f, "cleanup");
+}
+}  // namespace
+
+void runCleanupPipeline(Module& m) {
+  for (auto& f : m.functions()) cleanupFunction(m, *f);
+}
+
+void runCleanupPipeline(Module& m, Span<Function* const> fns) {
+  for (Function* f : fns) cleanupFunction(m, *f);
 }
 
 }  // namespace twill

@@ -68,18 +68,18 @@ ModuleIndex buildIndex(Module& m, const DswpResult& dswp, DiagEngine& diag) {
           case Opcode::Produce:
           case Opcode::Consume: {
             auto& sites = inst->op() == Opcode::Produce ? idx.produces : idx.consumes;
-            sites[id].push_back({f.get(), inst.get()});
+            sites[id].push_back({f, inst});
             if (!idx.channelById.count(id))
-              diag.error({}, at(inst.get()) + ": " + opcodeName(inst->op()) +
+              diag.error({}, at(inst) + ": " + opcodeName(inst->op()) +
                                  " references unknown channel " + std::to_string(id));
             break;
           }
           case Opcode::SemRaise:
           case Opcode::SemLower: {
             auto& sites = inst->op() == Opcode::SemRaise ? idx.raises : idx.lowers;
-            sites[id].push_back({f.get(), inst.get()});
+            sites[id].push_back({f, inst});
             if (!idx.semById.count(id))
-              diag.error({}, at(inst.get()) + ": " + opcodeName(inst->op()) +
+              diag.error({}, at(inst) + ": " + opcodeName(inst->op()) +
                                  " references unknown semaphore " + std::to_string(id));
             break;
           }
@@ -211,14 +211,14 @@ public:
     fl->isSlave = idx_.slaveFns.count(f) != 0;
     for (auto& bb : f->blocks()) {
       Instruction* term = bb->terminator();
-      if (term && term->op() == Opcode::Ret) fl->rets.push_back(bb.get());
+      if (term && term->op() == Opcode::Ret) fl->rets.push_back(bb);
       if (!fl->isSlave || fl->dispatch) continue;
       for (auto& inst : *bb) {
         if (inst->op() != Opcode::Consume) continue;
         auto ci = idx_.channelById.find(inst->channel());
         if (ci == idx_.channelById.end() || ci->second->purpose != ChannelInfo::Purpose::Start)
           continue;
-        Loop* l = fl->loops.loopFor(bb.get());
+        Loop* l = fl->loops.loopFor(bb);
         while (l && l->parent) l = l->parent;
         fl->dispatch = l;
         break;
@@ -263,7 +263,7 @@ std::string chainKey(const std::vector<Loop*>& chain) {
   std::string key;
   for (Loop* l : chain) {
     if (!key.empty()) key += "/";
-    key += stripPartitionSuffix(l->header->name());
+    key += stripPartitionSuffix(l->header->name().str());
   }
   return key;
 }
@@ -514,14 +514,14 @@ void checkSemaphoreBalance(const DswpResult& dswp, const ModuleIndex& idx, LoopC
         for (auto& inst : *bb) {
           long k = 0;
           if (inst->op() == Opcode::SemRaise && inst->channel() == sem.id) {
-            if (!constCount(inst.get(), k)) allConst = false;
+            if (!constCount(inst, k)) allConst = false;
             net += k;
           } else if (inst->op() == Opcode::SemLower && inst->channel() == sem.id) {
-            if (!constCount(inst.get(), k)) allConst = false;
+            if (!constCount(inst, k)) allConst = false;
             net -= k;
           }
         }
-        blockNet[bb.get()] = net;
+        blockNet[bb] = net;
       }
       if (!allConst) continue;
       std::vector<BasicBlock*> rpo = reversePostOrder(*f);
@@ -556,12 +556,12 @@ void checkSemaphoreBalance(const DswpResult& dswp, const ModuleIndex& idx, LoopC
         for (auto& inst : *bb) {
           long k = 0;
           if (inst->op() == Opcode::SemRaise && inst->channel() == sem.id) {
-            constCount(inst.get(), k);
+            constCount(inst, k);
             off += k;
           } else if (inst->op() == Opcode::SemLower && inst->channel() == sem.id) {
-            constCount(inst.get(), k);
+            constCount(inst, k);
             off -= k;
-            if (inst.get() == s.inst) {
+            if (inst == s.inst) {
               found = true;
               break;
             }
@@ -629,7 +629,7 @@ private:
     BasicBlock* bb = inst->parent();
     auto it = bb->iteratorTo(inst);
     ++it;
-    if (it != bb->end()) enqueue(it->get());
+    if (it != bb->end()) enqueue(*it);
   }
 
   void park(Instruction* inst, std::vector<Instruction*>& queue) {

@@ -27,7 +27,7 @@ protected:
 
   static BasicBlock* blockNamed(Function* f, const std::string& prefix) {
     for (auto& bb : f->blocks())
-      if (bb->name().rfind(prefix, 0) == 0) return bb.get();
+      if (bb->name().rfind(prefix, 0) == 0) return bb;
     return nullptr;
   }
 };
@@ -211,8 +211,8 @@ TEST_F(AnalysisFixture, PDGDataEdges) {
   Instruction* add = nullptr;
   for (auto& bb : f->blocks())
     for (auto& inst : *bb) {
-      if (inst->op() == Opcode::Mul) mul = inst.get();
-      if (inst->op() == Opcode::Add) add = inst.get();
+      if (inst->op() == Opcode::Mul) mul = inst;
+      if (inst->op() == Opcode::Add) add = inst;
     }
   ASSERT_TRUE(mul && add);
   // Pre-mem2reg the value flows mul -> store -> load -> add, so check
@@ -245,7 +245,7 @@ TEST_F(AnalysisFixture, PDGControlEdges) {
   // The store in the then-block must have a Control edge from the branch.
   Instruction* store = nullptr;
   for (auto& inst : *thenBB)
-    if (inst->op() == Opcode::Store) store = inst.get();
+    if (inst->op() == Opcode::Store) store = inst;
   ASSERT_TRUE(store);
   bool found = false;
   for (const auto& e : pdg.edges())

@@ -30,14 +30,14 @@ TEST_F(HlsFixture, DependencesRespectStateOrder) {
       "return s; }");
   FunctionSchedule sched = scheduleFunction(*f);
   for (auto& bb : f->blocks()) {
-    const BlockSchedule& bs = sched.blocks.at(bb.get());
+    const BlockSchedule& bs = sched.blocks.at(bb);
     for (auto& inst : *bb) {
       if (inst->isPhi() || inst->isTerminator()) continue;
-      auto it = bs.stateOf.find(inst.get());
+      auto it = bs.stateOf.find(inst);
       ASSERT_NE(it, bs.stateOf.end());
       for (unsigned i = 0; i < inst->numOperands(); ++i) {
         auto* d = dyn_cast<Instruction>(inst->operand(i));
-        if (!d || d->parent() != bb.get() || d->isPhi()) continue;
+        if (!d || d->parent() != bb || d->isPhi()) continue;
         auto dit = bs.stateOf.find(d);
         if (dit == bs.stateOf.end()) continue;
         EXPECT_LE(dit->second, it->second) << "operand scheduled after its user";
@@ -56,11 +56,11 @@ TEST_F(HlsFixture, MemoryPortConstraint) {
   c.memPortsPerState = 1;
   FunctionSchedule sched = scheduleFunction(*f, c);
   for (auto& bb : f->blocks()) {
-    const BlockSchedule& bs = sched.blocks.at(bb.get());
+    const BlockSchedule& bs = sched.blocks.at(bb);
     std::unordered_map<unsigned, unsigned> memPerState;
     for (auto& inst : *bb) {
       if (inst->op() != Opcode::Load && inst->op() != Opcode::Store) continue;
-      memPerState[bs.stateOf.at(inst.get())]++;
+      memPerState[bs.stateOf.at(inst)]++;
     }
     for (auto& [state, cnt] : memPerState) EXPECT_LE(cnt, 1u);
   }
@@ -120,7 +120,7 @@ TEST_F(HlsFixture, PipelinedIINeverExceedsStatic) {
     Function* f = mm.findFunction("main");
     FunctionSchedule sched = scheduleFunction(*f);
     for (auto& bb : f->blocks()) {
-      const BlockSchedule& bs = sched.blocks.at(bb.get());
+      const BlockSchedule& bs = sched.blocks.at(bb);
       EXPECT_GE(bs.pipelinedII, 1u);
       EXPECT_LE(bs.pipelinedII, bs.staticCycles);
     }

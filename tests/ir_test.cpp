@@ -10,7 +10,8 @@ namespace twill {
 namespace {
 
 TEST(TypeTest, Interning) {
-  TypeContext ctx;
+  Arena arena;
+  TypeContext ctx(arena);
   EXPECT_EQ(ctx.i32(), ctx.intTy(32));
   EXPECT_EQ(ctx.i8(), ctx.intTy(8));
   EXPECT_NE(ctx.i8(), ctx.i32());
@@ -19,7 +20,8 @@ TEST(TypeTest, Interning) {
 }
 
 TEST(TypeTest, ByteSizes) {
-  TypeContext ctx;
+  Arena arena;
+  TypeContext ctx(arena);
   EXPECT_EQ(ctx.i1()->byteSize(), 1u);
   EXPECT_EQ(ctx.i8()->byteSize(), 1u);
   EXPECT_EQ(ctx.i16()->byteSize(), 2u);
@@ -29,7 +31,8 @@ TEST(TypeTest, ByteSizes) {
 }
 
 TEST(TypeTest, Names) {
-  TypeContext ctx;
+  Arena arena;
+  TypeContext ctx(arena);
   EXPECT_EQ(ctx.i32()->str(), "i32");
   EXPECT_EQ(ctx.ptrTy(8)->str(), "i8*");
   EXPECT_EQ(ctx.voidTy()->str(), "void");
@@ -141,10 +144,10 @@ TEST_F(IRFixture, VerifierCatchesTypeMismatch) {
   Function* f = m.createFunction("bad2", m.types().i32());
   BasicBlock* e = f->createBlock("entry");
   b.setInsertPoint(e);
-  auto inst = std::make_unique<Instruction>(Opcode::Add, m.types().i32());
+  Instruction* inst = m.createInstruction(Opcode::Add, m.types().i32());
   inst->addOperand(m.i32Const(1));
   inst->addOperand(m.constant(m.types().i8(), 2));  // width mismatch
-  Instruction* bad = e->append(std::move(inst));
+  Instruction* bad = e->append(inst);
   b.setInsertPoint(e);
   b.ret(bad);
   DiagEngine diag;

@@ -115,6 +115,20 @@ std::string normalizeWallTimes(const std::string& doc) {
   return std::regex_replace(doc, kWall, "$1X");
 }
 
+/// Value of a label-less or fully-labelled series in a Prometheus text
+/// document (exact match of everything before the space). UINT64_MAX when
+/// the series is absent.
+uint64_t promValue(const std::string& text, const std::string& series) {
+  const std::string needle = series + " ";
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n')
+      return std::stoull(text.substr(pos + needle.size()));
+    pos += needle.size();
+  }
+  return UINT64_MAX;
+}
+
 // --- HTTP parser ------------------------------------------------------------
 
 TEST(HttpParserTest, ParsesRequestLineHeadersAndBody) {
@@ -192,6 +206,34 @@ TEST(ServeTest, SimAxisChangeReusesTheCachedCompile) {
       cold, sourceRequest(kQuickProgram, "\"sim\": {\"queue_capacity\": 16}"));
   ASSERT_EQ(reused.status, 200) << reused.body;
   EXPECT_EQ(normalizeWallTimes(reused.body), normalizeWallTimes(fresh.body));
+}
+
+TEST(ServeTest, ByteBudgetEvictsLeastRecentlyUsedEntries) {
+  // A budget far below one kept module's arena footprint forces the byte
+  // sweep to evict on every insertion; distinct compile keys create distinct
+  // artifact entries, so only the newest survives.
+  ServiceConfig cfg;
+  cfg.maxCacheBytes = 4096;
+  TwillService svc{cfg};
+  (void)submitAndFetch(svc, sourceRequest(kQuickProgram));
+  (void)submitAndFetch(svc, sourceRequest(kQuickProgram, "\"compile\": {\"partitions\": 2}"));
+  (void)submitAndFetch(svc, sourceRequest(kTwoCallSiteProgram));
+
+  const std::string text = svc.handle(get("/v1/metrics")).body;
+  EXPECT_EQ(promValue(text, "twilld_cache_misses_total"), 3u) << text;
+  // Every kept module's arena alone dwarfs the 4 KiB budget, so no artifact
+  // entry can survive its own insertion sweep.
+  EXPECT_EQ(promValue(text, "twilld_cache_artifact_entries"), 0u) << text;
+  EXPECT_EQ(promValue(text, "twilld_cache_evictions_total{cache=\"artifact\"}"), 3u) << text;
+  // Whatever survives (small response documents) fits the budget.
+  EXPECT_LE(promValue(text, "twilld_cache_bytes"), 4096u) << text;
+
+  // An unlimited-budget service keeps everything: the byte sweep is opt-in.
+  TwillService unbounded{ServiceConfig{}};
+  (void)submitAndFetch(unbounded, sourceRequest(kQuickProgram));
+  (void)submitAndFetch(unbounded, sourceRequest(kTwoCallSiteProgram));
+  const std::string utext = unbounded.handle(get("/v1/metrics")).body;
+  EXPECT_EQ(promValue(utext, "twilld_cache_evictions_total{cache=\"artifact\"}"), 0u) << utext;
 }
 
 TEST(ServeTest, CompileAxisChangeMissesTheCache) {
@@ -283,20 +325,6 @@ TEST(ServeTest, RoutingErrors) {
 }
 
 // --- service: observability -------------------------------------------------
-
-/// Value of a label-less or fully-labelled series in a Prometheus text
-/// document (exact match of everything before the space). UINT64_MAX when
-/// the series is absent.
-uint64_t promValue(const std::string& text, const std::string& series) {
-  const std::string needle = series + " ";
-  size_t pos = 0;
-  while ((pos = text.find(needle, pos)) != std::string::npos) {
-    if (pos == 0 || text[pos - 1] == '\n')
-      return std::stoull(text.substr(pos + needle.size()));
-    pos += needle.size();
-  }
-  return UINT64_MAX;
-}
 
 TEST(ServeTest, HealthzReportsSchemaBuildAndDispatcher) {
   TwillService svc{ServiceConfig{}};

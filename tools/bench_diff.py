@@ -11,9 +11,13 @@ drift is a behaviour change and fails the gate; if the change is intentional
 
 Wall-clock fields (*_wall_ms) are machine-dependent and never fail the gate;
 a >10% regression (configurable) prints a warning so perf erosion is visible
-in the job log.
+in the job log. The compile stages get their own budget: the per-kernel
+stage table always prints, and a >15% regression (configurable) of the
+summed parse/lower/passes/pdg/dswp/schedule time across all kernels prints
+a warning — compile cost multiplies under explorer grids and a caching
+twilld, so erosion there must be visible even while sim dominates.
 
-Usage: bench_diff.py BASELINE NEW [--wall-tolerance 0.10]
+Usage: bench_diff.py BASELINE NEW [--wall-tolerance 0.10] [--stage-tolerance 0.15]
 """
 
 import argparse
@@ -83,12 +87,56 @@ def kernel_wall_table(base, new):
     return lines, None
 
 
+def stage_sum(kernel):
+    """Summed compile-stage wall time (ms) of one kernel entry."""
+    return sum(v for k, v in kernel["report"]["stages"].items()
+               if is_wall_key(k) and isinstance(v, (int, float)))
+
+
+def compile_stage_table(base, new, tolerance):
+    """Per-kernel summed compile-stage wall, baseline vs new, plus totals.
+
+    Returns the number of warnings (0 or 1): only the *summed* total across
+    kernels is held to the budget — per-kernel stage times are a few ms and
+    too noisy to police individually. Callers have already validated the
+    kernels/report/stages structure via kernel_wall_table().
+    """
+    base_by_name = {k["report"]["name"]: k for k in base["kernels"]}
+    lines, base_total, new_total = [], 0.0, 0.0
+    for k in new["kernels"]:
+        name = k["report"]["name"]
+        b = base_by_name.get(name)
+        if b is None:
+            lines.append(f"  {name:<12} (not in baseline)")
+            continue
+        bs, ns = stage_sum(b), stage_sum(k)
+        base_total += bs
+        new_total += ns
+        delta = f"{(ns / bs - 1.0) * 100.0:+6.1f}%" if bs > 0 else "   n/a"
+        lines.append(f"  {name:<12} {bs:9.3f} ms -> {ns:9.3f} ms  {delta}")
+    total_delta = (f"{(new_total / base_total - 1.0) * 100.0:+6.1f}%"
+                   if base_total > 0 else "   n/a")
+    lines.append(f"  {'TOTAL':<12} {base_total:9.3f} ms -> {new_total:9.3f} ms  {total_delta}")
+    print("Compile stages, summed per kernel (baseline -> new; budget-warned, never gates):")
+    for line in lines:
+        print(line)
+    if base_total > 0 and new_total / base_total > 1.0 + tolerance:
+        print(f"WARNING: summed compile stages regressed {new_total / base_total:.2f}x "
+              f"({base_total:.3f} ms -> {new_total:.3f} ms), over the "
+              f"{tolerance * 100.0:.0f}% budget")
+        return 1
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
     ap.add_argument("new")
     ap.add_argument("--wall-tolerance", type=float, default=0.10,
                     help="relative wall-clock regression that triggers a warning")
+    ap.add_argument("--stage-tolerance", type=float, default=0.15,
+                    help="relative regression of the summed compile stages "
+                         "across kernels that triggers a warning")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -103,6 +151,7 @@ def main():
     print("Per-kernel wall (baseline -> new; informational, never gates):")
     for line in table:
         print(line)
+    stage_warned = compile_stage_table(base, new, args.stage_tolerance)
 
     drifts, walls = [], []
     compare(base, new, "", drifts, walls)
@@ -127,7 +176,7 @@ def main():
     total = next((f"{b:.0f} -> {n:.0f} ms" for p, b, n in walls if p == "summary.total_wall_ms"),
                  "n/a")
     print(f"OK: all report fields match the baseline "
-          f"({warned} wall-clock warning(s); total wall {total})")
+          f"({warned + stage_warned} wall-clock warning(s); total wall {total})")
     return 0
 
 

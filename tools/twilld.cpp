@@ -55,6 +55,10 @@ void printUsage(std::FILE* to) {
                "                         request's own)\n"
                "  --cache-entries N      response/artifact cache capacity\n"
                "                         (default 64)\n"
+               "  --cache-bytes N        approximate byte budget for the caches\n"
+               "                         (artifact entries counted by their kept\n"
+               "                         module's arena footprint; default 0 =\n"
+               "                         entries-only bound)\n"
                "  --trace-dir DIR        write one Chrome trace-event JSON per job\n"
                "                         (job-<id>.trace.json: queued/run spans in\n"
                "                         wall us + the job's compile stages and\n"
@@ -131,6 +135,8 @@ int main(int argc, char** argv) {
       scfg.maxMemoryBytes = static_cast<uint32_t>(mb << 20);
     } else if (arg == "--cache-entries") {
       scfg.maxCacheEntries = parseUnsigned(i, "--cache-entries");
+    } else if (arg == "--cache-bytes") {
+      scfg.maxCacheBytes = parseUnsigned(i, "--cache-bytes");
     } else if (arg == "--trace-dir") {
       scfg.traceDir = needValue(i, "--trace-dir");
     } else {
